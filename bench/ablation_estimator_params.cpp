@@ -1,0 +1,130 @@
+// Ablation — the 4B estimator's own design choices.
+//
+// Sweeps, one at a time, the tunables of the hybrid estimator on the
+// Mirage testbed:
+//   * unicast window ku (paper: 5)
+//   * beacon window kb (paper: 2)
+//   * the outer (combining) EWMA history weight (Fig. 5 implies 0.5)
+//   * the white-bit source (LQI threshold / SNR threshold / never —
+//     "in the worst case ... the white bit can never be set")
+//   * the pin bit on/off
+//
+// Expected shapes: small ku reacts fast but jitters (more parent churn),
+// huge ku reacts too slowly under bursts; disabling the white bit
+// degrades table admission; disabling the pin bit lets churn evict the
+// route in use.
+//
+//   usage: ablation_estimator_params [minutes=25] [seeds=3]
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+
+#include "runner/experiment.hpp"
+#include "sim/rng.hpp"
+#include "topology/topology.hpp"
+
+using namespace fourbit;
+
+namespace {
+
+struct Row {
+  double cost = 0.0;
+  double delivery = 0.0;
+  double churn = 0.0;  // parent changes per node
+};
+
+Row run(double minutes, int seeds,
+        const std::function<void(runner::ExperimentConfig&)>& customize) {
+  Row row;
+  for (int s = 0; s < seeds; ++s) {
+    const std::uint64_t seed = 8000 + static_cast<std::uint64_t>(s) * 77;
+    sim::Rng rng{seed};
+    runner::ExperimentConfig cfg;
+    cfg.testbed = topology::mirage(rng);
+    cfg.profile = runner::Profile::kFourBit;
+    cfg.duration = sim::Duration::from_minutes(minutes);
+    cfg.seed = seed;
+    customize(cfg);
+    const auto r = runner::run_experiment(cfg);
+    row.cost += r.cost;
+    row.delivery += r.delivery_ratio;
+    row.churn += static_cast<double>(r.parent_changes) /
+                 static_cast<double>(cfg.testbed.topology.size());
+  }
+  row.cost /= seeds;
+  row.delivery /= seeds;
+  row.churn /= seeds;
+  return row;
+}
+
+void print_row(const char* label, const Row& r) {
+  std::printf("  %-24s cost=%-6.2f delivery=%5.1f%%  churn=%.1f/node\n",
+              label, r.cost, r.delivery * 100.0, r.churn);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double minutes = argc > 1 ? std::atof(argv[1]) : 25.0;
+  const int seeds = argc > 2 ? std::atoi(argv[2]) : 3;
+
+  std::printf("=== Ablation: 4B estimator parameters (Mirage, %.0f min x "
+              "%d seeds) ===\n\n", minutes, seeds);
+
+  std::printf("unicast window ku (paper: 5):\n");
+  for (const std::size_t ku : {2, 5, 10, 20}) {
+    char label[32];
+    std::snprintf(label, sizeof label, "ku = %zu", ku);
+    print_row(label, run(minutes, seeds, [&](runner::ExperimentConfig& c) {
+                c.four_bit_override = core::FourBitConfig{};
+                c.four_bit_override->unicast_window = ku;
+              }));
+  }
+
+  std::printf("\nbeacon window kb (paper: 2):\n");
+  for (const std::size_t kb : {1, 2, 5, 10}) {
+    char label[32];
+    std::snprintf(label, sizeof label, "kb = %zu", kb);
+    print_row(label, run(minutes, seeds, [&](runner::ExperimentConfig& c) {
+                c.four_bit_override = core::FourBitConfig{};
+                c.four_bit_override->beacon_window = kb;
+              }));
+  }
+
+  std::printf("\ncombining EWMA history weight (Fig. 5 implies 0.5):\n");
+  for (const double alpha : {0.1, 0.5, 0.9}) {
+    char label[32];
+    std::snprintf(label, sizeof label, "history = %.1f", alpha);
+    print_row(label, run(minutes, seeds, [&](runner::ExperimentConfig& c) {
+                c.four_bit_override = core::FourBitConfig{};
+                c.four_bit_override->etx_history = alpha;
+              }));
+  }
+
+  std::printf("\nwhite-bit source:\n");
+  using Source = phy::PhyConfig::WhiteBitSource;
+  const struct {
+    const char* name;
+    Source source;
+  } sources[] = {{"LQI threshold", Source::kLqi},
+                 {"SNR threshold", Source::kSnr},
+                 {"never set", Source::kNever}};
+  for (const auto& s : sources) {
+    print_row(s.name, run(minutes, seeds, [&](runner::ExperimentConfig& c) {
+                c.testbed.environment.phy.white_bit_source = s.source;
+              }));
+  }
+
+  std::printf("\npin bit (table=4 maximizes admission churn pressure):\n");
+  for (const bool pin : {true, false}) {
+    char label[32];
+    std::snprintf(label, sizeof label, "pin %s", pin ? "on" : "off");
+    print_row(label, run(minutes, seeds, [&](runner::ExperimentConfig& c) {
+                c.table_capacity = 4;
+                net::CollectionConfig cc;
+                cc.pin_parent = pin;
+                c.collection_override = cc;
+              }));
+  }
+  return 0;
+}

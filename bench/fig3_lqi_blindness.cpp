@@ -1,0 +1,148 @@
+// Figure 3 — physical-layer blindness to bursty packet loss.
+//
+// The paper's 12-hour MultiHopLQI run shows the PRR of link P->C falling
+// from ~0.9 to ~0.6 between hours 4 and 6 with NO corresponding drop in
+// the LQI of the packets C received — LQI is only measured on packets
+// that arrive. Meanwhile the cumulative count of unacknowledged packets
+// climbs steeply, because the protocol keeps using the degraded link.
+//
+// We reproduce the scenario in isolation: one CBR unicast link with a
+// scheduled receiver-side interference burst from hour 4 to hour 6, and
+// trace (a) PRR per bin, (b) mean LQI of received packets per bin,
+// (c) cumulative unacked transmissions, and (d) what the 4B hybrid
+// estimator's ETX would report from the ack bit — the signal LQI misses.
+//
+//   usage: fig3_lqi_blindness [hours=12]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "core/four_bit_estimator.hpp"
+#include "mac/csma.hpp"
+#include "phy/channel.hpp"
+#include "phy/interference.hpp"
+#include "phy/radio.hpp"
+#include "sim/simulator.hpp"
+#include "stats/time_series.hpp"
+
+using namespace fourbit;
+
+int main(int argc, char** argv) {
+  const double hours = argc > 1 ? std::atof(argv[1]) : 12.0;
+
+  sim::Simulator sim;
+  sim::Rng rng{99};
+
+  // Deterministic propagation (no shadowing) so the baseline PRR is a
+  // clean ~0.9-0.95 "good link in its gray zone" as in the paper's trace.
+  phy::PhyConfig phy_cfg;
+  phy::PropagationConfig prop;
+  prop.shadowing_sigma_db = 0.0;
+  prop.asymmetry_sigma_db = 0.0;
+
+  // The paper's link: decode quality is HIGH (LQI ~95-100) and the ~0.9
+  // baseline PRR comes from whole-packet interference losses, not thermal
+  // noise — which is exactly why LQI cannot see the degradation. A mild
+  // interference floor runs the whole experiment; a strong burst between
+  // hours 4 and 6 drops PRR toward 0.6.
+  const NodeId sender_id{1};
+  const NodeId receiver_id{2};
+  std::vector<phy::ScheduledBurstInterference::Burst> bursts = {
+      {receiver_id, sim::Time::from_us(0),
+       sim::Time::from_us(0) + sim::Duration::from_hours(hours), 0.08},
+      {receiver_id, sim::Time::from_us(0) + sim::Duration::from_hours(4.0),
+       sim::Time::from_us(0) + sim::Duration::from_hours(6.0), 0.38},
+  };
+  phy::Channel channel{
+      sim, phy_cfg, prop,
+      std::make_unique<phy::ScheduledBurstInterference>(bursts),
+      rng.fork("channel")};
+
+  // Distance chosen so the thermal SNR sits near 2.9 dB — expected LQI
+  // right around 100 with near-perfect thermal PRR. Found by an analytic
+  // search with throwaway probe radios (the propagation model caches per
+  // node pair, so each probe distance uses a fresh id).
+  phy::Radio sender{channel, sender_id, Position{0.0, 0.0},
+                    phy::HardwareProfile{}, PowerDbm{0.0}};
+  double d = 5.0;
+  for (double trial = 5.0; trial < 200.0; trial += 0.25) {
+    phy::Radio probe{channel,
+                     NodeId{static_cast<std::uint16_t>(1000 + trial * 4)},
+                     Position{trial, 0.0}, phy::HardwareProfile{},
+                     PowerDbm{0.0}};
+    if (channel.snr_db(sender, probe) <= 2.9) {
+      d = trial;
+      break;
+    }
+  }
+  phy::Radio receiver{channel, receiver_id, Position{d, 0.0},
+                      phy::HardwareProfile{}, PowerDbm{0.0}};
+  std::printf("link distance %.2f m, analytic PRR %.3f\n\n", d,
+              channel.mean_prr(sender, receiver, 40));
+
+  mac::CsmaMac sender_mac{sim, sender, mac::CsmaConfig{}, rng.fork("smac")};
+  mac::CsmaMac receiver_mac{sim, receiver, mac::CsmaConfig{},
+                            rng.fork("rmac")};
+
+  const auto bin = sim::Duration::from_minutes(20.0);
+  stats::BinnedSeries prr_series{bin};
+  stats::BinnedSeries lqi_series{bin};
+  stats::BinnedSeries etx_series{bin};
+  std::uint64_t unacked_total = 0;
+  std::vector<std::uint64_t> unacked_by_bin;
+
+  // The 4B estimator rides along, fed only by the ack bit (plus one
+  // beacon to create the table entry).
+  core::FourBitEstimator estimator{core::FourBitConfig{}, rng.fork("est")};
+  {
+    link::PacketPhyInfo seed_info{.white = true, .lqi = 110};
+    const std::vector<std::uint8_t> beacon{0};
+    (void)estimator.unwrap_beacon(receiver_id, beacon, seed_info);
+  }
+
+  receiver_mac.set_rx_handler([&](NodeId, std::uint8_t,
+                                  std::span<const std::uint8_t>,
+                                  const phy::RxInfo& info) {
+    lqi_series.add(sim.now(), static_cast<double>(info.lqi));
+  });
+
+  const auto period = sim::Duration::from_seconds(2.0);
+  const std::vector<std::uint8_t> payload(30, 0xAB);
+  std::function<void()> send_one = [&] {
+    sender_mac.send(receiver_id, payload, [&](const mac::TxResult& r) {
+      prr_series.add(sim.now(), r.acked ? 1.0 : 0.0);
+      if (!r.acked) ++unacked_total;
+      estimator.on_unicast_result(receiver_id, r.acked);
+      if (const auto e = estimator.etx(receiver_id)) {
+        etx_series.add(sim.now(), *e);
+      }
+      const auto b =
+          static_cast<std::size_t>(sim.now().us() / bin.us());
+      if (b >= unacked_by_bin.size()) unacked_by_bin.resize(b + 1, 0);
+      unacked_by_bin[b] = unacked_total;
+    });
+    sim.schedule_in(period, send_one);
+  };
+  sim.schedule_in(period, send_one);
+
+  sim.run_for(sim::Duration::from_hours(hours));
+
+  std::printf("%8s %8s %8s %10s %12s\n", "hour", "PRR", "meanLQI",
+              "4B-ETX", "cum.unacked");
+  for (std::size_t b = 0; b < prr_series.bins(); ++b) {
+    std::printf("%8.2f %8.3f %8.1f %10.2f %12llu\n",
+                prr_series.bin_start_seconds(b) / 3600.0,
+                prr_series.mean(b), lqi_series.mean(b),
+                etx_series.mean(b, 1.0),
+                static_cast<unsigned long long>(
+                    b < unacked_by_bin.size() ? unacked_by_bin[b] : 0));
+  }
+
+  std::printf(
+      "\nshape check (paper Figure 3): PRR collapses during hours 4-6 while\n"
+      "mean LQI of received packets stays flat; cumulative unacked climbs\n"
+      "steeply in that window. The 4B ETX column shows the ack bit seeing\n"
+      "what LQI cannot.\n");
+  return 0;
+}

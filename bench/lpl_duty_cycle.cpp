@@ -1,0 +1,89 @@
+// Extension — collection over duty-cycled radios (low-power listening).
+//
+// The paper's testbeds ran always-on radios; real deployments duty-cycle
+// them with LPL, which changes the economics: idle listening shrinks
+// ~50x, but every logical transmission becomes a train of copies lasting
+// up to a wake interval. This bench sweeps the wake interval on a small
+// Mirage-like network under 4B and reports delivery, logical cost,
+// radio copies actually transmitted, and the projected lifetime.
+//
+//   usage: lpl_duty_cycle [minutes=20] [seeds=2]
+#include <cstdio>
+#include <cstdlib>
+
+#include "runner/experiment.hpp"
+#include "sim/rng.hpp"
+#include "topology/topology.hpp"
+
+using namespace fourbit;
+
+int main(int argc, char** argv) {
+  const double minutes = argc > 1 ? std::atof(argv[1]) : 20.0;
+  const int seeds = argc > 2 ? std::atoi(argv[2]) : 2;
+
+  std::printf(
+      "=== Extension: 4B collection over low-power listening ===\n"
+      "24-node Mirage-like subgrid, 1 pkt/20 s/node, %.0f min x %d seeds\n\n",
+      minutes, seeds);
+  std::printf("%-16s %10s %10s %12s %16s %18s\n", "wake interval", "cost",
+              "delivery", "radio tx", "worst node mAh", "@duty lifetime d");
+
+  for (const std::int64_t wake_ms : {0LL, 128LL, 512LL, 1024LL}) {
+    double cost = 0.0;
+    double delivery = 0.0;
+    double radio_tx = 0.0;
+    double worst = 0.0;
+    for (int s = 0; s < seeds; ++s) {
+      const std::uint64_t seed = 9000 + static_cast<std::uint64_t>(s) * 77;
+      sim::Rng rng{seed};
+      runner::ExperimentConfig cfg;
+      auto tb = topology::mirage(rng);
+      tb.topology.nodes.resize(24);  // keep LPL trains tractable
+      cfg.testbed = std::move(tb);
+      cfg.profile = runner::Profile::kFourBit;
+      cfg.duration = sim::Duration::from_minutes(minutes);
+      cfg.traffic.period = sim::Duration::from_seconds(20.0);
+      cfg.lpl_wake_interval = sim::Duration::from_ms(wake_ms);
+      cfg.seed = seed;
+      cfg.track_energy = true;
+      const auto r = runner::run_experiment(cfg);
+      cost += r.cost;
+      delivery += r.delivery_ratio;
+      radio_tx += static_cast<double>(r.radio_frames);
+      worst += r.worst_node_mah;
+    }
+    cost /= seeds;
+    delivery /= seeds;
+    radio_tx /= seeds;
+    worst /= seeds;
+
+    // Lifetime at the actual duty cycle: listening scaled by
+    // sample/interval (always-on when wake == 0).
+    const stats::EnergyConfig ecfg;
+    const double duty =
+        wake_ms == 0 ? 1.0
+                     : mac::LplConfig{}.sample_duration.seconds() /
+                           (static_cast<double>(wake_ms) / 1000.0);
+    const double run_days = minutes * 60.0 / 86400.0;
+    // worst includes full listening; separate terms:
+    const double listen_run = ecfg.rx_current_ma * minutes / 60.0;
+    const double tx_run = std::max(worst - listen_run, 0.0);
+    const double per_day = (tx_run + listen_run * duty) / run_days;
+    const double lifetime = ecfg.battery_mah / std::max(per_day, 1e-9);
+
+    char label[32];
+    if (wake_ms == 0) {
+      std::snprintf(label, sizeof label, "always on");
+    } else {
+      std::snprintf(label, sizeof label, "%lld ms", (long long)wake_ms);
+    }
+    std::printf("%-16s %10.2f %9.1f%% %12.0f %16.3f %18.1f\n", label, cost,
+                delivery * 100.0, radio_tx, worst, lifetime);
+  }
+
+  std::printf(
+      "\nshape check: delivery stays high at every duty cycle; logical\n"
+      "cost is stable; projected lifetime rises steeply as the wake\n"
+      "interval grows, until transmission trains start to dominate.\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Hot-path microbenchmarks (google-benchmark).
+//
+// These are the operations a real deployment would run per packet or per
+// event: estimator updates, beacon wrap/unwrap, event-queue operations,
+// PRR model lookups, and a full small-network simulation step rate.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/four_bit_estimator.hpp"
+#include "mac/frame.hpp"
+#include "net/packets.hpp"
+#include "phy/modulation.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+using namespace fourbit;
+
+namespace {
+
+void BM_RngNextU64(benchmark::State& state) {
+  sim::Rng rng{1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_u64());
+  }
+}
+BENCHMARK(BM_RngNextU64);
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  sim::EventQueue q;
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    q.schedule(sim::Time::from_us(t += 7), [] {});
+    if (q.size() > 1024) {
+      while (!q.empty()) q.pop();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueScheduleAndPop);
+
+void BM_FourBitAckUpdate(benchmark::State& state) {
+  core::FourBitEstimator est{core::FourBitConfig{}, sim::Rng{1}};
+  link::PacketPhyInfo info{.white = true, .lqi = 110};
+  const std::vector<std::uint8_t> beacon{0};
+  (void)est.unwrap_beacon(NodeId{1}, beacon, info);
+  bool acked = true;
+  for (auto _ : state) {
+    est.on_unicast_result(NodeId{1}, acked);
+    acked = !acked;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FourBitAckUpdate);
+
+void BM_FourBitBeaconUnwrap(benchmark::State& state) {
+  core::FourBitEstimator est{core::FourBitConfig{}, sim::Rng{1}};
+  link::PacketPhyInfo info{.white = true, .lqi = 110};
+  std::uint8_t seq = 0;
+  for (auto _ : state) {
+    const std::vector<std::uint8_t> beacon{seq++, 1, 2, 3, 4};
+    benchmark::DoNotOptimize(est.unwrap_beacon(NodeId{1}, beacon, info));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FourBitBeaconUnwrap);
+
+void BM_MacFrameRoundTrip(benchmark::State& state) {
+  mac::MacFrame f;
+  f.type = mac::FrameType::kData;
+  f.dsn = 42;
+  f.src = NodeId{7};
+  f.dst = NodeId{9};
+  f.payload.assign(30, 0xAB);
+  for (auto _ : state) {
+    const auto bytes = f.encode();
+    benchmark::DoNotOptimize(mac::MacFrame::decode(bytes));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MacFrameRoundTrip);
+
+void BM_DataHeaderRoundTrip(benchmark::State& state) {
+  net::DataHeader h;
+  h.origin = NodeId{3};
+  h.seq = 1234;
+  h.thl = 2;
+  h.sender_path_etx = 3.7;
+  const std::vector<std::uint8_t> payload(20, 0xCD);
+  for (auto _ : state) {
+    const auto bytes = h.encode(payload);
+    benchmark::DoNotOptimize(net::decode_data(bytes));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DataHeaderRoundTrip);
+
+void BM_OqpskPrrLookup(benchmark::State& state) {
+  phy::OqpskModulation mod;
+  double snr = -10.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mod.packet_reception_ratio(snr, 40));
+    snr += 0.01;
+    if (snr > 10.0) snr = -10.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OqpskPrrLookup);
+
+void BM_SimulatorTimerChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int fired = 0;
+    for (int i = 0; i < 100; ++i) {
+      sim.schedule_in(sim::Duration::from_us(i * 13 + 1),
+                      [&fired] { ++fired; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_SimulatorTimerChurn);
+
+}  // namespace
+
+BENCHMARK_MAIN();

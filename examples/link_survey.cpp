@@ -1,0 +1,109 @@
+// link_survey: characterize a testbed's radio environment the way the
+// measurement studies the paper builds on did (Zhao & Govindan; Zuniga &
+// Krishnamachari): per-distance PRR scatter, the size of the gray zone,
+// and link asymmetry.
+//
+//   $ ./link_survey [mirage|tutornet]
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "phy/channel.hpp"
+#include "phy/interference.hpp"
+#include "sim/simulator.hpp"
+#include "topology/topology.hpp"
+
+using namespace fourbit;
+
+int main(int argc, char** argv) {
+  const bool tutor = argc > 1 && std::strcmp(argv[1], "tutornet") == 0;
+  sim::Rng rng{12};
+  const topology::Testbed tb =
+      tutor ? topology::tutornet(rng) : topology::mirage(rng);
+
+  sim::Simulator sim;
+  phy::Channel channel{sim, tb.environment.phy, tb.environment.propagation,
+                       std::make_unique<phy::NullInterference>(),
+                       rng.fork("channel")};
+
+  std::vector<std::unique_ptr<phy::Radio>> radios;
+  sim::Rng hw = rng.fork("hardware");
+  for (const auto& n : tb.topology.nodes) {
+    radios.push_back(std::make_unique<phy::Radio>(
+        channel, n.id, n.position,
+        phy::HardwareProfile::sample(tb.environment.hardware, hw),
+        PowerDbm{0.0}));
+  }
+
+  // Survey every ordered pair: distance, PRR, and the PRR of the reverse
+  // direction.
+  struct Link {
+    double distance;
+    double prr_fwd;
+    double prr_rev;
+  };
+  std::vector<Link> links;
+  for (std::size_t i = 0; i < radios.size(); ++i) {
+    for (std::size_t j = i + 1; j < radios.size(); ++j) {
+      Link l;
+      l.distance = distance_m(radios[i]->position(), radios[j]->position());
+      l.prr_fwd = channel.mean_prr(*radios[i], *radios[j], 40);
+      l.prr_rev = channel.mean_prr(*radios[j], *radios[i], 40);
+      links.push_back(l);
+    }
+  }
+
+  std::printf("=== link survey: %s (%zu nodes, %zu pairs, 0 dBm) ===\n\n",
+              tutor ? "Tutornet-like" : "Mirage-like", radios.size(),
+              links.size());
+
+  // PRR vs distance, binned.
+  std::printf("%-12s %8s %8s %8s %8s %10s\n", "distance", "links", "good",
+              "gray", "dead", "mean PRR");
+  for (double lo = 0.0; lo < 80.0; lo += 10.0) {
+    int total = 0;
+    int good = 0;
+    int gray = 0;
+    int dead = 0;
+    double sum = 0.0;
+    for (const auto& l : links) {
+      if (l.distance < lo || l.distance >= lo + 10.0) continue;
+      ++total;
+      const double p = std::max(l.prr_fwd, l.prr_rev);
+      sum += p;
+      if (p > 0.9) {
+        ++good;
+      } else if (p > 0.1) {
+        ++gray;
+      } else {
+        ++dead;
+      }
+    }
+    if (total == 0) continue;
+    std::printf("%3.0f-%3.0f m   %8d %8d %8d %8d %9.2f\n", lo, lo + 10.0,
+                total, good, gray, dead, sum / total);
+  }
+
+  // Asymmetry: |PRR_fwd - PRR_rev| over links that work at all.
+  int usable = 0;
+  int asym_mild = 0;
+  int asym_severe = 0;
+  for (const auto& l : links) {
+    if (std::max(l.prr_fwd, l.prr_rev) < 0.5) continue;
+    ++usable;
+    const double delta = std::abs(l.prr_fwd - l.prr_rev);
+    if (delta > 0.2) ++asym_mild;
+    if (delta > 0.5) ++asym_severe;
+  }
+  std::printf(
+      "\nasymmetry over %d usable links: %d (%.0f%%) differ by >0.2 PRR, "
+      "%d (%.0f%%) by >0.5\n",
+      usable, asym_mild, 100.0 * asym_mild / std::max(usable, 1),
+      asym_severe, 100.0 * asym_severe / std::max(usable, 1));
+  std::printf(
+      "\n(the gray zone and one-way links above are the regimes where the\n"
+      "paper's four bits pay off: PHY-only estimation cannot see them)\n");
+  return 0;
+}

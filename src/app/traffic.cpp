@@ -1,0 +1,38 @@
+#include "app/traffic.hpp"
+
+namespace fourbit::app {
+
+TrafficGenerator::TrafficGenerator(sim::Simulator& sim,
+                                   net::CollectionNode& node,
+                                   TrafficConfig config, sim::Rng rng)
+    : sim_(sim),
+      node_(node),
+      config_(config),
+      rng_(rng),
+      timer_(sim, [this] { on_timer(); }) {
+  // Deterministic filler payload: the node id repeated.
+  payload_.assign(config_.payload_bytes,
+                  static_cast<std::uint8_t>(node.id().value() & 0xFF));
+}
+
+sim::Duration TrafficGenerator::next_interval() {
+  const double lo = 1.0 - config_.jitter;
+  const double hi = 1.0 + config_.jitter;
+  return config_.period * rng_.uniform(lo, hi);
+}
+
+void TrafficGenerator::start(sim::Time boot_at) {
+  sim_.schedule_at(boot_at, [this] {
+    node_.boot();
+    booted_ = true;
+    timer_.start_one_shot(next_interval());
+  });
+}
+
+void TrafficGenerator::on_timer() {
+  node_.send(payload_);
+  ++packets_sent_;
+  timer_.start_one_shot(next_interval());
+}
+
+}  // namespace fourbit::app

@@ -1,0 +1,26 @@
+// Always-on invariant checks for simulation correctness.
+//
+// Simulation bugs silently corrupt results, so these stay enabled in
+// Release builds; each check is O(1) and off the per-bit hot path.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fourbit::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "fourbit assertion failed: %s\n  at %s:%d\n  %s\n",
+               expr, file, line, msg);
+  std::abort();
+}
+
+}  // namespace fourbit::detail
+
+#define FOURBIT_ASSERT(expr, msg)                                       \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::fourbit::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                   \
+  } while (false)

@@ -1,0 +1,94 @@
+// Bounded big-endian byte readers/writers for on-air frame formats.
+//
+// Frames are serialized to real bytes (not passed as C++ objects) so that
+// header sizes participate in airtime, and so encode/decode round-trips
+// are testable exactly as they would be on hardware.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace fourbit {
+
+/// Appends big-endian fields to a byte vector.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+
+  void u16(std::uint16_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+    out_.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  }
+
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v & 0xFFFF));
+  }
+
+  void bytes(std::span<const std::uint8_t> data) {
+    out_.insert(out_.end(), data.begin(), data.end());
+  }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+/// Reads big-endian fields from a byte span; `ok()` reports truncation.
+///
+/// A truncated read never throws (a radio can hand the stack garbage);
+/// it returns zeros and latches `ok() == false` so callers drop the frame.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+  [[nodiscard]] std::uint8_t u8() {
+    if (!check(1)) return 0;
+    return data_[pos_++];
+  }
+
+  [[nodiscard]] std::uint16_t u16() {
+    if (!check(2)) return 0;
+    const auto hi = static_cast<std::uint16_t>(data_[pos_]);
+    const auto lo = static_cast<std::uint16_t>(data_[pos_ + 1]);
+    pos_ += 2;
+    return static_cast<std::uint16_t>(hi << 8 | lo);
+  }
+
+  [[nodiscard]] std::uint32_t u32() {
+    const std::uint32_t hi = u16();
+    const std::uint32_t lo = u16();
+    return hi << 16 | lo;
+  }
+
+  [[nodiscard]] std::span<const std::uint8_t> rest() {
+    auto r = data_.subspan(pos_);
+    pos_ = data_.size();
+    return r;
+  }
+
+ private:
+  [[nodiscard]] bool check(std::size_t n) {
+    // Fully latching: once a read has run past the end, every subsequent
+    // read returns zero too — a half-parsed frame must never look valid.
+    if (!ok_ || pos_ + n > data_.size()) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace fourbit

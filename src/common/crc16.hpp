@@ -1,0 +1,27 @@
+// CRC-16/CCITT (the 802.15.4 frame check sequence).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace fourbit {
+
+/// CRC-16 with polynomial 0x1021, init 0x0000 (CRC-16/XMODEM — the
+/// 802.15.4 FCS definition).
+[[nodiscard]] constexpr std::uint16_t crc16(
+    std::span<const std::uint8_t> data) {
+  std::uint16_t crc = 0x0000;
+  for (const std::uint8_t byte : data) {
+    crc ^= static_cast<std::uint16_t>(byte) << 8;
+    for (int bit = 0; bit < 8; ++bit) {
+      if (crc & 0x8000) {
+        crc = static_cast<std::uint16_t>((crc << 1) ^ 0x1021);
+      } else {
+        crc = static_cast<std::uint16_t>(crc << 1);
+      }
+    }
+  }
+  return crc;
+}
+
+}  // namespace fourbit

@@ -1,0 +1,48 @@
+// Node identifiers and related constants shared by every layer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace fourbit {
+
+/// Link-layer / network-layer node address.
+///
+/// A plain strong typedef: comparisons and hashing work, arithmetic does
+/// not, so a NodeId cannot be silently mixed with counters or indices.
+class NodeId {
+ public:
+  using value_type = std::uint16_t;
+
+  constexpr NodeId() = default;
+  constexpr explicit NodeId(value_type v) : value_(v) {}
+
+  [[nodiscard]] constexpr value_type value() const { return value_; }
+
+  friend constexpr bool operator==(NodeId a, NodeId b) = default;
+  friend constexpr auto operator<=>(NodeId a, NodeId b) = default;
+
+ private:
+  value_type value_ = 0;
+};
+
+/// Address that addresses every node in radio range (802.15.4 0xFFFF).
+inline constexpr NodeId kBroadcastId{0xFFFF};
+
+/// Reserved "no node" sentinel used by routing tables before a parent is
+/// known. Distinct from the broadcast address.
+inline constexpr NodeId kInvalidNodeId{0xFFFE};
+
+[[nodiscard]] constexpr bool is_unicast(NodeId id) {
+  return id != kBroadcastId && id != kInvalidNodeId;
+}
+
+}  // namespace fourbit
+
+template <>
+struct std::hash<fourbit::NodeId> {
+  [[nodiscard]] std::size_t operator()(fourbit::NodeId id) const noexcept {
+    return std::hash<fourbit::NodeId::value_type>{}(id.value());
+  }
+};

@@ -1,0 +1,91 @@
+// Fixed-capacity counting window used by the link-estimator math.
+#pragma once
+
+#include <cstddef>
+
+#include "common/assert.hpp"
+
+namespace fourbit {
+
+/// Counts successes/failures until `window` events have accumulated, then
+/// reports a sample and resets. This is the "every k packets" windowing of
+/// Woo et al. that both the beacon and data estimators use.
+class CountingWindow {
+ public:
+  explicit CountingWindow(std::size_t window) : window_(window) {
+    FOURBIT_ASSERT(window > 0, "window size must be positive");
+  }
+
+  /// Records one event. Returns true when the window just filled; the
+  /// caller then reads success_fraction()/successes() and calls reset().
+  bool record(bool success) {
+    if (success) {
+      ++successes_;
+    }
+    ++total_;
+    return total_ >= window_;
+  }
+
+  [[nodiscard]] std::size_t successes() const { return successes_; }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] std::size_t window() const { return window_; }
+
+  [[nodiscard]] double success_fraction() const {
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(successes_) /
+                             static_cast<double>(total_);
+  }
+
+  void reset() {
+    successes_ = 0;
+    total_ = 0;
+  }
+
+ private:
+  std::size_t window_;
+  std::size_t successes_ = 0;
+  std::size_t total_ = 0;
+};
+
+/// Exponentially weighted moving average with explicit "unset" start: the
+/// first sample initializes the average instead of being blended with a
+/// meaningless default.
+class Ewma {
+ public:
+  /// `history_weight` is the weight of the previous average in [0,1).
+  explicit Ewma(double history_weight) : history_weight_(history_weight) {
+    FOURBIT_ASSERT(history_weight >= 0.0 && history_weight < 1.0,
+                   "EWMA history weight must be in [0,1)");
+  }
+
+  void update(double sample) {
+    if (!has_value_) {
+      value_ = sample;
+      has_value_ = true;
+      return;
+    }
+    value_ = history_weight_ * value_ + (1.0 - history_weight_) * sample;
+  }
+
+  [[nodiscard]] bool has_value() const { return has_value_; }
+  [[nodiscard]] double value() const { return value_; }
+  [[nodiscard]] double history_weight() const { return history_weight_; }
+
+  /// Force-sets the average (used to seed a link from its first beacon).
+  void seed(double value) {
+    value_ = value;
+    has_value_ = true;
+  }
+
+  void clear() {
+    value_ = 0.0;
+    has_value_ = false;
+  }
+
+ private:
+  double history_weight_;
+  double value_ = 0.0;
+  bool has_value_ = false;
+};
+
+}  // namespace fourbit

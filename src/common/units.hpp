@@ -1,0 +1,87 @@
+// Physical-layer units: decibel arithmetic and positions.
+//
+// Powers are carried as dBm (strongly typed) because every model in the
+// PHY operates in log space; conversions to/from milliwatts happen only
+// where powers of concurrent transmitters must be summed.
+#pragma once
+
+#include <cmath>
+#include <compare>
+
+namespace fourbit {
+
+/// Power in dBm. Additive with Decibels (gains/losses), not with itself.
+class PowerDbm {
+ public:
+  constexpr PowerDbm() = default;
+  constexpr explicit PowerDbm(double v) : value_(v) {}
+
+  [[nodiscard]] constexpr double value() const { return value_; }
+
+  [[nodiscard]] double milliwatts() const {
+    return std::pow(10.0, value_ / 10.0);
+  }
+
+  [[nodiscard]] static PowerDbm from_milliwatts(double mw) {
+    return PowerDbm{10.0 * std::log10(mw)};
+  }
+
+  friend constexpr auto operator<=>(PowerDbm, PowerDbm) = default;
+
+ private:
+  double value_ = -120.0;
+};
+
+/// A gain or loss in dB (dimensionless ratio in log space).
+class Decibels {
+ public:
+  constexpr Decibels() = default;
+  constexpr explicit Decibels(double v) : value_(v) {}
+
+  [[nodiscard]] constexpr double value() const { return value_; }
+
+  friend constexpr auto operator<=>(Decibels, Decibels) = default;
+
+  friend constexpr Decibels operator+(Decibels a, Decibels b) {
+    return Decibels{a.value_ + b.value_};
+  }
+  friend constexpr Decibels operator-(Decibels a, Decibels b) {
+    return Decibels{a.value_ - b.value_};
+  }
+  friend constexpr Decibels operator-(Decibels a) { return Decibels{-a.value_}; }
+
+ private:
+  double value_ = 0.0;
+};
+
+constexpr PowerDbm operator+(PowerDbm p, Decibels g) {
+  return PowerDbm{p.value() + g.value()};
+}
+constexpr PowerDbm operator-(PowerDbm p, Decibels g) {
+  return PowerDbm{p.value() - g.value()};
+}
+/// Difference of two powers is a ratio (e.g. an SNR).
+constexpr Decibels operator-(PowerDbm a, PowerDbm b) {
+  return Decibels{a.value() - b.value()};
+}
+
+/// Sum of two incoherent signals (adds in linear space).
+inline PowerDbm power_sum(PowerDbm a, PowerDbm b) {
+  return PowerDbm::from_milliwatts(a.milliwatts() + b.milliwatts());
+}
+
+/// 2-D position in meters. Testbeds are flat; altitude adds nothing here.
+struct Position {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr bool operator==(const Position&, const Position&) = default;
+};
+
+[[nodiscard]] inline double distance_m(const Position& a, const Position& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace fourbit

@@ -1,0 +1,54 @@
+// Tunables of the 4B hybrid estimator.
+#pragma once
+
+#include <cstddef>
+
+namespace fourbit::core {
+
+/// How a full table admits an unknown beacon sender.
+enum class InsertionPolicy {
+  /// The paper's rule: only if the packet's white bit is set AND the
+  /// network layer's compare bit says the sender's route beats a current
+  /// entry; then a random unpinned entry is flushed.
+  kWhiteCompare,
+
+  /// Woo et al.'s baseline rule (used by the "ack bit only" variant of
+  /// Figure 6): admit with fixed probability, flushing a random unpinned
+  /// entry; no cross-layer input.
+  kProbabilistic,
+
+  /// Never replace; only free slots are filled.
+  kNever,
+};
+
+struct FourBitConfig {
+  /// Candidate-link table size. 0 = unbounded.
+  std::size_t table_capacity = 10;
+
+  /// Unicast window ku: one ETX sample per ku data transmissions.
+  std::size_t unicast_window = 5;
+
+  /// Beacon window kb: one PRR sample per kb expected beacons.
+  std::size_t beacon_window = 2;
+
+  /// History weight of the windowed EWMA over beacon reception
+  /// probabilities. 2/3 reproduces the 1.0 -> 0.83 step of the paper's
+  /// Figure 5 worked example.
+  double beacon_prr_history = 2.0 / 3.0;
+
+  /// History weight of the outer EWMA that merges the unicast and beacon
+  /// ETX streams. 0.5 reproduces Figure 5's 3.1 / 2.1 / 1.7 / 3.9 values.
+  double etx_history = 0.5;
+
+  /// Ceiling on any single ETX sample (a dead link must not poison the
+  /// average beyond recovery).
+  double max_etx_sample = 16.0;
+
+  /// Table-admission rule for beacons from unknown senders.
+  InsertionPolicy insertion = InsertionPolicy::kWhiteCompare;
+
+  /// Admission probability when insertion == kProbabilistic.
+  double probabilistic_insert_p = 0.25;
+};
+
+}  // namespace fourbit::core

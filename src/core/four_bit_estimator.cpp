@@ -1,0 +1,180 @@
+#include "core/four_bit_estimator.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/byte_io.hpp"
+
+namespace fourbit::core {
+
+FourBitEstimator::FourBitEstimator(FourBitConfig config, sim::Rng rng)
+    : config_(config), rng_(rng), table_(config.table_capacity) {}
+
+std::vector<std::uint8_t> FourBitEstimator::wrap_beacon(
+    std::span<const std::uint8_t> routing_payload) {
+  // Layer 2.5 header is a single sequence number; receivers measure the
+  // beacon reception rate from the gaps. No per-neighbor footer — that is
+  // the point: in-degree stays decoupled from table size.
+  std::vector<std::uint8_t> out;
+  out.reserve(1 + routing_payload.size());
+  ByteWriter w{out};
+  w.u8(beacon_seq_++);
+  w.bytes(routing_payload);
+  return out;
+}
+
+std::optional<std::vector<std::uint8_t>> FourBitEstimator::unwrap_beacon(
+    NodeId from, std::span<const std::uint8_t> bytes,
+    const link::PacketPhyInfo& phy) {
+  ByteReader r{bytes};
+  const std::uint8_t seq = r.u8();
+  if (!r.ok()) return std::nullopt;
+  const auto payload_span = r.rest();
+  std::vector<std::uint8_t> payload{payload_span.begin(), payload_span.end()};
+
+  if (Table::Entry* entry = table_.find(from)) {
+    note_beacon(*entry, seq);
+    return payload;
+  }
+
+  if (try_admit(from, phy, payload)) {
+    Table::Entry* entry = table_.insert(from, LinkState{config_});
+    FOURBIT_ASSERT(entry != nullptr, "admission promised a free slot");
+    // Seed the beacon window with this first beacon, and bootstrap the
+    // link estimate optimistically from it: the paper's estimator uses
+    // "incoming beacon estimates as bootstrapping values for the link
+    // qualities, which are refined by the data-based estimates later".
+    // Without a bootstrap, a freshly admitted link is unusable for
+    // routing until two beacon windows complete — and under table churn
+    // entries would be replaced before ever maturing.
+    entry->data.has_seq = true;
+    entry->data.last_seq = seq;
+    entry->data.window_received = 1;
+    entry->data.window_expected = 1;
+    entry->data.beacon_prr.seed(1.0);
+    entry->data.etx.seed(1.0);
+  }
+  return payload;
+}
+
+bool FourBitEstimator::try_admit(NodeId from, const link::PacketPhyInfo& phy,
+                                 std::span<const std::uint8_t> payload) {
+  if (!table_.full()) return true;
+
+  switch (config_.insertion) {
+    case InsertionPolicy::kWhiteCompare:
+      // The paper's rule, which SUPPLEMENTS the standard (Woo et al.)
+      // replacement policy: a white-bit packet whose sender's route wins
+      // the compare-bit query flushes a random unpinned entry right away;
+      // other senders still get the baseline probabilistic chance.
+      if (phy.white && compare_ != nullptr &&
+          compare_->compare_bit(from, payload)) {
+        return table_.evict_random_unpinned(rng_);
+      }
+      if (!rng_.bernoulli(config_.probabilistic_insert_p)) return false;
+      return table_.evict_random_unpinned(rng_);
+
+    case InsertionPolicy::kProbabilistic:
+      if (!rng_.bernoulli(config_.probabilistic_insert_p)) return false;
+      return table_.evict_random_unpinned(rng_);
+
+    case InsertionPolicy::kNever:
+      return false;
+  }
+  return false;
+}
+
+void FourBitEstimator::note_beacon(Table::Entry& entry, std::uint8_t seq) {
+  LinkState& st = entry.data;
+  if (!st.has_seq) {
+    st.has_seq = true;
+    st.last_seq = seq;
+    st.window_received = 1;
+    st.window_expected = 1;
+  } else {
+    // Gap since the last beacon (mod-256 arithmetic handles wrap).
+    const std::uint8_t gap = static_cast<std::uint8_t>(seq - st.last_seq);
+    // gap == 0 would mean a duplicate sequence number; count it as one.
+    st.window_expected += std::max<std::uint32_t>(gap, 1);
+    st.window_received += 1;
+    st.last_seq = seq;
+  }
+
+  if (st.window_expected >= config_.beacon_window) {
+    const double prr =
+        std::min(1.0, static_cast<double>(st.window_received) /
+                          static_cast<double>(st.window_expected));
+    st.beacon_prr.update(prr);
+    st.window_received = 0;
+    st.window_expected = 0;
+
+    const double quality = st.beacon_prr.value();
+    const double etx_sample =
+        quality <= 0.0 ? config_.max_etx_sample : 1.0 / quality;
+    feed_etx_sample(st, etx_sample);
+  }
+}
+
+void FourBitEstimator::feed_etx_sample(LinkState& st, double sample) {
+  st.etx.update(std::clamp(sample, 1.0, config_.max_etx_sample));
+}
+
+void FourBitEstimator::on_unicast_result(NodeId to, bool acked) {
+  Table::Entry* entry = table_.find(to);
+  if (entry == nullptr) return;
+  LinkState& st = entry->data;
+
+  ++st.window_tx;
+  if (acked) {
+    st.window_acked += 1;
+    st.failures_since_success = 0;
+  } else {
+    st.failures_since_success += 1;
+  }
+
+  if (st.window_tx >= config_.unicast_window) {
+    double sample;
+    if (st.window_acked > 0) {
+      sample = static_cast<double>(st.window_tx) /
+               static_cast<double>(st.window_acked);
+    } else {
+      // No ack in the whole window: the estimate is the length of the
+      // running failure streak (which may span windows).
+      sample = static_cast<double>(st.failures_since_success);
+    }
+    feed_etx_sample(st, sample);
+    st.window_tx = 0;
+    st.window_acked = 0;
+  }
+}
+
+bool FourBitEstimator::pin(NodeId n) { return table_.pin(n); }
+
+void FourBitEstimator::unpin(NodeId n) { table_.unpin(n); }
+
+void FourBitEstimator::clear_pins() { table_.clear_pins(); }
+
+std::optional<double> FourBitEstimator::etx(NodeId n) const {
+  const Table::Entry* entry = table_.find(n);
+  if (entry == nullptr || !entry->data.etx.has_value()) return std::nullopt;
+  return entry->data.etx.value();
+}
+
+std::optional<double> FourBitEstimator::beacon_quality(NodeId n) const {
+  const Table::Entry* entry = table_.find(n);
+  if (entry == nullptr || !entry->data.beacon_prr.has_value()) {
+    return std::nullopt;
+  }
+  return entry->data.beacon_prr.value();
+}
+
+std::vector<NodeId> FourBitEstimator::neighbors() const {
+  std::vector<NodeId> out;
+  out.reserve(table_.size());
+  for (const auto& e : table_.entries()) out.push_back(e.node);
+  return out;
+}
+
+void FourBitEstimator::remove(NodeId n) { table_.remove(n); }
+
+}  // namespace fourbit::core

@@ -1,0 +1,91 @@
+#include "estimators/lqi_estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/byte_io.hpp"
+
+namespace fourbit::estimators {
+
+LqiEstimator::LqiEstimator(LqiEstimatorConfig config, sim::Rng rng)
+    : config_(config), rng_(rng), table_(config.table_capacity) {}
+
+std::vector<std::uint8_t> LqiEstimator::wrap_beacon(
+    std::span<const std::uint8_t> routing_payload) {
+  std::vector<std::uint8_t> out;
+  out.reserve(1 + routing_payload.size());
+  ByteWriter w{out};
+  w.u8(beacon_seq_++);
+  w.bytes(routing_payload);
+  return out;
+}
+
+std::optional<std::vector<std::uint8_t>> LqiEstimator::unwrap_beacon(
+    NodeId from, std::span<const std::uint8_t> bytes,
+    const link::PacketPhyInfo& phy) {
+  ByteReader r{bytes};
+  (void)r.u8();  // sequence number: LQI estimation does not need gaps
+  if (!r.ok()) return std::nullopt;
+  const auto payload_span = r.rest();
+  std::vector<std::uint8_t> payload{payload_span.begin(), payload_span.end()};
+  note_lqi(from, phy.lqi);
+  return payload;
+}
+
+void LqiEstimator::on_data_rx(NodeId from, const link::PacketPhyInfo& phy) {
+  note_lqi(from, phy.lqi);
+}
+
+void LqiEstimator::note_lqi(NodeId from, int lqi) {
+  Table::Entry* entry = table_.find(from);
+  if (entry == nullptr) {
+    if (table_.full()) {
+      // PHY information is free, so eviction favors keeping the
+      // best-looking links: drop the worst smoothed LQI.
+      const bool evicted = table_.evict_worst_unpinned(
+          [](const Table::Entry& worst, const Table::Entry& e) {
+            const double a =
+                worst.data.lqi.has_value() ? worst.data.lqi.value() : 1e9;
+            const double b = e.data.lqi.has_value() ? e.data.lqi.value() : 1e9;
+            return b < a;  // e is worse than current worst
+          });
+      if (!evicted) return;
+    }
+    entry = table_.insert(from, LinkState{config_});
+    if (entry == nullptr) return;
+  }
+  entry->data.lqi.update(static_cast<double>(lqi));
+}
+
+double LqiEstimator::lqi_to_etx(double lqi) const {
+  const double raw =
+      std::pow(10.0, (config_.reference_lqi - lqi) / config_.slope);
+  return std::clamp(raw, 1.0, config_.max_etx);
+}
+
+std::optional<double> LqiEstimator::etx(NodeId n) const {
+  const Table::Entry* e = table_.find(n);
+  if (e == nullptr || !e->data.lqi.has_value()) return std::nullopt;
+  return lqi_to_etx(e->data.lqi.value());
+}
+
+std::optional<double> LqiEstimator::smoothed_lqi(NodeId n) const {
+  const Table::Entry* e = table_.find(n);
+  if (e == nullptr || !e->data.lqi.has_value()) return std::nullopt;
+  return e->data.lqi.value();
+}
+
+bool LqiEstimator::pin(NodeId n) { return table_.pin(n); }
+void LqiEstimator::unpin(NodeId n) { table_.unpin(n); }
+void LqiEstimator::clear_pins() { table_.clear_pins(); }
+
+std::vector<NodeId> LqiEstimator::neighbors() const {
+  std::vector<NodeId> out;
+  out.reserve(table_.size());
+  for (const auto& e : table_.entries()) out.push_back(e.node);
+  return out;
+}
+
+void LqiEstimator::remove(NodeId n) { table_.remove(n); }
+
+}  // namespace fourbit::estimators

@@ -1,0 +1,98 @@
+// The narrow link-estimator interface — the paper's contribution.
+//
+// A link estimator sits between layer 2 and layer 3 ("layer 2.5"):
+//   * it wraps the network layer's broadcast beacons with its own
+//     header/footer (sequence numbers, optionally per-neighbor state),
+//   * it consumes four bits of cross-layer information:
+//       white   (PHY, per received packet)   -> unwrap_beacon/on_data_rx
+//       ack     (link, per unicast tx)       -> on_unicast_result
+//       pin     (network, per table entry)   -> pin/unpin
+//       compare (network, per packet, on request) -> CompareProvider
+//   * it exports bidirectional ETX estimates for the links it tracks.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "link/packet_info.hpp"
+
+namespace fourbit::link {
+
+/// Network-layer half of the compare bit. The estimator asks; the network
+/// layer answers from its routing state.
+class CompareProvider {
+ public:
+  virtual ~CompareProvider() = default;
+
+  /// Does the route offered by `candidate` (as described by the routing
+  /// payload of its beacon) look better than the route through at least
+  /// one node currently in the estimator's table? Implementations may
+  /// decline to answer for packets they cannot judge (return false).
+  [[nodiscard]] virtual bool compare_bit(
+      NodeId candidate, std::span<const std::uint8_t> routing_payload) = 0;
+};
+
+/// Abstract link estimator. Routing engines program against this type
+/// only; the concrete estimator (4B, LQI, broadcast-ETX, ...) is chosen
+/// by the experiment.
+class LinkEstimator {
+ public:
+  virtual ~LinkEstimator() = default;
+
+  // ---- layer 2.5 beacon wrapping ------------------------------------
+
+  /// Wraps the network layer's beacon payload with this estimator's
+  /// header/footer. The result is what goes into the MAC broadcast.
+  [[nodiscard]] virtual std::vector<std::uint8_t> wrap_beacon(
+      std::span<const std::uint8_t> routing_payload) = 0;
+
+  /// Processes a received beacon (updating link state, possibly inserting
+  /// the sender into the table via the white/compare-bit policy) and
+  /// returns the embedded routing payload. nullopt = malformed.
+  [[nodiscard]] virtual std::optional<std::vector<std::uint8_t>>
+  unwrap_beacon(NodeId from, std::span<const std::uint8_t> bytes,
+                const PacketPhyInfo& phy) = 0;
+
+  // ---- the ack bit ----------------------------------------------------
+
+  /// Reports the layer-2 outcome of one unicast data transmission.
+  virtual void on_unicast_result(NodeId to, bool acked) = 0;
+
+  // ---- optional data-plane input --------------------------------------
+
+  /// A data packet was received from `from` (used by PHY-driven
+  /// estimators; the default estimator ignores it).
+  virtual void on_data_rx(NodeId from, const PacketPhyInfo& phy) {
+    (void)from;
+    (void)phy;
+  }
+
+  // ---- the pin bit -----------------------------------------------------
+
+  /// Pins `n`'s entry: the estimator may not evict it until unpinned.
+  /// Returns false if `n` is not in the table.
+  virtual bool pin(NodeId n) = 0;
+  virtual void unpin(NodeId n) = 0;
+  virtual void clear_pins() = 0;
+
+  // ---- outputs ----------------------------------------------------------
+
+  /// Current bidirectional ETX estimate for `n` (>= 1), or nullopt if the
+  /// link is not in the table / has no estimate yet.
+  [[nodiscard]] virtual std::optional<double> etx(NodeId n) const = 0;
+
+  /// Nodes currently tracked.
+  [[nodiscard]] virtual std::vector<NodeId> neighbors() const = 0;
+
+  /// Network layer gave up on this link; drop it (no-op if absent or
+  /// pinned).
+  virtual void remove(NodeId n) = 0;
+
+  /// Wires in the network layer's compare-bit provider (may be null).
+  virtual void set_compare_provider(CompareProvider* provider) = 0;
+};
+
+}  // namespace fourbit::link

@@ -1,0 +1,22 @@
+// Physical-layer information as seen across the estimator interface.
+#pragma once
+
+namespace fourbit::link {
+
+/// What the PHY tells the layers above about a received packet.
+///
+/// The paper's interface is exactly one bit: `white`. The raw LQI value is
+/// carried alongside ONLY so the cross-layer baselines (MultiHopLQI) can
+/// be expressed in the same framework — the four-bit estimator never reads
+/// it, and the build keeps `core/` independent of `phy/` to prove it.
+struct PacketPhyInfo {
+  /// The white bit: every symbol of this packet had a very low probability
+  /// of decoding error. If clear, channel quality is unknown (not
+  /// necessarily bad).
+  bool white = false;
+
+  /// Raw link-quality indicator (CC2420-style, ~40..110). Baselines only.
+  int lqi = 0;
+};
+
+}  // namespace fourbit::link

@@ -1,0 +1,182 @@
+#include "mac/csma.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace fourbit::mac {
+
+CsmaMac::CsmaMac(sim::Simulator& sim, phy::Radio& radio, CsmaConfig config,
+                 sim::Rng rng)
+    : sim_(sim),
+      radio_(radio),
+      config_(config),
+      rng_(rng),
+      backoff_timer_(sim, [this] { on_backoff_expired(); }),
+      ack_timer_(sim, [this] { on_ack_timeout(); }) {
+  radio_.set_rx_handler(
+      [this](std::span<const std::uint8_t> bytes, const phy::RxInfo& info) {
+        on_radio_rx(bytes, info);
+      });
+}
+
+void CsmaMac::send(NodeId dst, std::span<const std::uint8_t> payload,
+                   SendCallback done) {
+  send_with_dsn(dst, payload, next_dsn_++, std::move(done));
+}
+
+void CsmaMac::send_with_dsn(NodeId dst,
+                            std::span<const std::uint8_t> payload,
+                            std::uint8_t dsn, SendCallback done) {
+  Outgoing out;
+  out.frame.type = FrameType::kData;
+  out.frame.dsn = dsn;
+  out.frame.src = id();
+  out.frame.dst = dst;
+  out.frame.payload.assign(payload.begin(), payload.end());
+  out.done = std::move(done);
+  queue_.push_back(std::move(out));
+  service_queue();
+}
+
+void CsmaMac::service_queue() {
+  if (busy_ || queue_.empty()) return;
+  busy_ = true;
+  queue_.front().cca_attempts = 0;
+  backoff_then_cca(config_.initial_backoff_min, config_.initial_backoff_max);
+}
+
+void CsmaMac::backoff_then_cca(sim::Duration lo, sim::Duration hi) {
+  const double span = static_cast<double>((hi - lo).us());
+  const auto jitter =
+      sim::Duration::from_us(static_cast<std::int64_t>(rng_.uniform() * span));
+  backoff_timer_.start_one_shot(lo + jitter);
+}
+
+void CsmaMac::on_backoff_expired() {
+  FOURBIT_ASSERT(busy_ && !queue_.empty(), "backoff fired with no frame");
+  Outgoing& out = queue_.front();
+
+  // Our own synchronous ack may be on the air; wait it out.
+  if (radio_.transmitting()) {
+    backoff_then_cca(config_.congestion_backoff_min,
+                     config_.congestion_backoff_max);
+    return;
+  }
+
+  ++out.cca_attempts;
+  if (!radio_.channel_clear() &&
+      out.cca_attempts < config_.max_cca_attempts) {
+    backoff_then_cca(config_.congestion_backoff_min,
+                     config_.congestion_backoff_max);
+    return;
+  }
+  transmit_current();
+}
+
+void CsmaMac::transmit_current() {
+  const Outgoing& out = queue_.front();
+  if (tx_listener_) tx_listener_(out.frame);
+  radio_.transmit(out.frame.encode(), [this] { on_tx_done(); });
+}
+
+void CsmaMac::on_tx_done() {
+  FOURBIT_ASSERT(busy_ && !queue_.empty(), "tx-done with no frame");
+  Outgoing& out = queue_.front();
+  if (out.frame.is_broadcast()) {
+    complete_current(TxResult{.acked = false,
+                              .cca_attempts = out.cca_attempts});
+    return;
+  }
+  awaiting_ack_ = true;
+  awaited_dsn_ = out.frame.dsn;
+  ack_timer_.start_one_shot(config_.ack_wait);
+}
+
+void CsmaMac::on_ack_timeout() {
+  FOURBIT_ASSERT(busy_ && !queue_.empty(), "ack timeout with no frame");
+  awaiting_ack_ = false;
+  complete_current(
+      TxResult{.acked = false, .cca_attempts = queue_.front().cca_attempts});
+}
+
+void CsmaMac::complete_current(TxResult result) {
+  Outgoing finished = std::move(queue_.front());
+  queue_.pop_front();
+  busy_ = false;
+  if (finished.done) finished.done(result);
+  service_queue();
+}
+
+void CsmaMac::on_radio_rx(std::span<const std::uint8_t> bytes,
+                          const phy::RxInfo& info) {
+  // Frames the radio flagged as damaged, or whose FCS fails, die here.
+  if (!info.fcs_ok) {
+    ++fcs_failures_;
+    return;
+  }
+  const auto frame = MacFrame::decode(bytes);
+  if (!frame) {
+    ++fcs_failures_;
+    return;
+  }
+
+  if (frame->type == FrameType::kAck) {
+    if (awaiting_ack_ && frame->dst == id() && frame->dsn == awaited_dsn_) {
+      awaiting_ack_ = false;
+      ack_timer_.stop();
+      FOURBIT_ASSERT(busy_ && !queue_.empty(), "ack for unknown frame");
+      complete_current(TxResult{
+          .acked = true, .cca_attempts = queue_.front().cca_attempts});
+    }
+    return;
+  }
+
+  // Data frame addressed elsewhere: offer it to the snoop tap and stop.
+  if (!frame->is_broadcast() && frame->dst != id()) {
+    if (snoop_handler_) {
+      snoop_handler_(frame->src, frame->dsn, frame->payload, info);
+    }
+    return;
+  }
+
+  if (!frame->is_broadcast()) {
+    send_ack(frame->src, frame->dsn);
+  }
+  if (rx_handler_) {
+    rx_handler_(frame->src, frame->dsn, frame->payload, info);
+  }
+}
+
+void CsmaMac::send_ack(NodeId to, std::uint8_t dsn) {
+  ack_to_ = to;
+  ack_dsn_ = dsn;
+  ack_pending_ = true;
+  ack_attempts_ = 0;
+  sim_.schedule_in(config_.ack_turnaround, [this] { try_send_ack(); });
+}
+
+void CsmaMac::try_send_ack() {
+  if (!ack_pending_) return;
+  // A radio mid-transmission cannot also send the ack. Rather than
+  // dropping it (which turns a successful delivery into a duplicate
+  // retransmission), retry a couple of times within the sender's ack
+  // window.
+  if (radio_.transmitting()) {
+    if (++ack_attempts_ < 3) {
+      sim_.schedule_in(config_.ack_turnaround, [this] { try_send_ack(); });
+    } else {
+      ack_pending_ = false;
+    }
+    return;
+  }
+  ack_pending_ = false;
+  MacFrame ack;
+  ack.type = FrameType::kAck;
+  ack.dsn = ack_dsn_;
+  ack.dst = ack_to_;
+  if (tx_listener_) tx_listener_(ack);
+  radio_.transmit(ack.encode(), nullptr);
+}
+
+}  // namespace fourbit::mac

@@ -1,0 +1,57 @@
+#include "mac/frame.hpp"
+
+#include "common/byte_io.hpp"
+#include "common/crc16.hpp"
+
+namespace fourbit::mac {
+
+std::vector<std::uint8_t> MacFrame::encode() const {
+  std::vector<std::uint8_t> out;
+  ByteWriter w{out};
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u8(dsn);
+  if (type == FrameType::kAck) {
+    w.u16(dst.value());
+  } else {
+    w.u16(src.value());
+    w.u16(dst.value());
+    w.bytes(payload);
+  }
+  w.u16(crc16(out));
+  return out;
+}
+
+std::optional<MacFrame> MacFrame::decode(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kFcsBytes + 2) return std::nullopt;
+  const auto body = bytes.first(bytes.size() - kFcsBytes);
+  const std::uint16_t fcs =
+      static_cast<std::uint16_t>(bytes[bytes.size() - 2]) << 8 |
+      bytes[bytes.size() - 1];
+  if (crc16(body) != fcs) return std::nullopt;
+
+  ByteReader r{body};
+  MacFrame f;
+  const std::uint8_t type = r.u8();
+  f.dsn = r.u8();
+  switch (type) {
+    case static_cast<std::uint8_t>(FrameType::kAck):
+      f.type = FrameType::kAck;
+      f.dst = NodeId{r.u16()};
+      break;
+    case static_cast<std::uint8_t>(FrameType::kData): {
+      f.type = FrameType::kData;
+      f.src = NodeId{r.u16()};
+      f.dst = NodeId{r.u16()};
+      const auto rest = r.rest();
+      f.payload.assign(rest.begin(), rest.end());
+      break;
+    }
+    default:
+      return std::nullopt;
+  }
+  if (!r.ok()) return std::nullopt;
+  return f;
+}
+
+}  // namespace fourbit::mac

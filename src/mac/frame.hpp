@@ -1,0 +1,43 @@
+// Link-layer frame format (802.15.4-flavoured).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace fourbit::mac {
+
+enum class FrameType : std::uint8_t {
+  kData = 0,  // unicast or broadcast MPDU carrying an upper-layer payload
+  kAck = 1,   // synchronous acknowledgment (no payload)
+};
+
+/// Decoded MAC frame. On the air this is
+///   type(1) dsn(1) src(2) dst(2) payload(n) fcs(2)   for kData
+///   type(1) dsn(1) dst(2) fcs(2)                     for kAck
+/// The FCS is CRC-16/CCITT over everything before it, as in 802.15.4;
+/// decode() rejects frames whose check fails.
+struct MacFrame {
+  FrameType type = FrameType::kData;
+  std::uint8_t dsn = 0;  // data sequence number, matched by acks
+  NodeId src;
+  NodeId dst;
+  std::vector<std::uint8_t> payload;
+
+  static constexpr std::size_t kDataHeaderBytes = 6;
+  static constexpr std::size_t kFcsBytes = 2;
+  static constexpr std::size_t kAckFrameBytes = 4 + kFcsBytes;
+
+  [[nodiscard]] bool is_broadcast() const { return dst == kBroadcastId; }
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+
+  /// Returns nullopt for truncated or unknown frames.
+  [[nodiscard]] static std::optional<MacFrame> decode(
+      std::span<const std::uint8_t> bytes);
+};
+
+}  // namespace fourbit::mac

@@ -1,0 +1,98 @@
+#include "net/collection_node.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/byte_io.hpp"
+
+namespace fourbit::net {
+
+CollectionNode::CollectionNode(sim::Simulator& sim, mac::Mac& mac,
+                               std::unique_ptr<link::LinkEstimator> estimator,
+                               bool is_root, CollectionConfig config,
+                               stats::Metrics* metrics, sim::Rng rng)
+    : sim_(sim),
+      mac_(mac),
+      estimator_(std::move(estimator)),
+      metrics_(metrics),
+      routing_(sim, mac.id(), is_root, *estimator_, config,
+               rng.fork("routing")),
+      forwarding_(sim, mac.id(), routing_, *estimator_, config, metrics,
+                  rng.fork("forwarding")) {
+  FOURBIT_ASSERT(estimator_ != nullptr, "node needs a link estimator");
+
+  mac_.set_rx_handler([this](NodeId src, std::uint8_t dsn,
+                             std::span<const std::uint8_t> payload,
+                             const phy::RxInfo& info) {
+    on_mac_rx(src, dsn, payload, info);
+  });
+
+  if (config.snoop) {
+    mac_.set_snoop_handler([this](NodeId src, std::uint8_t,
+                                  std::span<const std::uint8_t> payload,
+                                  const phy::RxInfo&) {
+      // Overheard unicast data: refresh the sender's advertised cost.
+      if (payload.empty() || payload[0] != kDispatchData) return;
+      const auto decoded = decode_data(payload.subspan(1));
+      if (!decoded.has_value()) return;
+      routing_.on_snooped_cost(src, decoded->header.sender_path_etx);
+    });
+  }
+
+  routing_.set_beacon_sender([this](std::vector<std::uint8_t> payload) {
+    // Estimator wraps the routing payload (layer 2.5), then the dispatch
+    // byte goes in front and the result is broadcast.
+    std::vector<std::uint8_t> wrapped = estimator_->wrap_beacon(payload);
+    std::vector<std::uint8_t> frame;
+    frame.reserve(1 + wrapped.size());
+    frame.push_back(kDispatchBeacon);
+    frame.insert(frame.end(), wrapped.begin(), wrapped.end());
+    if (metrics_ != nullptr) metrics_->on_beacon_tx(id());
+    mac_.send(kBroadcastId, frame, nullptr);
+  });
+
+  forwarding_.set_data_sender(
+      [this](NodeId dst, std::vector<std::uint8_t> payload,
+             std::function<void(bool)> done) {
+        std::vector<std::uint8_t> frame;
+        frame.reserve(1 + payload.size());
+        frame.push_back(kDispatchData);
+        frame.insert(frame.end(), payload.begin(), payload.end());
+        mac_.send(dst, frame,
+                  [done = std::move(done)](const mac::TxResult& result) {
+                    if (done) done(result.acked);
+                  });
+      });
+}
+
+void CollectionNode::boot() { routing_.start(); }
+
+void CollectionNode::on_mac_rx(NodeId src, std::uint8_t /*dsn*/,
+                               std::span<const std::uint8_t> payload,
+                               const phy::RxInfo& info) {
+  if (payload.empty()) return;
+  const std::uint8_t dispatch = payload[0];
+  const auto body = payload.subspan(1);
+
+  link::PacketPhyInfo phy_info;
+  phy_info.white = info.white;
+  phy_info.lqi = info.lqi;
+
+  switch (dispatch) {
+    case kDispatchBeacon: {
+      const auto routing_payload =
+          estimator_->unwrap_beacon(src, body, phy_info);
+      if (routing_payload.has_value()) {
+        routing_.on_beacon(src, *routing_payload);
+      }
+      break;
+    }
+    case kDispatchData:
+      forwarding_.on_data(src, body, phy_info);
+      break;
+    default:
+      break;  // unknown layer 2.5 protocol; drop
+  }
+}
+
+}  // namespace fourbit::net

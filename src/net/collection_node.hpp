@@ -1,0 +1,69 @@
+// One node's full collection stack: estimator + routing + forwarding,
+// glued to a CSMA MAC.
+//
+// The glue owns the layer-2.5 dispatch byte that multiplexes estimator
+// beacons and data packets over the MAC, and converts the PHY's RxInfo
+// into the narrow PacketPhyInfo the estimator interface accepts.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "common/ids.hpp"
+#include "link/estimator.hpp"
+#include "mac/mac.hpp"
+#include "net/config.hpp"
+#include "net/forwarding_engine.hpp"
+#include "net/routing_engine.hpp"
+#include "stats/metrics.hpp"
+
+namespace fourbit::net {
+
+class CollectionNode {
+ public:
+  CollectionNode(sim::Simulator& sim, mac::Mac& mac,
+                 std::unique_ptr<link::LinkEstimator> estimator, bool is_root,
+                 CollectionConfig config, stats::Metrics* metrics,
+                 sim::Rng rng);
+
+  CollectionNode(const CollectionNode&) = delete;
+  CollectionNode& operator=(const CollectionNode&) = delete;
+
+  [[nodiscard]] NodeId id() const { return mac_.id(); }
+
+  /// Starts routing (beacons, route evaluation). Call at the node's boot
+  /// time; the radio listens from construction.
+  void boot();
+
+  /// Originates an application payload toward the collection root.
+  bool send(std::span<const std::uint8_t> app_payload) {
+    return forwarding_.send(app_payload);
+  }
+
+  void set_sink_handler(ForwardingEngine::SinkHandler h) {
+    forwarding_.set_sink_handler(std::move(h));
+  }
+
+  [[nodiscard]] link::LinkEstimator& estimator() { return *estimator_; }
+  [[nodiscard]] RoutingEngine& routing() { return routing_; }
+  [[nodiscard]] const RoutingEngine& routing() const { return routing_; }
+  [[nodiscard]] ForwardingEngine& forwarding() { return forwarding_; }
+
+ private:
+  // Layer 2.5 dispatch ids (arbitrary, just distinct on the wire).
+  static constexpr std::uint8_t kDispatchBeacon = 0xF1;
+  static constexpr std::uint8_t kDispatchData = 0xF2;
+
+  void on_mac_rx(NodeId src, std::uint8_t dsn,
+                 std::span<const std::uint8_t> payload,
+                 const phy::RxInfo& info);
+
+  sim::Simulator& sim_;
+  mac::Mac& mac_;
+  std::unique_ptr<link::LinkEstimator> estimator_;
+  stats::Metrics* metrics_;
+  RoutingEngine routing_;
+  ForwardingEngine forwarding_;
+};
+
+}  // namespace fourbit::net

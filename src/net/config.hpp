@@ -1,0 +1,79 @@
+// Collection-protocol configuration.
+//
+// One parameterized protocol covers CTP-class behaviour (Trickle beacons,
+// deep retransmission, datapath feedback) and MultiHopLQI-class behaviour
+// (fixed-interval beacons, shallow retransmission, no datapath feedback)
+// — the estimator plugged in underneath determines the rest.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/time.hpp"
+
+namespace fourbit::net {
+
+enum class BeaconTiming {
+  kTrickle,  // adaptive: interval doubles when stable, resets on events
+  kFixed,    // constant interval (MultiHopLQI style)
+};
+
+struct CollectionConfig {
+  // ---- beaconing ----
+  BeaconTiming beacon_timing = BeaconTiming::kTrickle;
+  sim::Duration trickle_min = sim::Duration::from_ms(128);
+  sim::Duration trickle_max = sim::Duration::from_seconds(500.0);
+
+  /// Trickle ceiling at the ROOT. The root's advertisements anchor the
+  /// whole cost gradient; keeping them reasonably fresh bounds how long a
+  /// partitioned/looped region can persist before truth re-propagates.
+  sim::Duration root_trickle_max = sim::Duration::from_seconds(120.0);
+  sim::Duration fixed_beacon_interval = sim::Duration::from_seconds(30.0);
+
+  // ---- forwarding ----
+  /// Per-packet retransmission budget at one hop (CTP: 30, MHLQI: 5).
+  int max_retransmissions = 30;
+  /// Pause between retransmissions of the same packet.
+  sim::Duration retx_delay = sim::Duration::from_ms(32);
+  /// Pacing between successive packet transmissions (self-interference).
+  sim::Duration tx_pacing_min = sim::Duration::from_ms(12);
+  sim::Duration tx_pacing_max = sim::Duration::from_ms(36);
+  std::size_t queue_capacity = 12;
+  std::size_t dup_cache_capacity = 64;
+
+  // ---- routing ----
+  /// Hysteresis: switch parents only when the best candidate beats the
+  /// current route by at least this many expected transmissions.
+  double parent_switch_threshold = 1.0;
+  /// Route cost ceiling; beyond this a node advertises "no route".
+  double max_path_etx = 250.0;
+  /// Whether the network layer pins its current parent in the estimator
+  /// table (the paper's pin bit). On for every protocol profile — eviction
+  /// of the in-use link is never sensible.
+  bool pin_parent = true;
+  /// Whether a datapath loop signal / delivery failure resets the beacon
+  /// timer (CTP yes, MultiHopLQI no).
+  bool datapath_feedback = true;
+
+  /// Whether overheard data frames refresh the sender's route state
+  /// (CTP snoops; MultiHopLQI does not).
+  bool snoop = true;
+
+  /// Periodic route re-evaluation.
+  sim::Duration route_update_interval = sim::Duration::from_seconds(8.0);
+
+  /// Minimum spacing between Trickle resets at one node. Prevents
+  /// estimate noise from holding the network at the fastest beacon rate.
+  sim::Duration min_reset_spacing = sim::Duration::from_seconds(10.0);
+
+  /// Hop cap: packets whose time-has-lived exceeds this are dropped (and
+  /// reported as a loop signal). Bounds the traffic amplification of a
+  /// transient routing loop.
+  int max_thl = 32;
+
+  /// Neighbor route state older than this is not used for parent
+  /// selection. Stale advertised costs are the fuel of count-to-infinity
+  /// loops; expiring them forces a pull/beacon exchange instead.
+  sim::Duration route_expiry = sim::Duration::from_seconds(240.0);
+};
+
+}  // namespace fourbit::net

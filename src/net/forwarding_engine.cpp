@@ -1,0 +1,161 @@
+#include "net/forwarding_engine.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace fourbit::net {
+
+ForwardingEngine::ForwardingEngine(sim::Simulator& sim, NodeId self,
+                                   RoutingEngine& routing,
+                                   link::LinkEstimator& estimator,
+                                   CollectionConfig config,
+                                   stats::Metrics* metrics, sim::Rng rng)
+    : sim_(sim),
+      self_(self),
+      routing_(routing),
+      estimator_(estimator),
+      config_(config),
+      metrics_(metrics),
+      rng_(rng),
+      dup_cache_(config.dup_cache_capacity),
+      service_timer_(sim, [this] { service(); }) {}
+
+bool ForwardingEngine::send(std::span<const std::uint8_t> app_payload) {
+  const std::uint16_t seq = next_seq_++;
+  if (metrics_ != nullptr) metrics_->on_generated(self_, seq);
+
+  if (routing_.is_root()) {
+    // A root's own packets are already home.
+    DataHeader h;
+    h.origin = self_;
+    h.seq = seq;
+    if (metrics_ != nullptr) metrics_->on_delivered(self_, seq);
+    if (sink_handler_) sink_handler_(h, app_payload);
+    return true;
+  }
+
+  if (queue_.size() >= config_.queue_capacity) {
+    if (metrics_ != nullptr) metrics_->on_queue_drop(self_);
+    return false;
+  }
+
+  Queued q;
+  q.header.origin = self_;
+  q.header.seq = seq;
+  q.header.thl = 0;
+  q.payload.assign(app_payload.begin(), app_payload.end());
+  queue_.push_back(std::move(q));
+  service();
+  return true;
+}
+
+void ForwardingEngine::on_data(NodeId from,
+                               std::span<const std::uint8_t> bytes,
+                               const link::PacketPhyInfo& phy) {
+  estimator_.on_data_rx(from, phy);
+
+  auto decoded = decode_data(bytes);
+  if (!decoded.has_value()) return;
+  DataHeader& h = decoded->header;
+
+  // Retransmissions whose ack was lost, and looped copies, die here.
+  if (dup_cache_.check_and_insert(h.origin, h.seq)) {
+    if (metrics_ != nullptr) metrics_->on_duplicate_rx(self_);
+    return;
+  }
+
+  if (routing_.is_root()) {
+    if (metrics_ != nullptr) metrics_->on_delivered(h.origin, h.seq);
+    if (sink_handler_) sink_handler_(h, decoded->app_payload);
+    return;
+  }
+
+  // Datapath validation: the sender routed *toward* us, so its advertised
+  // cost must exceed ours. If not, the gradient is inconsistent (loop).
+  if (routing_.has_route() && h.sender_path_etx < routing_.path_etx()) {
+    routing_.on_loop_detected();
+  }
+
+  // Hop cap: a packet that has lived this long is circling. Drop it and
+  // treat it as a loop signal.
+  if (static_cast<int>(h.thl) + 1 > config_.max_thl) {
+    routing_.on_loop_detected();
+    if (metrics_ != nullptr) metrics_->on_queue_drop(self_);
+    return;
+  }
+
+  if (queue_.size() >= config_.queue_capacity) {
+    if (metrics_ != nullptr) metrics_->on_queue_drop(self_);
+    return;
+  }
+
+  Queued q;
+  q.header = h;
+  q.header.thl = static_cast<std::uint8_t>(h.thl + 1);
+  q.payload = std::move(decoded->app_payload);
+  queue_.push_back(std::move(q));
+  service();
+}
+
+void ForwardingEngine::schedule_service(sim::Duration delay) {
+  service_timer_.start_one_shot(delay);
+}
+
+void ForwardingEngine::service() {
+  if (in_flight_ || queue_.empty()) return;
+  if (!routing_.has_route()) {
+    // No parent yet; try again once routing has had a chance to converge.
+    schedule_service(sim::Duration::from_seconds(1.0));
+    return;
+  }
+  transmit_head();
+}
+
+void ForwardingEngine::transmit_head() {
+  FOURBIT_ASSERT(!queue_.empty(), "transmit with an empty queue");
+  FOURBIT_ASSERT(data_sender_ != nullptr, "forwarder has no data sender");
+
+  Queued& q = queue_.front();
+  q.header.sender_path_etx = routing_.path_etx();
+  ++q.transmissions;
+  in_flight_ = true;
+  in_flight_dst_ = routing_.parent();
+  if (metrics_ != nullptr) metrics_->on_data_tx(self_);
+
+  data_sender_(in_flight_dst_, q.header.encode(q.payload),
+               [this](bool acked) { on_tx_result(acked); });
+}
+
+void ForwardingEngine::on_tx_result(bool acked) {
+  FOURBIT_ASSERT(in_flight_ && !queue_.empty(), "tx result with no packet");
+  in_flight_ = false;
+
+  // THE ACK BIT: every unicast outcome feeds the estimator. The outcome
+  // belongs to the link the frame actually went over — the route may have
+  // moved on while the frame was in flight.
+  const NodeId parent = in_flight_dst_;
+  estimator_.on_unicast_result(parent, acked);
+
+  Queued& q = queue_.front();
+  if (acked) {
+    queue_.pop_front();
+    const double lo = config_.tx_pacing_min.seconds();
+    const double hi = config_.tx_pacing_max.seconds();
+    schedule_service(sim::Duration::from_seconds(rng_.uniform(lo, hi)));
+    return;
+  }
+
+  if (q.transmissions > config_.max_retransmissions) {
+    queue_.pop_front();
+    if (metrics_ != nullptr) metrics_->on_retx_drop(self_);
+    routing_.on_delivery_failure(parent);
+    schedule_service(config_.retx_delay);
+    return;
+  }
+
+  // Retry (possibly toward a different parent if routing moved on).
+  schedule_service(config_.retx_delay);
+}
+
+}  // namespace fourbit::net

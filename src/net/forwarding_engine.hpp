@@ -1,0 +1,118 @@
+// Data-plane forwarding: origination queue, per-hop retransmission, and
+// duplicate suppression.
+//
+// Every unicast transmission outcome is reported to the link estimator —
+// this is where the paper's ACK bit flows from layer 2 into the
+// estimator, at a rate commensurate with the data traffic.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_set>
+
+#include "common/ids.hpp"
+#include "link/estimator.hpp"
+#include "net/config.hpp"
+#include "net/packets.hpp"
+#include "net/routing_engine.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+#include "stats/metrics.hpp"
+
+namespace fourbit::net {
+
+/// Fixed-capacity FIFO set for (origin, seq) duplicate detection.
+class DupCache {
+ public:
+  explicit DupCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Returns true if the key was already present; inserts it otherwise
+  /// (evicting the oldest entry at capacity).
+  bool check_and_insert(NodeId origin, std::uint16_t seq) {
+    const std::uint32_t key =
+        static_cast<std::uint32_t>(origin.value()) << 16 | seq;
+    if (set_.contains(key)) return true;
+    if (fifo_.size() >= capacity_ && !fifo_.empty()) {
+      set_.erase(fifo_.front());
+      fifo_.pop_front();
+    }
+    fifo_.push_back(key);
+    set_.insert(key);
+    return false;
+  }
+
+  [[nodiscard]] std::size_t size() const { return fifo_.size(); }
+
+ private:
+  std::size_t capacity_;
+  std::deque<std::uint32_t> fifo_;
+  std::unordered_set<std::uint32_t> set_;
+};
+
+class ForwardingEngine {
+ public:
+  /// Sends a network payload to `dst` over the MAC; the callback reports
+  /// the layer-2 ack outcome of that single transmission.
+  using DataSender = std::function<void(NodeId dst,
+                                        std::vector<std::uint8_t> payload,
+                                        std::function<void(bool acked)>)>;
+
+  /// Invoked at a root for every (non-duplicate) delivered packet.
+  using SinkHandler = std::function<void(const DataHeader&,
+                                         std::span<const std::uint8_t>)>;
+
+  ForwardingEngine(sim::Simulator& sim, NodeId self, RoutingEngine& routing,
+                   link::LinkEstimator& estimator, CollectionConfig config,
+                   stats::Metrics* metrics, sim::Rng rng);
+
+  void set_data_sender(DataSender sender) { data_sender_ = std::move(sender); }
+  void set_sink_handler(SinkHandler handler) {
+    sink_handler_ = std::move(handler);
+  }
+
+  /// Originates a collection packet. Returns false on a full queue.
+  bool send(std::span<const std::uint8_t> app_payload);
+
+  /// A data frame arrived from the MAC (already ack'd at layer 2).
+  void on_data(NodeId from, std::span<const std::uint8_t> bytes,
+               const link::PacketPhyInfo& phy);
+
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+  [[nodiscard]] std::uint16_t packets_originated() const {
+    return next_seq_;
+  }
+
+ private:
+  struct Queued {
+    DataHeader header;
+    std::vector<std::uint8_t> payload;
+    int transmissions = 0;
+  };
+
+  void service();
+  void transmit_head();
+  void on_tx_result(bool acked);
+  void schedule_service(sim::Duration delay);
+
+  sim::Simulator& sim_;
+  NodeId self_;
+  RoutingEngine& routing_;
+  link::LinkEstimator& estimator_;
+  CollectionConfig config_;
+  stats::Metrics* metrics_;
+  sim::Rng rng_;
+
+  DataSender data_sender_;
+  SinkHandler sink_handler_;
+
+  std::deque<Queued> queue_;
+  bool in_flight_ = false;
+  NodeId in_flight_dst_ = kInvalidNodeId;
+  std::uint16_t next_seq_ = 0;
+  DupCache dup_cache_;
+  sim::Timer service_timer_;
+};
+
+}  // namespace fourbit::net

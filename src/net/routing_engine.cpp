@@ -1,0 +1,257 @@
+#include "net/routing_engine.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace fourbit::net {
+
+RoutingEngine::RoutingEngine(sim::Simulator& sim, NodeId self, bool is_root,
+                             link::LinkEstimator& estimator,
+                             CollectionConfig config, sim::Rng rng)
+    : sim_(sim),
+      self_(self),
+      is_root_(is_root),
+      estimator_(estimator),
+      config_(config),
+      rng_(rng),
+      my_cost_(is_root ? 0.0 : config.max_path_etx),
+      trickle_(sim,
+               TrickleConfig{.min_interval = config.trickle_min,
+                             .max_interval = config.trickle_max,
+                             .redundancy_k = 0},
+               [this] {
+                 send_beacon();
+                 refresh_beacon_ceiling();
+               },
+               rng.fork("trickle")),
+      fixed_timer_(sim, [this] { send_beacon(); }),
+      route_timer_(sim, [this] { update_route(); }) {
+  estimator_.set_compare_provider(this);
+}
+
+void RoutingEngine::start() {
+  started_ = true;
+  if (config_.beacon_timing == BeaconTiming::kTrickle) {
+    refresh_beacon_ceiling();
+    trickle_.start();
+  } else {
+    // Fixed interval with +-10% jitter against beacon synchronization.
+    const double base = config_.fixed_beacon_interval.seconds();
+    fixed_timer_.start_periodic(
+        sim::Duration::from_seconds(rng_.uniform(base * 0.9, base * 1.1)));
+  }
+  route_timer_.start_periodic(config_.route_update_interval);
+}
+
+void RoutingEngine::refresh_beacon_ceiling() {
+  // Routeless nodes keep shouting the pull bit at a moderate rate; roots
+  // anchor the cost gradient and stay reasonably fresh; everyone else
+  // decays to the configured steady-state maximum.
+  sim::Duration ceiling = config_.trickle_max;
+  if (!is_root_ && !has_route()) {
+    ceiling = sim::Duration::from_seconds(4.0);
+  } else if (is_root_) {
+    ceiling = std::min(config_.root_trickle_max, config_.trickle_max);
+  }
+  trickle_.set_max_interval(ceiling);
+}
+
+void RoutingEngine::reset_beacon_interval() {
+  if (!started_ || config_.beacon_timing != BeaconTiming::kTrickle) return;
+  // Rate-limit resets: estimate noise after convergence must not be able
+  // to hold the whole network at the fastest beacon rate (a reset storm
+  // feeds itself: beacons change costs, cost changes trigger resets).
+  const sim::Time now = sim_.now();
+  if (last_reset_.us() > 0 &&
+      now - last_reset_ < config_.min_reset_spacing) {
+    return;
+  }
+  last_reset_ = now;
+  refresh_beacon_ceiling();
+  trickle_.reset();
+}
+
+void RoutingEngine::send_beacon() {
+  if (!beacon_sender_) return;
+  RoutingBeacon b;
+  b.parent = is_root_ ? self_ : parent_;
+  b.path_etx = path_etx();
+  b.pull = !has_route();
+  ++beacons_sent_;
+  beacon_sender_(b.encode());
+}
+
+double RoutingEngine::path_etx() const {
+  if (is_root_) return 0.0;
+  return my_cost_;
+}
+
+bool RoutingEngine::has_route() const {
+  return is_root_ ||
+         (parent_ != kInvalidNodeId && my_cost_ < config_.max_path_etx);
+}
+
+std::optional<double> RoutingEngine::total_cost(NodeId neighbor) const {
+  const auto rit = routes_.find(neighbor);
+  if (rit == routes_.end()) return std::nullopt;
+  // A neighbor routing through us would form a loop; a neighbor without a
+  // route is useless; a stale advertisement cannot be trusted (stale
+  // costs are what keep count-to-infinity loops alive).
+  if (rit->second.parent == self_) return std::nullopt;
+  if (rit->second.path_etx >= config_.max_path_etx) return std::nullopt;
+  // Stale advertisements are rejected for *candidates* (stale costs are
+  // what keep count-to-infinity loops alive) but not for the current
+  // parent: that link is being validated continuously by datapath acks,
+  // and beacons in steady state arrive at multi-minute Trickle intervals.
+  if (neighbor != parent_ &&
+      sim_.now() - rit->second.last_heard > config_.route_expiry) {
+    return std::nullopt;
+  }
+  const auto link = estimator_.etx(neighbor);
+  if (!link.has_value()) return std::nullopt;
+  return rit->second.path_etx + *link;
+}
+
+void RoutingEngine::on_beacon(NodeId from,
+                              std::span<const std::uint8_t> payload) {
+  const auto beacon = RoutingBeacon::decode(payload);
+  if (!beacon.has_value()) return;
+  routes_[from] = NeighborRoute{beacon->parent, beacon->path_etx, sim_.now()};
+
+  // The pull bit: a neighbor is starving for routing state; advertise
+  // ours quickly (rate-limited like every other Trickle reset).
+  if (beacon->pull && has_route()) {
+    reset_beacon_interval();
+  }
+
+  // Drop route state for nodes the estimator no longer tracks; the route
+  // table must not grow past the link table (the layer-agreement failure
+  // the paper cites from the Potatoes deployment).
+  if (routes_.size() > estimator_.neighbors().size() + 4) {
+    const auto tracked = estimator_.neighbors();
+    std::erase_if(routes_, [&](const auto& kv) {
+      return std::find(tracked.begin(), tracked.end(), kv.first) ==
+             tracked.end();
+    });
+  }
+
+  update_route();
+}
+
+void RoutingEngine::on_snooped_cost(NodeId from, double path_etx) {
+  const auto it = routes_.find(from);
+  if (it != routes_.end()) {
+    // Refresh the cost and the staleness clock; the advertised parent is
+    // whatever the last beacon said.
+    it->second.path_etx = path_etx;
+    it->second.last_heard = sim_.now();
+  } else {
+    routes_[from] = NeighborRoute{kInvalidNodeId, path_etx, sim_.now()};
+  }
+  update_route();
+}
+
+void RoutingEngine::update_route() {
+  if (is_root_ || !started_) return;
+
+  NodeId best = kInvalidNodeId;
+  double best_cost = config_.max_path_etx;
+  for (const NodeId n : estimator_.neighbors()) {
+    const auto cost = total_cost(n);
+    if (cost.has_value() && *cost < best_cost) {
+      best_cost = *cost;
+      best = n;
+    }
+  }
+
+  const auto current_cost = total_cost(parent_);
+
+  if (best == kInvalidNodeId) {
+    // No usable candidate at all. Keep the (possibly broken) parent and
+    // beacon aggressively to find a way out.
+    if (!current_cost.has_value() && parent_ != kInvalidNodeId) {
+      my_cost_ = config_.max_path_etx;
+      reset_beacon_interval();
+    }
+    return;
+  }
+
+  bool switch_parent = false;
+  if (parent_ == kInvalidNodeId || !current_cost.has_value()) {
+    switch_parent = true;
+  } else if (best != parent_ &&
+             best_cost + config_.parent_switch_threshold < *current_cost) {
+    switch_parent = true;
+  }
+
+  if (switch_parent) {
+    const bool actually_changed = best != parent_;
+    if (config_.pin_parent && parent_ != kInvalidNodeId) {
+      estimator_.unpin(parent_);
+    }
+    parent_ = best;
+    if (config_.pin_parent) estimator_.pin(parent_);
+    my_cost_ = best_cost;
+    if (actually_changed) {
+      ++parent_changes_;
+      reset_beacon_interval();
+    }
+    return;
+  }
+
+  // Same parent: track its (possibly changed) cost. Ordinary estimate
+  // drift does not reset the beacon timer — only topology events do.
+  my_cost_ = current_cost.has_value() ? *current_cost : config_.max_path_etx;
+}
+
+void RoutingEngine::on_delivery_failure(NodeId to) {
+  // The estimator has already digested the unacked transmissions through
+  // the ack bit; re-evaluating the route is all that is left to do here.
+  (void)to;
+  update_route();
+  if (config_.datapath_feedback) reset_beacon_interval();
+}
+
+void RoutingEngine::on_loop_detected() {
+  if (config_.datapath_feedback) reset_beacon_interval();
+  update_route();
+}
+
+bool RoutingEngine::compare_bit(NodeId /*candidate*/,
+                                std::span<const std::uint8_t> payload) {
+  const auto beacon = RoutingBeacon::decode(payload);
+  if (!beacon.has_value()) return false;  // cannot judge this packet
+  if (beacon->parent == self_) return false;
+  if (beacon->path_etx >= config_.max_path_etx) return false;
+
+  // Optimistic link cost for the candidate: the white bit was set on its
+  // packet, so assume a near-perfect link until measured.
+  const double candidate_cost = beacon->path_etx + 1.0;
+
+  // Better than the route provided by >= 1 current table entry? Entries
+  // without a usable route are "trivially worse", but only a table MOSTLY
+  // made of them justifies admission on that basis alone — otherwise each
+  // still-maturing entry would green-light an eviction, and the resulting
+  // churn would keep every entry immature forever (this matters for
+  // probe-based estimators, whose entries need a neighbor's reverse
+  // report before they become usable).
+  std::size_t useless = 0;
+  std::size_t total = 0;
+  double worst = -1.0;
+  for (const NodeId n : estimator_.neighbors()) {
+    ++total;
+    const auto cost = total_cost(n);
+    if (!cost.has_value()) {
+      ++useless;
+    } else {
+      worst = std::max(worst, *cost);
+    }
+  }
+  if (total == 0) return true;
+  if (useless * 2 > total) return true;
+  if (worst < 0.0) return false;
+  return candidate_cost < worst;
+}
+
+}  // namespace fourbit::net

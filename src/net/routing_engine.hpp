@@ -1,0 +1,124 @@
+// Collection-tree routing engine (CTP-style).
+//
+// Consumes link estimates from a LinkEstimator through the narrow
+// interface, maintains per-neighbor route state, selects the parent with
+// the lowest total path ETX (with hysteresis), and broadcasts routing
+// beacons on a Trickle timer. It is also the network-layer half of two of
+// the paper's four bits: it PINS the current parent's table entry and
+// answers the estimator's COMPARE-bit queries from its route table.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "link/estimator.hpp"
+#include "net/config.hpp"
+#include "net/packets.hpp"
+#include "net/trickle.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+
+namespace fourbit::net {
+
+class RoutingEngine final : public link::CompareProvider {
+ public:
+  /// Hands a routing-beacon payload to the node glue for wrapping and
+  /// broadcast.
+  using BeaconSender = std::function<void(std::vector<std::uint8_t>)>;
+
+  RoutingEngine(sim::Simulator& sim, NodeId self, bool is_root,
+                link::LinkEstimator& estimator, CollectionConfig config,
+                sim::Rng rng);
+
+  void set_beacon_sender(BeaconSender sender) {
+    beacon_sender_ = std::move(sender);
+  }
+
+  /// Starts beaconing and periodic route evaluation (call at node boot).
+  void start();
+
+  // ---- inputs ----------------------------------------------------------
+
+  /// A routing beacon (already unwrapped by the estimator) from `from`.
+  void on_beacon(NodeId from, std::span<const std::uint8_t> payload);
+
+  /// A data frame from `from` toward somebody else was overheard; its
+  /// header advertises the sender's route cost. Snooping keeps route
+  /// state fresher than beacons alone (CTP does the same).
+  void on_snooped_cost(NodeId from, double path_etx);
+
+  /// The forwarder exhausted its retransmission budget toward `to`.
+  void on_delivery_failure(NodeId to);
+
+  /// The forwarder saw a datapath inconsistency (possible loop).
+  void on_loop_detected();
+
+  // ---- route state -----------------------------------------------------
+
+  [[nodiscard]] bool is_root() const { return is_root_; }
+  [[nodiscard]] bool has_route() const;
+  [[nodiscard]] NodeId parent() const { return parent_; }
+
+  /// This node's advertised route cost (0 at a root, max when routeless).
+  [[nodiscard]] double path_etx() const;
+
+  /// Hop count to the root following current parents — computed by the
+  /// caller (runner) across nodes; here we expose the neighbor route
+  /// table for it and for tests.
+  struct NeighborRoute {
+    NodeId parent;
+    double path_etx = 0.0;
+    sim::Time last_heard;
+  };
+  [[nodiscard]] const std::unordered_map<NodeId, NeighborRoute>&
+  route_table() const {
+    return routes_;
+  }
+
+  [[nodiscard]] std::uint64_t parent_changes() const {
+    return parent_changes_;
+  }
+  [[nodiscard]] std::uint64_t beacons_sent() const { return beacons_sent_; }
+
+  // ---- link::CompareProvider --------------------------------------------
+
+  /// The compare bit: does `candidate`'s advertised route beat the route
+  /// through at least one node currently in the estimator table?
+  [[nodiscard]] bool compare_bit(
+      NodeId candidate, std::span<const std::uint8_t> payload) override;
+
+ private:
+  void update_route();
+  void send_beacon();
+  void reset_beacon_interval();
+  void refresh_beacon_ceiling();
+
+  [[nodiscard]] std::optional<double> total_cost(NodeId neighbor) const;
+
+  sim::Simulator& sim_;
+  NodeId self_;
+  bool is_root_;
+  link::LinkEstimator& estimator_;
+  CollectionConfig config_;
+  sim::Rng rng_;
+  BeaconSender beacon_sender_;
+
+  std::unordered_map<NodeId, NeighborRoute> routes_;
+  NodeId parent_ = kInvalidNodeId;
+  double my_cost_;  // cached advertised cost
+
+  TrickleTimer trickle_;       // adaptive beaconing (BeaconTiming::kTrickle)
+  sim::Timer fixed_timer_;     // fixed-interval beaconing (kFixed)
+  sim::Timer route_timer_;
+  sim::Time last_reset_;
+  bool started_ = false;
+
+  std::uint64_t parent_changes_ = 0;
+  std::uint64_t beacons_sent_ = 0;
+};
+
+}  // namespace fourbit::net

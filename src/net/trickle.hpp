@@ -1,0 +1,115 @@
+// The Trickle algorithm (Levis et al., NSDI'04) as a reusable timer.
+//
+// Trickle adaptively paces periodic traffic: each interval I, a node
+// picks a random firing point t in [I/2, I], fires unless it has been
+// suppressed by k consistent messages heard this interval, then doubles
+// I up to Imax. Hearing an inconsistency resets I to Imin. CTP paces its
+// routing beacons exactly this way.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+
+#include "common/assert.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+
+namespace fourbit::net {
+
+struct TrickleConfig {
+  sim::Duration min_interval = sim::Duration::from_ms(128);
+  sim::Duration max_interval = sim::Duration::from_seconds(500.0);
+
+  /// Suppression constant k: if at least k "consistent" messages are
+  /// heard within the current interval, the firing is suppressed.
+  /// 0 disables suppression (fire every interval).
+  int redundancy_k = 0;
+};
+
+class TrickleTimer {
+ public:
+  /// `fire` runs at the chosen point of each non-suppressed interval.
+  TrickleTimer(sim::Simulator& sim, TrickleConfig config,
+               std::function<void()> fire, sim::Rng rng)
+      : sim_(sim),
+        config_(config),
+        fire_(std::move(fire)),
+        rng_(rng),
+        interval_(config.min_interval),
+        timer_(sim, [this] { on_timer(); }) {
+    FOURBIT_ASSERT(config_.min_interval.us() > 0, "Imin must be positive");
+    FOURBIT_ASSERT(config_.max_interval >= config_.min_interval,
+                   "Imax must be >= Imin");
+  }
+
+  /// Starts (or restarts) at the minimum interval.
+  void start() {
+    running_ = true;
+    interval_ = config_.min_interval;
+    begin_interval();
+  }
+
+  void stop() {
+    running_ = false;
+    timer_.stop();
+  }
+
+  /// An inconsistency was observed: reset to the fastest rate. No-op if
+  /// already in the minimum interval (per the Trickle specification).
+  void reset() {
+    if (!running_) return;
+    if (interval_ == config_.min_interval) return;
+    interval_ = config_.min_interval;
+    begin_interval();
+  }
+
+  /// A consistent message was heard (feeds the suppression counter).
+  void consistent() { ++heard_; }
+
+  /// Caps the maximum interval (e.g. a root keeping beacons fresh).
+  void set_max_interval(sim::Duration max) {
+    config_.max_interval = std::max(max, config_.min_interval);
+    interval_ = std::min(interval_, config_.max_interval);
+  }
+
+  [[nodiscard]] sim::Duration current_interval() const { return interval_; }
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] std::uint64_t fires() const { return fires_; }
+  [[nodiscard]] std::uint64_t suppressions() const { return suppressions_; }
+
+ private:
+  void begin_interval() {
+    heard_ = 0;
+    // Fire point uniform in [I/2, I].
+    const double base = interval_.seconds();
+    timer_.start_one_shot(
+        sim::Duration::from_seconds(rng_.uniform(base / 2.0, base)));
+  }
+
+  void on_timer() {
+    const bool suppressed =
+        config_.redundancy_k > 0 && heard_ >= config_.redundancy_k;
+    if (suppressed) {
+      ++suppressions_;
+    } else {
+      ++fires_;
+      fire_();
+    }
+    interval_ = std::min(interval_ * 2.0, config_.max_interval);
+    if (running_) begin_interval();
+  }
+
+  sim::Simulator& sim_;
+  TrickleConfig config_;
+  std::function<void()> fire_;
+  sim::Rng rng_;
+  sim::Duration interval_;
+  sim::Timer timer_;
+  bool running_ = false;
+  int heard_ = 0;
+  std::uint64_t fires_ = 0;
+  std::uint64_t suppressions_ = 0;
+};
+
+}  // namespace fourbit::net

@@ -1,0 +1,212 @@
+#include "phy/channel.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "phy/lqi.hpp"
+
+namespace fourbit::phy {
+
+Channel::Channel(sim::Simulator& sim, PhyConfig phy, PropagationConfig prop,
+                 std::unique_ptr<InterferenceModel> interference,
+                 sim::Rng rng)
+    : sim_(sim),
+      phy_(phy),
+      propagation_(prop, rng.fork("propagation")),
+      interference_(std::move(interference)),
+      reception_rng_(rng.fork("reception")),
+      lqi_rng_(rng.fork("lqi")) {
+  FOURBIT_ASSERT(interference_ != nullptr, "interference model required");
+}
+
+void Channel::attach(Radio& radio) {
+  radios_.push_back(&radio);
+}
+
+void Channel::detach(Radio& radio) {
+  std::erase(radios_, &radio);
+  // Drop the departing radio from in-flight receptions.
+  for (auto& tx : active_) {
+    std::erase_if(tx->receivers,
+                  [&](const PendingRx& rx) { return rx.receiver == &radio; });
+  }
+}
+
+PowerDbm Channel::rx_power(const Radio& from, const Radio& to) {
+  const Decibels loss = propagation_.loss(from.id(), from.position(), to.id(),
+                                          to.position());
+  return from.effective_tx_power() - loss;
+}
+
+double Channel::snr_db(const Radio& from, const Radio& to) {
+  return (rx_power(from, to) - to.noise_floor()).value();
+}
+
+double Channel::mean_prr(const Radio& from, const Radio& to,
+                         std::size_t mpdu_bytes) {
+  return modulation_.packet_reception_ratio(
+      snr_db(from, to), mpdu_bytes + phy_.phy_overhead_bytes);
+}
+
+bool Channel::busy_at(const Radio& listener) {
+  prune_finished();
+  const sim::Time now = sim_.now();
+  for (const auto& tx : active_) {
+    if (tx->sender == &listener) continue;
+    if (tx->end <= now) continue;
+    if (rx_power(*tx->sender, listener) >= phy_.cca_threshold) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Channel::prune_finished() {
+  const sim::Time now = sim_.now();
+  std::erase_if(active_, [now](const std::shared_ptr<ActiveTx>& tx) {
+    return tx->end <= now;
+  });
+}
+
+void Channel::start_transmission(Radio& sender,
+                                 std::vector<std::uint8_t> frame,
+                                 Radio::TxDoneHandler done) {
+  FOURBIT_ASSERT(!sender.transmitting(),
+                 "radio cannot start a second concurrent transmission");
+  prune_finished();
+
+  const sim::Time now = sim_.now();
+  const sim::Duration airtime = phy_.airtime(frame.size());
+  const sim::Time end = now + airtime;
+  sender.set_transmitting_until(end);
+  ++frames_transmitted_;
+  if (tx_observer_) {
+    tx_observer_(sender.id(), airtime, sender.effective_tx_power());
+  }
+
+  auto tx = std::make_shared<ActiveTx>();
+  tx->sender = &sender;
+  tx->start = now;
+  tx->end = end;
+  tx->frame = std::move(frame);
+
+  // Enumerate candidate receivers and seed their interference with the
+  // transmissions already in the air.
+  for (Radio* r : radios_) {
+    if (r == &sender) continue;
+    // A sleeping receiver (LPL between channel samples) hears nothing.
+    if (!r->listening()) continue;
+    // Half-duplex: a radio mid-transmission cannot hear this packet. (A
+    // radio that *starts* transmitting later overlaps too, but CSMA makes
+    // that rare and the additive-interference model already punishes it.)
+    if (r->transmitting_until() > now) continue;
+
+    const PowerDbm p = rx_power(sender, *r);
+    if (p < r->noise_floor() + phy_.reception_cutoff_margin) continue;
+
+    double interference_mw = 0.0;
+    for (const auto& other : active_) {
+      if (other->end <= now) continue;
+      interference_mw += rx_power(*other->sender, *r).milliwatts();
+    }
+    tx->receivers.push_back(PendingRx{r, p, interference_mw});
+  }
+
+  // This transmission interferes with every reception already in flight.
+  for (const auto& other : active_) {
+    if (other->end <= now) continue;
+    for (auto& rx : other->receivers) {
+      if (rx.receiver == &sender) continue;
+      rx.interference_mw +=
+          rx_power(sender, *rx.receiver).milliwatts();
+    }
+  }
+
+  active_.push_back(tx);
+
+  sim_.schedule_at(end, [this, tx, done = std::move(done)]() {
+    finish_transmission(tx);
+    if (done) done();
+  });
+}
+
+void Channel::deliver_corrupt(Radio& r, const ActiveTx& tx,
+                              const PendingRx& rx, double sinr_db) {
+  if (!phy_.deliver_corrupt_frames) return;
+  if (sinr_db < phy_.corrupt_delivery_min_sinr_db) return;
+  // The radio locked onto the preamble but the payload is damaged: flip
+  // a few bytes and deliver with fcs_ok = false. The MAC's FCS check
+  // drops it; only the "heard garbage" fact is observable.
+  std::vector<std::uint8_t> mangled = tx.frame;
+  const std::size_t flips = 1 + reception_rng_.uniform_int(3);
+  for (std::size_t i = 0; i < flips && !mangled.empty(); ++i) {
+    const std::size_t pos = reception_rng_.uniform_int(mangled.size());
+    mangled[pos] ^= static_cast<std::uint8_t>(
+        1 + reception_rng_.uniform_int(255));
+  }
+  RxInfo info;
+  info.rssi = rx.rx_power;
+  info.snr_db = (rx.rx_power - r.noise_floor()).value();
+  info.lqi = LqiModel::kMinLqi;
+  info.white = false;
+  info.fcs_ok = false;
+  r.deliver(mangled, info);
+}
+
+bool Channel::white_bit(const RxInfo& info) const {
+  switch (phy_.white_bit_source) {
+    case PhyConfig::WhiteBitSource::kLqi:
+      return info.lqi >= phy_.white_bit_lqi_threshold;
+    case PhyConfig::WhiteBitSource::kSnr:
+      return info.snr_db >= phy_.white_bit_snr_threshold_db;
+    case PhyConfig::WhiteBitSource::kNever:
+      return false;
+  }
+  return false;
+}
+
+void Channel::finish_transmission(const std::shared_ptr<ActiveTx>& tx) {
+  const std::size_t frame_bytes = tx->frame.size() + phy_.phy_overhead_bytes;
+
+  for (auto& rx : tx->receivers) {
+    Radio& r = *rx.receiver;
+    // The receiver may have begun transmitting after this packet started
+    // (its CSMA lost the race); half-duplex kills the reception.
+    if (r.transmitting_until() > tx->start) continue;
+
+    const double noise_mw = r.noise_floor().milliwatts();
+    const double sinr_db =
+        rx.rx_power.value() -
+        PowerDbm::from_milliwatts(noise_mw + rx.interference_mw).value();
+    const double prr =
+        modulation_.packet_reception_ratio(sinr_db, frame_bytes);
+    if (!reception_rng_.bernoulli(prr)) {
+      deliver_corrupt(r, *tx, rx, sinr_db);
+      continue;
+    }
+
+    // External burst interference destroys whole packets independent of
+    // chip quality (see header comment).
+    const double burst =
+        interference_->destroy_probability(r.id(), tx->start, tx->end);
+    if (burst > 0.0 && reception_rng_.bernoulli(burst)) {
+      deliver_corrupt(r, *tx, rx, sinr_db);
+      continue;
+    }
+
+    // LQI reflects the thermal-only SNR of this (successfully received)
+    // packet.
+    const double snr_thermal =
+        (rx.rx_power - r.noise_floor()).value();
+    RxInfo info;
+    info.rssi = rx.rx_power;
+    info.snr_db = snr_thermal;
+    info.lqi = LqiModel::sample(snr_thermal, lqi_rng_);
+    info.white = white_bit(info);
+    info.fcs_ok = true;
+    r.deliver(tx->frame, info);
+  }
+}
+
+}  // namespace fourbit::phy

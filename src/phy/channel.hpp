@@ -1,0 +1,114 @@
+// The shared broadcast medium.
+//
+// Reception model per transmission and candidate receiver:
+//   SINR = rx_power / (receiver noise floor + sum of concurrent
+//          transmissions' powers at the receiver)
+//   PRR  = (1 - BER(SINR))^(8 * frame bytes)           [O-QPSK DSSS]
+// then an independent burst-interference process may destroy the packet
+// outright (whole-packet loss that leaves no LQI trace). LQI and the
+// white bit are computed from the thermal-only SNR of packets that made
+// it through — received packets look clean even on a lossy link, which
+// is the physical effect the paper's white bit (and MultiHopLQI's
+// failure mode) hinges on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+#include "phy/config.hpp"
+#include "phy/interference.hpp"
+#include "phy/modulation.hpp"
+#include "phy/propagation.hpp"
+#include "phy/radio.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace fourbit::phy {
+
+class Channel {
+ public:
+  /// Observer of every frame put on the air (sender, airtime, power) —
+  /// the hook energy accounting attaches to.
+  using TxObserver =
+      std::function<void(NodeId, sim::Duration, PowerDbm)>;
+
+  Channel(sim::Simulator& sim, PhyConfig phy, PropagationConfig prop,
+          std::unique_ptr<InterferenceModel> interference, sim::Rng rng);
+
+  void set_tx_observer(TxObserver observer) {
+    tx_observer_ = std::move(observer);
+  }
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  [[nodiscard]] const PhyConfig& phy() const { return phy_; }
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+
+  void attach(Radio& radio);
+  void detach(Radio& radio);
+
+  /// Called by Radio::transmit. Takes ownership of the frame bytes.
+  void start_transmission(Radio& sender, std::vector<std::uint8_t> frame,
+                          Radio::TxDoneHandler done);
+
+  /// Energy-detect CCA at `listener`: any concurrent transmission whose
+  /// power at the listener exceeds the CCA threshold reads busy.
+  [[nodiscard]] bool busy_at(const Radio& listener);
+
+  // --- Analytic helpers (no randomness consumed, no interference) -----
+
+  /// Thermal-only SNR of `from`'s signal at `to`.
+  [[nodiscard]] double snr_db(const Radio& from, const Radio& to);
+
+  /// Expected PRR of an isolated `mpdu_bytes` frame from->to, thermal
+  /// noise only. Used by topology calibration and tests.
+  [[nodiscard]] double mean_prr(const Radio& from, const Radio& to,
+                                std::size_t mpdu_bytes);
+
+  /// Total frames put on the air (all types), for overhead accounting.
+  [[nodiscard]] std::uint64_t frames_transmitted() const {
+    return frames_transmitted_;
+  }
+
+ private:
+  struct PendingRx {
+    Radio* receiver;
+    PowerDbm rx_power;
+    double interference_mw;  // accumulated concurrent-tx power
+  };
+
+  struct ActiveTx {
+    Radio* sender;
+    sim::Time start;
+    sim::Time end;
+    std::vector<std::uint8_t> frame;
+    std::vector<PendingRx> receivers;
+  };
+
+  [[nodiscard]] PowerDbm rx_power(const Radio& from, const Radio& to);
+  void finish_transmission(const std::shared_ptr<ActiveTx>& tx);
+  void deliver_corrupt(Radio& r, const ActiveTx& tx, const PendingRx& rx,
+                       double sinr_db);
+  [[nodiscard]] bool white_bit(const RxInfo& info) const;
+  void prune_finished();
+
+  sim::Simulator& sim_;
+  PhyConfig phy_;
+  PropagationModel propagation_;
+  OqpskModulation modulation_;
+  std::unique_ptr<InterferenceModel> interference_;
+  sim::Rng reception_rng_;
+  sim::Rng lqi_rng_;
+  std::vector<Radio*> radios_;
+  std::vector<std::shared_ptr<ActiveTx>> active_;
+  std::uint64_t frames_transmitted_ = 0;
+  TxObserver tx_observer_;
+};
+
+}  // namespace fourbit::phy

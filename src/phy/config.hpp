@@ -1,0 +1,80 @@
+// Physical-layer configuration (802.15.4 / CC2420-class defaults).
+#pragma once
+
+#include <cstddef>
+
+#include "common/units.hpp"
+#include "sim/time.hpp"
+
+namespace fourbit::phy {
+
+/// Radio timing/packet parameters. Defaults model the CC2420: 250 kbps
+/// O-QPSK, 6 bytes of PHY preamble+SFD+length, 192 us RX/TX turnaround.
+struct PhyConfig {
+  double bitrate_bps = 250000.0;
+  std::size_t phy_overhead_bytes = 6;
+
+  /// Thermal noise floor at the antenna (2 MHz channel + typical NF).
+  PowerDbm noise_floor{-105.0};
+
+  /// Clear-channel-assessment threshold: energy above this reads "busy".
+  PowerDbm cca_threshold{-77.0};
+
+  /// Received packets weaker than noise_floor + this margin are not even
+  /// drawn against the PRR curve (saves work; PRR there is ~0 anyway).
+  Decibels reception_cutoff_margin{-8.0};
+
+  /// LQI value at or above which the PHY sets the white bit. 105 matches
+  /// the conventional CC2420 "good packet" threshold.
+  int white_bit_lqi_threshold = 105;
+
+  /// Where the white bit comes from. The paper: radios with LQI/chip
+  /// correlation use it directly; radios that only report signal and
+  /// noise can threshold the SNR instead ("using a threshold derived
+  /// from the signal-to-noise ratio / bit error rate curve"); radios
+  /// with neither never set the bit.
+  enum class WhiteBitSource { kLqi, kSnr, kNever };
+  WhiteBitSource white_bit_source = WhiteBitSource::kLqi;
+  double white_bit_snr_threshold_db = 3.0;
+
+  /// Frames that fail decoding are still *heard* when their SINR is above
+  /// this margin: the radio locks onto the preamble and hands up a frame
+  /// whose FCS check then fails at the MAC. Below it, nothing is
+  /// delivered at all.
+  double corrupt_delivery_min_sinr_db = -3.0;
+  bool deliver_corrupt_frames = true;
+
+  /// RX/TX turnaround before a synchronous ACK goes on air.
+  sim::Duration turnaround = sim::Duration::from_us(192);
+
+  [[nodiscard]] sim::Duration airtime(std::size_t mpdu_bytes) const {
+    const double bits =
+        static_cast<double>((phy_overhead_bytes + mpdu_bytes) * 8);
+    return sim::Duration::from_seconds(bits / bitrate_bps);
+  }
+};
+
+/// Propagation-environment configuration (log-distance + shadowing).
+struct PropagationConfig {
+  /// Path loss at the 1 m reference distance, 2.4 GHz free space.
+  Decibels reference_loss{40.2};
+
+  /// Path-loss exponent; ~3 models the cluttered indoor testbeds.
+  double exponent = 3.0;
+
+  /// Std-dev of the static per-pair log-normal shadowing (dB).
+  double shadowing_sigma_db = 3.6;
+
+  /// Std-dev of the *directional* shadowing component (dB) — one draw per
+  /// ordered pair, modelling link asymmetry beyond hardware variation.
+  double asymmetry_sigma_db = 1.0;
+};
+
+/// Per-node manufacturing spread (Zuniga & Krishnamachari's hardware
+/// variation): TX power and receiver noise figure offsets.
+struct HardwareVariationConfig {
+  double tx_offset_sigma_db = 1.2;
+  double noise_figure_sigma_db = 1.2;
+};
+
+}  // namespace fourbit::phy

@@ -1,0 +1,31 @@
+// Per-node hardware variation.
+#pragma once
+
+#include "common/units.hpp"
+#include "phy/config.hpp"
+#include "sim/rng.hpp"
+
+namespace fourbit::phy {
+
+/// Manufacturing spread of an individual node's radio. Sampled once per
+/// node at topology construction; the offsets are static for a run, which
+/// matches measurement studies (Zuniga & Krishnamachari, TOSN'07): the
+/// same pair of motes shows the same asymmetry day after day.
+struct HardwareProfile {
+  /// Added to the configured TX power (some radios emit hotter).
+  Decibels tx_power_offset{0.0};
+
+  /// Added to the noise floor at this receiver (some radios are deafer).
+  Decibels noise_figure_offset{0.0};
+
+  [[nodiscard]] static HardwareProfile sample(
+      const HardwareVariationConfig& cfg, sim::Rng& rng) {
+    return HardwareProfile{
+        .tx_power_offset = Decibels{rng.normal(0.0, cfg.tx_offset_sigma_db)},
+        .noise_figure_offset =
+            Decibels{rng.normal(0.0, cfg.noise_figure_sigma_db)},
+    };
+  }
+};
+
+}  // namespace fourbit::phy

@@ -1,0 +1,66 @@
+#include "phy/modulation.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace fourbit::phy {
+namespace {
+
+double binomial(int n, int k) {
+  double r = 1.0;
+  for (int i = 1; i <= k; ++i) {
+    r *= static_cast<double>(n - k + i) / static_cast<double>(i);
+  }
+  return r;
+}
+
+}  // namespace
+
+double OqpskModulation::exact_bit_error_rate(double sinr_db) {
+  // IEEE 802.15.4 2.4 GHz PHY (16-ary orthogonal signalling over 32-chip
+  // sequences), symbol-error union bound converted to BER:
+  //   Pb = 8/15 * 1/16 * sum_{k=2}^{16} (-1)^k C(16,k) exp(20*snr*(1/k - 1))
+  const double snr_lin = std::pow(10.0, sinr_db / 10.0);
+  double sum = 0.0;
+  for (int k = 2; k <= 16; ++k) {
+    const double sign = (k % 2 == 0) ? 1.0 : -1.0;
+    sum += sign * binomial(16, k) *
+           std::exp(20.0 * snr_lin * (1.0 / static_cast<double>(k) - 1.0));
+  }
+  const double pb = (8.0 / 15.0) * (1.0 / 16.0) * sum;
+  // The union bound can exceed valid probability at very low SNR; clamp.
+  if (pb < 0.0) return 0.0;
+  if (pb > 0.5) return 0.5;
+  return pb;
+}
+
+OqpskModulation::OqpskModulation() {
+  const auto points =
+      static_cast<std::size_t>((kMaxSnrDb - kMinSnrDb) / kStepDb) + 2;
+  table_.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double snr = kMinSnrDb + static_cast<double>(i) * kStepDb;
+    table_.push_back(exact_bit_error_rate(snr));
+  }
+}
+
+double OqpskModulation::bit_error_rate(double sinr_db) const {
+  if (sinr_db <= kMinSnrDb) return table_.front();
+  if (sinr_db >= kMaxSnrDb) return table_.back();
+  const double idx = (sinr_db - kMinSnrDb) / kStepDb;
+  const auto lo = static_cast<std::size_t>(idx);
+  const double frac = idx - static_cast<double>(lo);
+  return table_[lo] * (1.0 - frac) + table_[lo + 1] * frac;
+}
+
+double OqpskModulation::packet_reception_ratio(
+    double sinr_db, std::size_t frame_bytes) const {
+  FOURBIT_ASSERT(frame_bytes > 0, "frame must have at least one byte");
+  const double ber = bit_error_rate(sinr_db);
+  if (ber <= 0.0) return 1.0;
+  const double bits = static_cast<double>(frame_bytes * 8);
+  return std::pow(1.0 - ber, bits);
+}
+
+}  // namespace fourbit::phy

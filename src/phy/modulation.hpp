@@ -1,0 +1,36 @@
+// SNR -> BER -> PRR for 802.15.4 O-QPSK DSSS.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fourbit::phy {
+
+/// Bit-error and packet-reception model for the 2.4 GHz 802.15.4 PHY
+/// (O-QPSK with 32-chip DSSS), following Zuniga & Krishnamachari's
+/// analysis. BER is precomputed over a fine SNR grid at construction; the
+/// per-packet query is a table interpolation.
+class OqpskModulation {
+ public:
+  OqpskModulation();
+
+  /// Bit error rate at the given signal-to-(interference+)noise ratio.
+  [[nodiscard]] double bit_error_rate(double sinr_db) const;
+
+  /// Probability that a frame of `frame_bytes` (MPDU + PHY overhead) is
+  /// decoded without error: (1 - BER)^(8 * bytes).
+  [[nodiscard]] double packet_reception_ratio(double sinr_db,
+                                              std::size_t frame_bytes) const;
+
+  /// Exact (uncached) BER; exposed for tests of the table accuracy.
+  [[nodiscard]] static double exact_bit_error_rate(double sinr_db);
+
+ private:
+  static constexpr double kMinSnrDb = -12.0;
+  static constexpr double kMaxSnrDb = 12.0;
+  static constexpr double kStepDb = 0.05;
+
+  std::vector<double> table_;
+};
+
+}  // namespace fourbit::phy

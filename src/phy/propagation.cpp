@@ -1,0 +1,35 @@
+#include "phy/propagation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fourbit::phy {
+
+Decibels PropagationModel::loss(NodeId from, const Position& from_pos,
+                                NodeId to, const Position& to_pos) {
+  const std::uint32_t key = pair_key(from, to);
+  if (const auto it = cache_.find(key); it != cache_.end()) {
+    return Decibels{it->second};
+  }
+
+  const double d = std::max(distance_m(from_pos, to_pos), 0.5);
+  const double deterministic =
+      config_.reference_loss.value() + 10.0 * config_.exponent * std::log10(d);
+
+  // Symmetric shadowing: same draw for (a,b) and (b,a).
+  const NodeId lo = std::min(from, to);
+  const NodeId hi = std::max(from, to);
+  sim::Rng pair_rng = rng_.fork(pair_key(lo, hi));
+  const double shadowing = pair_rng.normal(0.0, config_.shadowing_sigma_db);
+
+  // Directional component: independent draw per ordered pair.
+  sim::Rng dir_rng = rng_.fork(key ^ 0x9E3779B9U);
+  const double directional =
+      dir_rng.normal(0.0, config_.asymmetry_sigma_db);
+
+  const double total = deterministic + shadowing + directional;
+  cache_.emplace(key, total);
+  return Decibels{total};
+}
+
+}  // namespace fourbit::phy

@@ -1,0 +1,42 @@
+// Log-distance path loss with static log-normal shadowing and a
+// directional asymmetry component.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+#include "phy/config.hpp"
+#include "sim/rng.hpp"
+
+namespace fourbit::phy {
+
+/// Computes (and caches) the loss between node antennas.
+///
+/// loss(a->b) = ref_loss + 10 n log10(d) + S(a,b) + D(a->b)
+/// where S is a symmetric per-pair shadowing draw and D a smaller
+/// per-direction draw. Both are deterministic functions of (seed, pair),
+/// so the radio environment is static across a run — matching the static
+/// testbeds of the paper — and identical across protocols under test.
+class PropagationModel {
+ public:
+  PropagationModel(PropagationConfig config, sim::Rng rng)
+      : config_(config), rng_(rng) {}
+
+  [[nodiscard]] Decibels loss(NodeId from, const Position& from_pos,
+                              NodeId to, const Position& to_pos);
+
+  [[nodiscard]] const PropagationConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] static std::uint32_t pair_key(NodeId a, NodeId b) {
+    return static_cast<std::uint32_t>(a.value()) << 16 | b.value();
+  }
+
+  PropagationConfig config_;
+  sim::Rng rng_;
+  std::unordered_map<std::uint32_t, double> cache_;
+};
+
+}  // namespace fourbit::phy

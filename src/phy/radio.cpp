@@ -1,0 +1,40 @@
+#include "phy/radio.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+#include "phy/channel.hpp"
+
+namespace fourbit::phy {
+
+Radio::Radio(Channel& channel, NodeId id, Position position,
+             HardwareProfile hw, PowerDbm tx_power)
+    : channel_(channel),
+      id_(id),
+      position_(position),
+      hardware_(hw),
+      tx_power_(tx_power) {
+  channel_.attach(*this);
+}
+
+Radio::~Radio() { channel_.detach(*this); }
+
+PowerDbm Radio::noise_floor() const {
+  return channel_.phy().noise_floor + hardware_.noise_figure_offset;
+}
+
+bool Radio::channel_clear() const {
+  if (transmitting()) return false;
+  return !channel_.busy_at(*this);
+}
+
+bool Radio::transmitting() const {
+  return transmitting_until_ > channel_.simulator().now();
+}
+
+void Radio::transmit(std::vector<std::uint8_t> frame, TxDoneHandler done) {
+  FOURBIT_ASSERT(!frame.empty(), "cannot transmit an empty frame");
+  channel_.start_transmission(*this, std::move(frame), std::move(done));
+}
+
+}  // namespace fourbit::phy

@@ -1,0 +1,104 @@
+// A node's radio: the attachment point between a protocol stack and the
+// shared channel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+#include "phy/hardware.hpp"
+#include "sim/time.hpp"
+
+namespace fourbit::phy {
+
+class Channel;
+
+/// Physical-layer metadata delivered alongside every received frame.
+///
+/// `white` is the paper's physical-layer bit: set iff every symbol of the
+/// packet had a very low probability of decoding error (here: the LQI
+/// reading cleared the configured threshold).
+struct RxInfo {
+  PowerDbm rssi;
+  double snr_db = 0.0;
+  int lqi = 0;
+  bool white = false;
+
+  /// False for frames the radio heard but could not decode cleanly; the
+  /// MAC verifies the frame check sequence and drops them.
+  bool fcs_ok = true;
+};
+
+/// Half-duplex radio. Owns no protocol state; the MAC drives it.
+class Radio {
+ public:
+  using RxHandler =
+      std::function<void(std::span<const std::uint8_t>, const RxInfo&)>;
+  using TxDoneHandler = std::function<void()>;
+
+  /// Registers with `channel`; the channel must outlive the radio.
+  Radio(Channel& channel, NodeId id, Position position, HardwareProfile hw,
+        PowerDbm tx_power);
+  ~Radio();
+
+  Radio(const Radio&) = delete;
+  Radio& operator=(const Radio&) = delete;
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] const Position& position() const { return position_; }
+  [[nodiscard]] const HardwareProfile& hardware() const { return hardware_; }
+
+  [[nodiscard]] PowerDbm tx_power() const { return tx_power_; }
+  void set_tx_power(PowerDbm p) { tx_power_ = p; }
+
+  /// Configured power plus this unit's manufacturing offset.
+  [[nodiscard]] PowerDbm effective_tx_power() const {
+    return tx_power_ + hardware_.tx_power_offset;
+  }
+
+  /// This receiver's effective noise floor (channel floor + noise figure).
+  [[nodiscard]] PowerDbm noise_floor() const;
+
+  void set_rx_handler(RxHandler h) { rx_handler_ = std::move(h); }
+
+  /// Energy-detect CCA as used by CSMA.
+  [[nodiscard]] bool channel_clear() const;
+
+  [[nodiscard]] bool transmitting() const;
+
+  /// Receiver duty cycling: a radio that is not listening hears nothing
+  /// (low-power listening turns the receiver off between channel
+  /// samples). Transmission is always possible; real radios wake to send.
+  void set_listening(bool on) { listening_ = on; }
+  [[nodiscard]] bool listening() const { return listening_; }
+
+  /// Puts `frame` (the MPDU) on the air. Must not be called while already
+  /// transmitting. `done` fires when the last bit leaves the antenna.
+  void transmit(std::vector<std::uint8_t> frame, TxDoneHandler done);
+
+  // --- Channel-side interface ---------------------------------------
+
+  void deliver(std::span<const std::uint8_t> frame, const RxInfo& info) {
+    if (rx_handler_) rx_handler_(frame, info);
+  }
+
+  void set_transmitting_until(sim::Time t) { transmitting_until_ = t; }
+  [[nodiscard]] sim::Time transmitting_until() const {
+    return transmitting_until_;
+  }
+
+ private:
+  Channel& channel_;
+  NodeId id_;
+  Position position_;
+  HardwareProfile hardware_;
+  PowerDbm tx_power_;
+  RxHandler rx_handler_;
+  sim::Time transmitting_until_;
+  bool listening_ = true;
+};
+
+}  // namespace fourbit::phy

@@ -1,0 +1,80 @@
+#include "runner/describe.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace fourbit::runner {
+namespace {
+
+std::string format(const char* fmt, ...) {
+  char buffer[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buffer, sizeof buffer, fmt, args);
+  va_end(args);
+  return buffer;
+}
+
+}  // namespace
+
+std::string describe(const ExperimentConfig& config) {
+  std::string out;
+  out += format("profile      : %s\n",
+                profile_name(config.profile).data());
+  out += format("testbed      : %zu nodes, root %u\n",
+                config.testbed.topology.size(),
+                config.testbed.topology.root.value());
+  out += format("tx power     : %.1f dBm\n", config.tx_power.value());
+  out += format("duration     : %.1f min\n",
+                config.duration.seconds() / 60.0);
+  out += format("traffic      : 1 pkt / %.1f s / node (+-%.0f%%), %zu B\n",
+                config.traffic.period.seconds(),
+                config.traffic.jitter * 100.0,
+                config.traffic.payload_bytes);
+  out += format("link table   : %zu entries\n", config.table_capacity);
+  out += format("seed         : %llu\n",
+                static_cast<unsigned long long>(config.seed));
+  const auto& env = config.testbed.environment;
+  out += format(
+      "environment  : PL(d)=%.1f+%.0f*log10(d) dB, shadow %.1f dB, "
+      "asym %.1f dB\n",
+      env.propagation.reference_loss.value(), 10.0 * env.propagation.exponent,
+      env.propagation.shadowing_sigma_db, env.propagation.asymmetry_sigma_db);
+  if (env.burst_interference) {
+    out += format(
+        "interference : bursts %.0fs/%.0fs, %.0f%% loss, %.0f%% of nodes\n",
+        env.bursts.mean_bad.seconds(), env.bursts.mean_good.seconds(),
+        env.bursts.bad_loss_probability * 100.0,
+        env.bursts.affected_fraction * 100.0);
+  } else {
+    out += "interference : none\n";
+  }
+  return out;
+}
+
+std::string describe(const ExperimentResult& result) {
+  std::string out;
+  out += format("cost         : %.2f tx / delivered packet\n", result.cost);
+  out += format("delivery     : %.2f%% (%llu of %llu)\n",
+                result.delivery_ratio * 100.0,
+                static_cast<unsigned long long>(result.delivered),
+                static_cast<unsigned long long>(result.generated));
+  out += format("mean depth   : %.2f hops (%zu/%zu routed at end)\n",
+                result.mean_depth, result.final_tree.routed,
+                result.final_tree.total);
+  out += format("overhead     : %llu beacons, %llu duplicate rx\n",
+                static_cast<unsigned long long>(result.beacon_tx),
+                static_cast<unsigned long long>(result.duplicates));
+  out += format("drops        : %llu retx-budget, %llu queue\n",
+                static_cast<unsigned long long>(result.retx_drops),
+                static_cast<unsigned long long>(result.queue_drops));
+  out += format("churn        : %llu parent changes\n",
+                static_cast<unsigned long long>(result.parent_changes));
+  if (result.projected_lifetime_days > 0.0) {
+    out += format("energy       : worst node %.3f mAh, lifetime %.1f days\n",
+                  result.worst_node_mah, result.projected_lifetime_days);
+  }
+  return out;
+}
+
+}  // namespace fourbit::runner

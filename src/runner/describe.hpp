@@ -1,0 +1,14 @@
+// Human-readable descriptions of experiment configurations and results —
+// what a bench prints above its table so runs are self-documenting.
+#pragma once
+
+#include <string>
+
+#include "runner/experiment.hpp"
+
+namespace fourbit::runner {
+
+[[nodiscard]] std::string describe(const ExperimentConfig& config);
+[[nodiscard]] std::string describe(const ExperimentResult& result);
+
+}  // namespace fourbit::runner

@@ -1,0 +1,81 @@
+#include "runner/experiment.hpp"
+
+#include <utility>
+
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+
+namespace fourbit::runner {
+
+ExperimentResult run_experiment(ExperimentConfig config) {
+  sim::Simulator sim;
+  stats::Metrics metrics;
+
+  Network::Options options;
+  options.profile = config.profile;
+  options.tx_power = config.tx_power;
+  options.table_capacity = config.table_capacity;
+  options.seed = config.seed;
+  options.four_bit_override = config.four_bit_override;
+  options.collection_override = config.collection_override;
+  options.lpl_wake_interval = config.lpl_wake_interval;
+  Network network{sim, config.testbed, std::move(options), &metrics};
+
+  stats::EnergyModel energy{config.energy};
+  if (config.track_energy) {
+    network.channel().set_tx_observer(
+        [&energy](NodeId node, sim::Duration airtime, PowerDbm power) {
+          energy.on_transmit(node, airtime, power);
+        });
+  }
+
+  network.start(config.boot_stagger, config.traffic);
+
+  // Depth sampling starts after boot + initial convergence window so the
+  // time average is not dominated by the pre-route transient.
+  const auto sampling_start =
+      config.boot_stagger + sim::Duration::from_seconds(60.0);
+  sim::Timer depth_sampler{sim, [&] {
+                             const auto snap = network.tree_snapshot();
+                             if (snap.routed > 0) {
+                               metrics.record_depth_sample(snap.mean_depth);
+                             }
+                           }};
+  sim.schedule_in(sampling_start, [&] {
+    depth_sampler.start_periodic(config.depth_sample_interval);
+  });
+
+  sim.run_for(config.duration);
+  depth_sampler.stop();
+
+  ExperimentResult result;
+  result.cost = metrics.cost();
+  result.delivery_ratio = metrics.delivery_ratio();
+  result.mean_depth = metrics.average_depth();
+  result.per_node_delivery = metrics.per_node_delivery();
+  result.generated = metrics.generated_total();
+  result.delivered = metrics.delivered_unique_total();
+  result.data_tx = metrics.data_tx_total();
+  result.beacon_tx = metrics.beacon_tx_total();
+  result.radio_frames = network.channel().frames_transmitted();
+  result.retx_drops = metrics.retx_drops();
+  result.queue_drops = metrics.queue_drops();
+  result.duplicates = metrics.duplicate_rx();
+  result.parent_changes = network.total_parent_changes();
+  result.final_tree = network.tree_snapshot();
+
+  if (config.track_energy) {
+    std::vector<NodeId> all_nodes;
+    all_nodes.reserve(network.size());
+    for (std::size_t i = 0; i < network.size(); ++i) {
+      all_nodes.push_back(network.node(i).id());
+    }
+    const auto report = energy.report(config.duration, all_nodes);
+    result.worst_node_mah = report.worst_mah;
+    result.mean_tx_mah = report.mean_tx_mah;
+    result.projected_lifetime_days = report.projected_lifetime_days;
+  }
+  return result;
+}
+
+}  // namespace fourbit::runner

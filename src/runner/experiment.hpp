@@ -1,0 +1,67 @@
+// One-call experiment driver: testbed + profile + power -> metrics.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "app/traffic.hpp"
+#include "runner/network.hpp"
+#include "runner/profile.hpp"
+#include "stats/energy.hpp"
+#include "stats/metrics.hpp"
+#include "topology/topology.hpp"
+
+namespace fourbit::runner {
+
+struct ExperimentConfig {
+  topology::Testbed testbed;
+  Profile profile = Profile::kFourBit;
+  PowerDbm tx_power{0.0};
+  sim::Duration duration = sim::Duration::from_minutes(25.0);
+  app::TrafficConfig traffic;
+  std::uint64_t seed = 1;
+  std::size_t table_capacity = 10;
+  sim::Duration boot_stagger = sim::Duration::from_seconds(30.0);
+  sim::Duration depth_sample_interval = sim::Duration::from_seconds(30.0);
+  std::optional<core::FourBitConfig> four_bit_override;
+  std::optional<net::CollectionConfig> collection_override;
+
+  /// Duty-cycle the radios with low-power listening (0 = always on).
+  sim::Duration lpl_wake_interval = sim::Duration::from_us(0);
+
+  /// Charge every transmission to the energy model and report lifetime
+  /// projections in the result.
+  bool track_energy = false;
+  stats::EnergyConfig energy;
+};
+
+struct ExperimentResult {
+  // Headline metrics (the paper's cost / delivery / depth).
+  double cost = 0.0;
+  double delivery_ratio = 0.0;
+  double mean_depth = 0.0;
+
+  // Distributions and raw counters.
+  std::vector<double> per_node_delivery;
+  std::uint64_t generated = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t data_tx = 0;
+  std::uint64_t beacon_tx = 0;
+  std::uint64_t radio_frames = 0;  // frames on the air (incl. LPL copies)
+  std::uint64_t retx_drops = 0;
+  std::uint64_t queue_drops = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t parent_changes = 0;
+
+  TreeSnapshot final_tree;
+
+  // Energy (populated when config.track_energy is set).
+  double worst_node_mah = 0.0;
+  double mean_tx_mah = 0.0;
+  double projected_lifetime_days = 0.0;
+};
+
+[[nodiscard]] ExperimentResult run_experiment(ExperimentConfig config);
+
+}  // namespace fourbit::runner

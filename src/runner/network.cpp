@@ -1,0 +1,145 @@
+#include "runner/network.hpp"
+
+#include <unordered_map>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace fourbit::runner {
+
+Network::Network(sim::Simulator& sim, const topology::Testbed& testbed,
+                 Options options, stats::Metrics* metrics)
+    : sim_(sim), root_(testbed.topology.root) {
+  sim::Rng rng{options.seed};
+
+  std::unique_ptr<phy::InterferenceModel> interference;
+  if (options.interference_override != nullptr) {
+    interference = std::move(options.interference_override);
+  } else if (testbed.environment.burst_interference) {
+    auto bursts = testbed.environment.bursts;
+    // The sink is sited away from interferers (see DESIGN.md): a sink
+    // jammed for tens of seconds would measure site placement, not link
+    // estimation.
+    bursts.exempt = testbed.topology.root;
+    interference = std::make_unique<phy::GilbertElliottInterference>(
+        bursts, rng.fork("bursts"));
+  } else {
+    interference = std::make_unique<phy::NullInterference>();
+  }
+
+  channel_ = std::make_unique<phy::Channel>(
+      sim, testbed.environment.phy, testbed.environment.propagation,
+      std::move(interference), rng.fork("channel"));
+
+  const net::CollectionConfig net_cfg =
+      options.collection_override.value_or(
+          make_collection_config(options.profile));
+
+  sim::Rng hw_rng = rng.fork("hardware");
+  for (std::size_t i = 0; i < testbed.topology.nodes.size(); ++i) {
+    const auto& placement = testbed.topology.nodes[i];
+    if (placement.id == root_) root_index_ = i;
+
+    const auto hw =
+        phy::HardwareProfile::sample(testbed.environment.hardware, hw_rng);
+    radios_.push_back(std::make_unique<phy::Radio>(
+        *channel_, placement.id, placement.position, hw, options.tx_power));
+
+    macs_.push_back(std::make_unique<mac::CsmaMac>(
+        sim, *radios_.back(), mac::CsmaConfig{},
+        rng.fork(placement.id.value()).fork("mac")));
+
+    mac::Mac* link_layer = macs_.back().get();
+    if (options.lpl_wake_interval.us() > 0) {
+      mac::LplConfig lpl;
+      lpl.wake_interval = options.lpl_wake_interval;
+      lpl_macs_.push_back(std::make_unique<mac::LplMac>(
+          sim, *macs_.back(), lpl,
+          rng.fork(placement.id.value()).fork("lpl")));
+      link_layer = lpl_macs_.back().get();
+    }
+
+    auto estimator = make_estimator(
+        options.profile, placement.id, options.table_capacity,
+        rng.fork(placement.id.value()).fork("estimator"),
+        options.four_bit_override);
+
+    nodes_.push_back(std::make_unique<net::CollectionNode>(
+        sim, *link_layer, std::move(estimator), placement.id == root_,
+        net_cfg, metrics, rng.fork(placement.id.value()).fork("node")));
+  }
+}
+
+Network::~Network() = default;
+
+void Network::start(sim::Duration boot_stagger,
+                    const app::TrafficConfig& traffic) {
+  sim::Rng boot_rng{static_cast<std::uint64_t>(boot_stagger.us()) ^
+                    0xB007B007ULL};
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const auto boot_at =
+        sim_.now() + sim::Duration::from_seconds(
+                         boot_rng.uniform(0.0, boot_stagger.seconds()));
+    if (i == root_index_) {
+      net::CollectionNode* root_node = nodes_[i].get();
+      sim_.schedule_at(boot_at, [root_node] { root_node->boot(); });
+      continue;
+    }
+    traffic_.push_back(std::make_unique<app::TrafficGenerator>(
+        sim_, *nodes_[i], traffic,
+        boot_rng.fork(nodes_[i]->id().value())));
+    traffic_.back()->start(boot_at);
+  }
+}
+
+TreeSnapshot Network::tree_snapshot() const {
+  // Map node id -> index once; then walk parent pointers with a hop cap
+  // (a transient routing loop must not hang the snapshot).
+  std::unordered_map<NodeId, std::size_t> index;
+  index.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    index.emplace(nodes_[i]->id(), i);
+  }
+
+  TreeSnapshot snap;
+  snap.depths.assign(nodes_.size(), -1);
+  const int hop_cap = static_cast<int>(nodes_.size()) + 1;
+
+  double depth_sum = 0.0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (i == root_index_) {
+      snap.depths[i] = 0;
+      continue;
+    }
+    ++snap.total;
+    NodeId cursor = nodes_[i]->id();
+    int depth = 0;
+    while (depth < hop_cap) {
+      const auto it = index.find(cursor);
+      if (it == index.end()) break;
+      const auto& routing = nodes_[it->second]->routing();
+      if (routing.is_root()) {
+        snap.depths[i] = depth;
+        break;
+      }
+      if (!routing.has_route()) break;
+      cursor = routing.parent();
+      ++depth;
+    }
+    if (snap.depths[i] >= 0) {
+      ++snap.routed;
+      depth_sum += snap.depths[i];
+    }
+  }
+  snap.mean_depth =
+      snap.routed > 0 ? depth_sum / static_cast<double>(snap.routed) : 0.0;
+  return snap;
+}
+
+std::uint64_t Network::total_parent_changes() const {
+  std::uint64_t total = 0;
+  for (const auto& n : nodes_) total += n->routing().parent_changes();
+  return total;
+}
+
+}  // namespace fourbit::runner

@@ -1,0 +1,88 @@
+// Assembles a full simulated network: channel, radios, MACs, estimator
+// stacks and traffic, for one protocol profile on one testbed.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "app/traffic.hpp"
+#include "common/ids.hpp"
+#include "mac/csma.hpp"
+#include "mac/lpl.hpp"
+#include "net/collection_node.hpp"
+#include "phy/channel.hpp"
+#include "phy/radio.hpp"
+#include "runner/profile.hpp"
+#include "sim/simulator.hpp"
+#include "stats/metrics.hpp"
+#include "topology/topology.hpp"
+
+namespace fourbit::runner {
+
+/// A snapshot of the routing tree: per-node hop distance to the root.
+struct TreeSnapshot {
+  /// Depth per node index; -1 = no route to the root right now.
+  std::vector<int> depths;
+  double mean_depth = 0.0;  // over routed non-root nodes
+  std::size_t routed = 0;   // non-root nodes with a path to the root
+  std::size_t total = 0;    // non-root nodes
+};
+
+class Network {
+ public:
+  struct Options {
+    Profile profile = Profile::kFourBit;
+    PowerDbm tx_power{0.0};
+    std::size_t table_capacity = 10;
+    std::uint64_t seed = 1;
+    std::optional<core::FourBitConfig> four_bit_override;
+    /// Duty-cycle the radios with low-power listening at this wake
+    /// interval (zero = always-on listening, the testbed default).
+    sim::Duration lpl_wake_interval = sim::Duration::from_us(0);
+    /// Replaces the profile's collection-protocol parameters (used by
+    /// ablations, e.g. switching the pin bit off).
+    std::optional<net::CollectionConfig> collection_override;
+    /// Replaces the testbed's burst-interference model when set (used by
+    /// scripted scenarios such as Figure 3).
+    std::unique_ptr<phy::InterferenceModel> interference_override;
+  };
+
+  Network(sim::Simulator& sim, const topology::Testbed& testbed,
+          Options options, stats::Metrics* metrics);
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] net::CollectionNode& node(std::size_t i) { return *nodes_[i]; }
+  [[nodiscard]] phy::Channel& channel() { return *channel_; }
+  [[nodiscard]] phy::Radio& radio(std::size_t i) { return *radios_[i]; }
+  [[nodiscard]] mac::CsmaMac& mac(std::size_t i) { return *macs_[i]; }
+  [[nodiscard]] NodeId root() const { return root_; }
+  [[nodiscard]] std::size_t root_index() const { return root_index_; }
+
+  /// Boots every node at a uniformly random time in [0, stagger] and
+  /// starts constant-rate traffic on every non-root node.
+  void start(sim::Duration boot_stagger, const app::TrafficConfig& traffic);
+
+  /// Current routing tree (follows parent pointers, loop-safe).
+  [[nodiscard]] TreeSnapshot tree_snapshot() const;
+
+  /// Sum of parent changes across all nodes (route churn).
+  [[nodiscard]] std::uint64_t total_parent_changes() const;
+
+ private:
+  sim::Simulator& sim_;
+  NodeId root_;
+  std::size_t root_index_ = 0;
+  std::unique_ptr<phy::Channel> channel_;
+  std::vector<std::unique_ptr<phy::Radio>> radios_;
+  std::vector<std::unique_ptr<mac::CsmaMac>> macs_;
+  std::vector<std::unique_ptr<mac::LplMac>> lpl_macs_;  // empty unless LPL
+  std::vector<std::unique_ptr<net::CollectionNode>> nodes_;
+  std::vector<std::unique_ptr<app::TrafficGenerator>> traffic_;
+};
+
+}  // namespace fourbit::runner

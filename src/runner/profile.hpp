@@ -1,0 +1,42 @@
+// Protocol profiles under test — one per point in the paper's design
+// space (Figure 6) plus the MultiHopLQI baseline.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "common/ids.hpp"
+#include "core/four_bit_config.hpp"
+#include "link/estimator.hpp"
+#include "net/config.hpp"
+#include "sim/rng.hpp"
+
+namespace fourbit::runner {
+
+enum class Profile {
+  kFourBit,           // "4B": hybrid estimator + all four bits
+  kCtpT2,             // stock CTP: broadcast-probe ETX, 10-entry table
+  kCtpUnidirAck,      // CTP + ack bit (hybrid estimator, no white/compare)
+  kCtpWhiteCompare,   // CTP + white & compare bits (probe ETX estimation)
+  kCtpUnconstrained,  // stock CTP with an unbounded link table
+  kMultihopLqi,       // PHY-only baseline
+};
+
+[[nodiscard]] std::string_view profile_name(Profile p);
+
+/// Builds the link estimator for a profile. `table_capacity` applies to
+/// the bounded profiles (ignored by kCtpUnconstrained). The optional
+/// override replaces the hybrid-estimator tunables for ablation studies
+/// (its insertion policy is still forced per profile).
+[[nodiscard]] std::unique_ptr<link::LinkEstimator> make_estimator(
+    Profile p, NodeId self, std::size_t table_capacity, sim::Rng rng,
+    const std::optional<core::FourBitConfig>& four_bit_override = {});
+
+/// Collection-protocol parameters for a profile (CTP-style for everything
+/// except MultiHopLQI, which beacons on a fixed interval, retransmits
+/// shallowly, and has no datapath feedback).
+[[nodiscard]] net::CollectionConfig make_collection_config(Profile p);
+
+}  // namespace fourbit::runner

@@ -1,0 +1,65 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace fourbit::sim {
+
+EventId EventQueue::schedule(Time at, Callback cb) {
+  FOURBIT_ASSERT(cb != nullptr, "cannot schedule a null callback");
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{at, seq, seq, std::move(cb)});
+  ++live_count_;
+  return EventId{seq};
+}
+
+void EventQueue::cancel(EventId id) {
+  if (!id.valid()) return;
+  // Only record ids that might still be pending; ids from the future are
+  // impossible, ids already popped are not in the heap.
+  if (id.raw() >= next_seq_) return;
+  if (cancelled_.insert(id.raw()).second && live_count_ > 0) {
+    --live_count_;
+  }
+}
+
+bool EventQueue::empty() const { return live_count_ == 0; }
+
+std::size_t EventQueue::size() const { return live_count_; }
+
+void EventQueue::drop_cancelled() {
+  while (!heap_.empty()) {
+    const auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+Time EventQueue::next_time() const {
+  auto* self = const_cast<EventQueue*>(this);
+  self->drop_cancelled();
+  FOURBIT_ASSERT(!heap_.empty(), "next_time on an empty queue");
+  return heap_.top().time;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  drop_cancelled();
+  FOURBIT_ASSERT(!heap_.empty(), "pop on an empty queue");
+  // priority_queue::top() is const; the entry is moved out via const_cast
+  // which is safe because pop() immediately removes it.
+  auto& top = const_cast<Entry&>(heap_.top());
+  Popped out{top.time, std::move(top.callback)};
+  heap_.pop();
+  --live_count_;
+  return out;
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) heap_.pop();
+  cancelled_.clear();
+  live_count_ = 0;
+}
+
+}  // namespace fourbit::sim

@@ -1,0 +1,88 @@
+// Pending-event set of the discrete-event kernel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace fourbit::sim {
+
+/// Handle for cancelling a scheduled event. Default-constructed handles
+/// are inert.
+class EventId {
+ public:
+  constexpr EventId() = default;
+
+  [[nodiscard]] constexpr bool valid() const { return id_ != 0; }
+  [[nodiscard]] constexpr std::uint64_t raw() const { return id_; }
+
+  friend constexpr bool operator==(EventId, EventId) = default;
+
+ private:
+  friend class EventQueue;
+  constexpr explicit EventId(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+/// Min-heap of timestamped callbacks with O(1) lazy cancellation.
+///
+/// Ties in time break by insertion order, so same-time events run FIFO —
+/// a property several MAC/timer interactions rely on and tests assert.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` at absolute time `at`. `at` must be >= the time of the
+  /// last popped event (enforced by the Simulator, not here).
+  EventId schedule(Time at, Callback cb);
+
+  /// Cancels a pending event; cancelling an already-fired or invalid id is
+  /// a harmless no-op.
+  void cancel(EventId id);
+
+  [[nodiscard]] bool empty() const;
+  [[nodiscard]] std::size_t size() const;
+
+  /// Time of the earliest pending event. Must not be called when empty.
+  [[nodiscard]] Time next_time() const;
+
+  /// Removes and returns the earliest event's callback along with its
+  /// time. Must not be called when empty.
+  struct Popped {
+    Time time;
+    Callback callback;
+  };
+  Popped pop();
+
+  /// Drops every pending event (used at simulation teardown).
+  void clear();
+
+ private:
+  struct Entry {
+    Time time;
+    std::uint64_t seq;
+    std::uint64_t id;
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Cancelled ids are kept in a set and skipped at pop time; cheaper than
+  // heap surgery and the set stays small because fired ids are erased.
+  void drop_cancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::uint64_t next_seq_ = 1;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace fourbit::sim

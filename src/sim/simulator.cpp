@@ -1,0 +1,45 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace fourbit::sim {
+
+EventId Simulator::schedule_in(Duration delay, EventQueue::Callback cb) {
+  FOURBIT_ASSERT(delay.us() >= 0, "cannot schedule into the past");
+  return queue_.schedule(now_ + delay, std::move(cb));
+}
+
+EventId Simulator::schedule_at(Time at, EventQueue::Callback cb) {
+  FOURBIT_ASSERT(at >= now_, "cannot schedule into the past");
+  return queue_.schedule(at, std::move(cb));
+}
+
+void Simulator::execute_next() {
+  auto popped = queue_.pop();
+  FOURBIT_ASSERT(popped.time >= now_, "event queue went backwards in time");
+  now_ = popped.time;
+  popped.callback();
+  ++events_executed_;
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty()) {
+    execute_next();
+  }
+}
+
+void Simulator::run_until(Time deadline) {
+  FOURBIT_ASSERT(deadline >= now_, "deadline is in the past");
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty() && queue_.next_time() <= deadline) {
+    execute_next();
+  }
+  if (!stopped_ && now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+}  // namespace fourbit::sim

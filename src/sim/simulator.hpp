@@ -1,0 +1,58 @@
+// The discrete-event simulator: a clock plus an event queue.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace fourbit::sim {
+
+/// Owns simulated time. Components hold a Simulator& and schedule work
+/// relative to `now()`; the driver calls one of the run_* methods.
+class Simulator {
+ public:
+  Simulator() = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedules `cb` after `delay` (must be >= 0).
+  EventId schedule_in(Duration delay, EventQueue::Callback cb);
+
+  /// Schedules `cb` at absolute time `at` (must be >= now()).
+  EventId schedule_at(Time at, EventQueue::Callback cb);
+
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  /// Runs until the queue drains or `stop()` is called.
+  void run();
+
+  /// Runs until simulated time reaches `deadline` (events at exactly the
+  /// deadline still execute) or the queue drains. Time advances to the
+  /// deadline even if the queue drained earlier.
+  void run_until(Time deadline);
+
+  void run_for(Duration d) { run_until(now_ + d); }
+
+  /// Makes the current run() / run_until() return after the in-flight
+  /// event completes.
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] std::uint64_t events_executed() const {
+    return events_executed_;
+  }
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  void execute_next();
+
+  EventQueue queue_;
+  Time now_;
+  bool stopped_ = false;
+  std::uint64_t events_executed_ = 0;
+};
+
+}  // namespace fourbit::sim

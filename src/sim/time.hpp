@@ -1,0 +1,96 @@
+// Simulation time as a strong 64-bit microsecond count.
+//
+// Microsecond resolution covers 802.15.4 symbol times (16 us) while an
+// int64 range covers ~292k years — far beyond the paper's 12-hour runs.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace fourbit::sim {
+
+class Duration;
+
+/// Absolute simulation time (microseconds since simulation start).
+class Time {
+ public:
+  constexpr Time() = default;
+
+  [[nodiscard]] static constexpr Time from_us(std::int64_t us) {
+    return Time{us};
+  }
+
+  [[nodiscard]] constexpr std::int64_t us() const { return us_; }
+  [[nodiscard]] constexpr double seconds() const {
+    return static_cast<double>(us_) / 1e6;
+  }
+
+  friend constexpr auto operator<=>(Time, Time) = default;
+
+  constexpr Time& operator+=(Duration d);
+
+ private:
+  constexpr explicit Time(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+/// Relative simulation time (signed; negative durations are legal results
+/// of subtraction but must never be scheduled).
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  [[nodiscard]] static constexpr Duration from_us(std::int64_t us) {
+    return Duration{us};
+  }
+  [[nodiscard]] static constexpr Duration from_ms(std::int64_t ms) {
+    return Duration{ms * 1000};
+  }
+  [[nodiscard]] static constexpr Duration from_seconds(double s) {
+    return Duration{static_cast<std::int64_t>(s * 1e6)};
+  }
+  [[nodiscard]] static constexpr Duration from_minutes(double m) {
+    return from_seconds(m * 60.0);
+  }
+  [[nodiscard]] static constexpr Duration from_hours(double h) {
+    return from_seconds(h * 3600.0);
+  }
+
+  [[nodiscard]] constexpr std::int64_t us() const { return us_; }
+  [[nodiscard]] constexpr double seconds() const {
+    return static_cast<double>(us_) / 1e6;
+  }
+
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+
+  friend constexpr Duration operator+(Duration a, Duration b) {
+    return Duration{a.us_ + b.us_};
+  }
+  friend constexpr Duration operator-(Duration a, Duration b) {
+    return Duration{a.us_ - b.us_};
+  }
+  friend constexpr Duration operator*(Duration a, double k) {
+    return Duration{static_cast<std::int64_t>(static_cast<double>(a.us_) * k)};
+  }
+  friend constexpr Duration operator*(double k, Duration a) { return a * k; }
+
+ private:
+  constexpr explicit Duration(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+constexpr Time operator+(Time t, Duration d) {
+  return Time::from_us(t.us() + d.us());
+}
+constexpr Time operator-(Time t, Duration d) {
+  return Time::from_us(t.us() - d.us());
+}
+constexpr Duration operator-(Time a, Time b) {
+  return Duration::from_us(a.us() - b.us());
+}
+constexpr Time& Time::operator+=(Duration d) {
+  us_ += d.us();
+  return *this;
+}
+
+}  // namespace fourbit::sim

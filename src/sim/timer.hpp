@@ -1,0 +1,78 @@
+// One-shot and periodic timers on top of the simulator.
+//
+// Mirrors the TinyOS Timer abstraction the protocols in this repo were
+// originally written against: start/stop/restart semantics, safe to
+// restart from inside the fired callback.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "sim/simulator.hpp"
+
+namespace fourbit::sim {
+
+/// A restartable timer bound to a simulator and a callback.
+///
+/// The owner must outlive any pending firing; Timer cancels itself on
+/// destruction so destroying the owner (with the timer inside) is safe.
+class Timer {
+ public:
+  using Callback = std::function<void()>;
+
+  Timer(Simulator& sim, Callback cb)
+      : sim_(sim), callback_(std::move(cb)) {}
+
+  ~Timer() { stop(); }
+
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  /// Fires once after `delay`, replacing any pending firing.
+  void start_one_shot(Duration delay) {
+    stop();
+    periodic_ = false;
+    arm(delay);
+  }
+
+  /// Fires every `period`, starting one period from now, replacing any
+  /// pending firing.
+  void start_periodic(Duration period) {
+    stop();
+    periodic_ = true;
+    period_ = period;
+    arm(period);
+  }
+
+  void stop() {
+    if (pending_.valid()) {
+      sim_.cancel(pending_);
+      pending_ = EventId{};
+    }
+  }
+
+  [[nodiscard]] bool running() const { return pending_.valid(); }
+
+ private:
+  void arm(Duration delay) {
+    pending_ = sim_.schedule_in(delay, [this] { fire(); });
+  }
+
+  void fire() {
+    pending_ = EventId{};
+    if (periodic_) {
+      arm(period_);
+    }
+    // The callback may stop or restart the timer; it runs after re-arming
+    // so that restart-from-callback wins over the automatic re-arm.
+    callback_();
+  }
+
+  Simulator& sim_;
+  Callback callback_;
+  EventId pending_;
+  bool periodic_ = false;
+  Duration period_;
+};
+
+}  // namespace fourbit::sim

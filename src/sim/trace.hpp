@@ -1,0 +1,40 @@
+// Lightweight component-tagged trace logging.
+//
+// Off by default: a disabled level costs one branch. Benches enable
+// nothing; debugging sessions enable per-component output to a stream.
+#pragma once
+
+#include <cstdio>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace fourbit::sim {
+
+enum class TraceLevel { kOff = 0, kError = 1, kInfo = 2, kDebug = 3 };
+
+/// Process-wide trace configuration. Simulations are single-threaded by
+/// design (one Simulator per experiment), so plain statics suffice.
+class Trace {
+ public:
+  static void set_level(TraceLevel level) { level_ = level; }
+  [[nodiscard]] static TraceLevel level() { return level_; }
+
+  [[nodiscard]] static bool enabled(TraceLevel level) {
+    return static_cast<int>(level) <= static_cast<int>(level_);
+  }
+
+  /// Writes "[ time] component: message". Callers pre-format `message`.
+  static void log(TraceLevel level, Time now, std::string_view component,
+                  std::string_view message) {
+    if (!enabled(level)) return;
+    std::fprintf(stderr, "[%12.6f] %.*s: %.*s\n", now.seconds(),
+                 static_cast<int>(component.size()), component.data(),
+                 static_cast<int>(message.size()), message.data());
+  }
+
+ private:
+  inline static TraceLevel level_ = TraceLevel::kOff;
+};
+
+}  // namespace fourbit::sim

@@ -1,0 +1,80 @@
+// ASCII rendering of a testbed and its routing tree.
+//
+// The paper's Figure 2 shades each node by its depth in the collection
+// tree; this renders the same view in a terminal: the root is 'R', every
+// other node shows its hop count ('1'..'9', '+' for deeper, '.' for
+// currently routeless).
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace fourbit::stats {
+
+struct AsciiMapEntry {
+  Position position;
+  int depth = -1;  // -1 = no route, 0 = root
+};
+
+/// Renders the nodes onto a `cols` x `rows` character canvas scaled to
+/// the bounding box of the positions. Collisions keep the shallower node
+/// (the more informative one).
+[[nodiscard]] inline std::string render_ascii_map(
+    const std::vector<AsciiMapEntry>& entries, std::size_t cols = 72,
+    std::size_t rows = 20) {
+  if (entries.empty() || cols < 2 || rows < 2) return "";
+
+  double min_x = entries[0].position.x;
+  double max_x = min_x;
+  double min_y = entries[0].position.y;
+  double max_y = min_y;
+  for (const auto& e : entries) {
+    min_x = std::min(min_x, e.position.x);
+    max_x = std::max(max_x, e.position.x);
+    min_y = std::min(min_y, e.position.y);
+    max_y = std::max(max_y, e.position.y);
+  }
+  const double span_x = std::max(max_x - min_x, 1e-9);
+  const double span_y = std::max(max_y - min_y, 1e-9);
+
+  std::vector<std::string> canvas(rows, std::string(cols, ' '));
+  // Track what is already drawn per cell so shallower nodes win.
+  std::vector<std::vector<int>> drawn(rows, std::vector<int>(cols, 1 << 20));
+
+  for (const auto& e : entries) {
+    const auto cx = static_cast<std::size_t>(
+        (e.position.x - min_x) / span_x * static_cast<double>(cols - 1));
+    // Screen y grows downward; keep the map's orientation (root usually
+    // bottom-left in the presets) by flipping.
+    const auto cy = static_cast<std::size_t>(
+        (1.0 - (e.position.y - min_y) / span_y) *
+        static_cast<double>(rows - 1));
+
+    const int rank = e.depth < 0 ? (1 << 19) : e.depth;
+    if (rank >= drawn[cy][cx]) continue;
+    drawn[cy][cx] = rank;
+
+    char c = '.';
+    if (e.depth == 0) {
+      c = 'R';
+    } else if (e.depth > 0 && e.depth <= 9) {
+      c = static_cast<char>('0' + e.depth);
+    } else if (e.depth > 9) {
+      c = '+';
+    }
+    canvas[cy][cx] = c;
+  }
+
+  std::string out;
+  out.reserve((cols + 1) * rows);
+  for (const auto& line : canvas) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace fourbit::stats

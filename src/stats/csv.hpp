@@ -1,0 +1,80 @@
+// Minimal CSV writer for experiment results.
+//
+// Benches print human-readable tables; pipelines want machine-readable
+// rows. This writer handles quoting and keeps the column set fixed per
+// file (mismatched rows are a programming error, caught by assert).
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace fourbit::stats {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  CsvWriter(const std::string& path, std::vector<std::string> columns)
+      : columns_(std::move(columns)), out_(path) {
+    FOURBIT_ASSERT(!columns_.empty(), "CSV needs at least one column");
+    write_row_raw(columns_);
+  }
+
+  [[nodiscard]] bool ok() const { return out_.good(); }
+
+  /// Appends one row; the cell count must match the header.
+  void row(const std::vector<std::string>& cells) {
+    FOURBIT_ASSERT(cells.size() == columns_.size(),
+                   "CSV row width does not match the header");
+    write_row_raw(cells);
+  }
+
+  /// Convenience: formats arithmetic values with full precision.
+  template <typename... Ts>
+  void row_values(const Ts&... values) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(values));
+    (cells.push_back(to_cell(values)), ...);
+    row(cells);
+  }
+
+ private:
+  template <typename T>
+  [[nodiscard]] static std::string to_cell(const T& v) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string{v};
+    } else {
+      std::ostringstream os;
+      os.precision(10);
+      os << v;
+      return os.str();
+    }
+  }
+
+  [[nodiscard]] static std::string quote(const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string quoted = "\"";
+    for (const char c : cell) {
+      if (c == '"') quoted += '"';
+      quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+  }
+
+  void write_row_raw(const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) out_ << ',';
+      out_ << quote(cells[i]);
+    }
+    out_ << '\n';
+  }
+
+  std::vector<std::string> columns_;
+  std::ofstream out_;
+};
+
+}  // namespace fourbit::stats

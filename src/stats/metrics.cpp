@@ -1,0 +1,68 @@
+#include "stats/metrics.hpp"
+
+namespace fourbit::stats {
+
+void Metrics::on_generated(NodeId origin, std::uint16_t) {
+  origins_[origin].generated += 1;
+}
+
+void Metrics::on_delivered(NodeId origin, std::uint16_t seq) {
+  // Duplicates at the sink (same origin, same seq) count once.
+  origins_[origin].delivered_seqs.insert(seq);
+}
+
+void Metrics::on_data_tx(NodeId) { ++data_tx_total_; }
+void Metrics::on_beacon_tx(NodeId) { ++beacon_tx_total_; }
+void Metrics::on_retx_drop(NodeId) { ++retx_drops_; }
+void Metrics::on_queue_drop(NodeId) { ++queue_drops_; }
+void Metrics::on_duplicate_rx(NodeId) { ++duplicate_rx_; }
+
+void Metrics::record_depth_sample(double mean_depth) {
+  depth_samples_.push_back(mean_depth);
+}
+
+std::uint64_t Metrics::generated_total() const {
+  std::uint64_t total = 0;
+  for (const auto& [node, po] : origins_) total += po.generated;
+  return total;
+}
+
+std::uint64_t Metrics::delivered_unique_total() const {
+  std::uint64_t total = 0;
+  for (const auto& [node, po] : origins_) total += po.delivered_seqs.size();
+  return total;
+}
+
+double Metrics::cost() const {
+  const std::uint64_t delivered = delivered_unique_total();
+  if (delivered == 0) return 0.0;
+  return static_cast<double>(data_tx_total_) /
+         static_cast<double>(delivered);
+}
+
+double Metrics::delivery_ratio() const {
+  const std::uint64_t generated = generated_total();
+  if (generated == 0) return 0.0;
+  return static_cast<double>(delivered_unique_total()) /
+         static_cast<double>(generated);
+}
+
+std::vector<double> Metrics::per_node_delivery() const {
+  std::vector<double> out;
+  out.reserve(origins_.size());
+  for (const auto& [node, po] : origins_) {
+    if (po.generated == 0) continue;
+    out.push_back(static_cast<double>(po.delivered_seqs.size()) /
+                  static_cast<double>(po.generated));
+  }
+  return out;
+}
+
+double Metrics::average_depth() const {
+  if (depth_samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double d : depth_samples_) sum += d;
+  return sum / static_cast<double>(depth_samples_.size());
+}
+
+}  // namespace fourbit::stats

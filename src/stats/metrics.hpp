@@ -1,0 +1,76 @@
+// Experiment accounting: the paper's three metrics.
+//
+//   cost           = data-frame transmissions (incl. every retransmission
+//                    and duplicate) per unique packet delivered at a root
+//   delivery ratio = unique packets delivered / packets generated,
+//                    aggregate and per node (Figure 8 boxplots)
+//   average depth  = mean hop distance of nodes to their root, sampled
+//                    over time by the runner
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "sim/time.hpp"
+
+namespace fourbit::stats {
+
+class Metrics {
+ public:
+  // ---- data-plane events (called by the protocol stacks) -------------
+
+  void on_generated(NodeId origin, std::uint16_t seq);
+  void on_delivered(NodeId origin, std::uint16_t seq);
+  void on_data_tx(NodeId sender);
+  void on_beacon_tx(NodeId sender);
+  void on_retx_drop(NodeId at);
+  void on_queue_drop(NodeId at);
+  void on_duplicate_rx(NodeId at);
+
+  /// Runner-sampled mean tree depth (hops to root over all routed nodes).
+  void record_depth_sample(double mean_depth);
+
+  // ---- derived metrics -------------------------------------------------
+
+  [[nodiscard]] std::uint64_t generated_total() const;
+  [[nodiscard]] std::uint64_t delivered_unique_total() const;
+  [[nodiscard]] std::uint64_t data_tx_total() const { return data_tx_total_; }
+  [[nodiscard]] std::uint64_t beacon_tx_total() const {
+    return beacon_tx_total_;
+  }
+  [[nodiscard]] std::uint64_t retx_drops() const { return retx_drops_; }
+  [[nodiscard]] std::uint64_t queue_drops() const { return queue_drops_; }
+  [[nodiscard]] std::uint64_t duplicate_rx() const { return duplicate_rx_; }
+
+  /// Transmissions per unique delivered packet (lower is better).
+  [[nodiscard]] double cost() const;
+
+  /// Fraction of generated packets that reached a root.
+  [[nodiscard]] double delivery_ratio() const;
+
+  /// Delivery ratio per origin node (origins that generated nothing are
+  /// omitted), for the per-node distribution plots.
+  [[nodiscard]] std::vector<double> per_node_delivery() const;
+
+  /// Time-average of the sampled mean tree depth.
+  [[nodiscard]] double average_depth() const;
+
+ private:
+  struct PerOrigin {
+    std::uint64_t generated = 0;
+    std::unordered_set<std::uint16_t> delivered_seqs;
+  };
+
+  std::unordered_map<NodeId, PerOrigin> origins_;
+  std::uint64_t data_tx_total_ = 0;
+  std::uint64_t beacon_tx_total_ = 0;
+  std::uint64_t retx_drops_ = 0;
+  std::uint64_t queue_drops_ = 0;
+  std::uint64_t duplicate_rx_ = 0;
+  std::vector<double> depth_samples_;
+};
+
+}  // namespace fourbit::stats

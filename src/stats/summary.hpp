@@ -1,0 +1,45 @@
+// Distribution summaries (the five-number boxplot statistics of Fig. 8).
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+namespace fourbit::stats {
+
+struct FiveNumber {
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+};
+
+/// Linear-interpolated quantile of a SORTED sample, q in [0,1].
+[[nodiscard]] inline double quantile_sorted(const std::vector<double>& sorted,
+                                            double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+[[nodiscard]] inline FiveNumber five_number_summary(std::vector<double> xs) {
+  FiveNumber s;
+  if (xs.empty()) return s;
+  std::sort(xs.begin(), xs.end());
+  s.min = xs.front();
+  s.max = xs.back();
+  s.q1 = quantile_sorted(xs, 0.25);
+  s.median = quantile_sorted(xs, 0.5);
+  s.q3 = quantile_sorted(xs, 0.75);
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  s.mean = sum / static_cast<double>(xs.size());
+  return s;
+}
+
+}  // namespace fourbit::stats

@@ -1,0 +1,53 @@
+// Time-binned series for the longitudinal plots (Figure 3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "sim/time.hpp"
+
+namespace fourbit::stats {
+
+/// Accumulates (time, value) points into fixed-width bins and reports the
+/// per-bin mean (e.g. PRR per 10 minutes, mean LQI per 10 minutes).
+class BinnedSeries {
+ public:
+  explicit BinnedSeries(sim::Duration bin_width) : bin_width_(bin_width) {
+    FOURBIT_ASSERT(bin_width.us() > 0, "bin width must be positive");
+  }
+
+  void add(sim::Time t, double value) {
+    const auto bin = static_cast<std::size_t>(t.us() / bin_width_.us());
+    if (bin >= sums_.size()) {
+      sums_.resize(bin + 1, 0.0);
+      counts_.resize(bin + 1, 0);
+    }
+    sums_[bin] += value;
+    counts_[bin] += 1;
+  }
+
+  [[nodiscard]] std::size_t bins() const { return sums_.size(); }
+  [[nodiscard]] sim::Duration bin_width() const { return bin_width_; }
+
+  /// Mean of bin `i`; `fallback` if the bin is empty.
+  [[nodiscard]] double mean(std::size_t i, double fallback = 0.0) const {
+    if (i >= sums_.size() || counts_[i] == 0) return fallback;
+    return sums_[i] / static_cast<double>(counts_[i]);
+  }
+
+  [[nodiscard]] std::uint64_t count(std::size_t i) const {
+    return i < counts_.size() ? counts_[i] : 0;
+  }
+
+  [[nodiscard]] double bin_start_seconds(std::size_t i) const {
+    return static_cast<double>(i) * bin_width_.seconds();
+  }
+
+ private:
+  sim::Duration bin_width_;
+  std::vector<double> sums_;
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace fourbit::stats

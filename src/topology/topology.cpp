@@ -1,0 +1,113 @@
+#include "topology/topology.hpp"
+
+#include "common/assert.hpp"
+
+namespace fourbit::topology {
+
+Topology line(std::size_t n, double spacing_m) {
+  FOURBIT_ASSERT(n > 0, "line topology needs at least one node");
+  Topology t;
+  t.nodes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    t.nodes.push_back(NodePlacement{
+        NodeId{static_cast<NodeId::value_type>(i)},
+        Position{static_cast<double>(i) * spacing_m, 0.0}});
+  }
+  t.root = NodeId{0};
+  return t;
+}
+
+Topology grid(std::size_t rows, std::size_t cols, double pitch_m,
+              double jitter_m, sim::Rng& rng) {
+  FOURBIT_ASSERT(rows > 0 && cols > 0, "grid needs positive dimensions");
+  Topology t;
+  t.nodes.reserve(rows * cols);
+  NodeId::value_type id = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double jx = rng.uniform(-jitter_m, jitter_m);
+      const double jy = rng.uniform(-jitter_m, jitter_m);
+      t.nodes.push_back(
+          NodePlacement{NodeId{id++},
+                        Position{static_cast<double>(c) * pitch_m + jx,
+                                 static_cast<double>(r) * pitch_m + jy}});
+    }
+  }
+  t.root = NodeId{0};
+  return t;
+}
+
+namespace {
+
+/// Removes `k` interior nodes (never the root) to make a grid irregular,
+/// then renumbers ids to stay contiguous.
+Topology thin_out(Topology t, std::size_t k, sim::Rng& rng) {
+  for (std::size_t i = 0; i < k && t.nodes.size() > 1; ++i) {
+    const std::size_t victim = 1 + rng.uniform_int(t.nodes.size() - 1);
+    t.nodes.erase(t.nodes.begin() + static_cast<std::ptrdiff_t>(victim));
+  }
+  for (std::size_t i = 0; i < t.nodes.size(); ++i) {
+    t.nodes[i].id = NodeId{static_cast<NodeId::value_type>(i)};
+  }
+  t.root = NodeId{0};
+  return t;
+}
+
+}  // namespace
+
+Testbed mirage(sim::Rng& rng) {
+  Testbed tb;
+  // 12 x 8 grid = 96, thinned to 85 nodes over ~72 x 42 m.
+  sim::Rng layout = rng.fork("mirage-layout");
+  tb.topology = thin_out(grid(8, 12, 6.5, 2.0, layout), 11, layout);
+
+  // Radio environment tuned so that at 0 dBm the root reaches a large
+  // fraction of the floor directly (paper trees: depths 1-5) and at
+  // -20 dBm the network is several hops deep but still connected.
+  // Asymmetry: per-direction shadowing plus TX-power / noise-figure
+  // manufacturing spread (Zuniga & Krishnamachari report multi-dB spreads)
+  // gives per-direction deltas of ~3 dB std — wide enough that a link can
+  // look clean inbound while dropping most packets outbound, the regime
+  // where beacon-LQI parent selection goes wrong.
+  tb.environment.propagation.reference_loss = Decibels{37.0};
+  tb.environment.propagation.exponent = 4.0;
+  tb.environment.propagation.shadowing_sigma_db = 3.2;
+  tb.environment.propagation.asymmetry_sigma_db = 1.4;
+  tb.environment.hardware.tx_offset_sigma_db = 1.8;
+  tb.environment.hardware.noise_figure_sigma_db = 1.8;
+  tb.environment.burst_interference = true;
+  tb.environment.bursts.mean_good = sim::Duration::from_seconds(400.0);
+  tb.environment.bursts.mean_bad = sim::Duration::from_seconds(50.0);
+  tb.environment.bursts.bad_loss_probability = 0.85;
+  tb.environment.bursts.affected_fraction = 0.45;
+  return tb;
+}
+
+Testbed tutornet(sim::Rng& rng) {
+  Testbed tb;
+  // 12 x 9 grid = 108, thinned to 94 nodes over ~66 x 48 m; denser and
+  // with a harsher channel than Mirage.
+  sim::Rng layout = rng.fork("tutornet-layout");
+  tb.topology = thin_out(grid(9, 12, 6.0, 2.5, layout), 14, layout);
+
+  // Tutornet's harshness is dominated by clutter and hardware spread:
+  // heavier shadowing and much stronger per-direction asymmetry than
+  // Mirage (the regime where the ack bit pays off), with somewhat more
+  // frequent interference bursts. A blanket-jamming environment would
+  // invert the result — every protocol pays retransmissions to push
+  // through noise nobody can route around.
+  tb.environment.propagation.reference_loss = Decibels{47.0};
+  tb.environment.propagation.exponent = 4.0;
+  tb.environment.propagation.shadowing_sigma_db = 4.8;
+  tb.environment.propagation.asymmetry_sigma_db = 2.6;
+  tb.environment.hardware.tx_offset_sigma_db = 3.0;
+  tb.environment.hardware.noise_figure_sigma_db = 3.0;
+  tb.environment.burst_interference = true;
+  tb.environment.bursts.mean_good = sim::Duration::from_seconds(350.0);
+  tb.environment.bursts.mean_bad = sim::Duration::from_seconds(50.0);
+  tb.environment.bursts.bad_loss_probability = 0.85;
+  tb.environment.bursts.affected_fraction = 0.5;
+  return tb;
+}
+
+}  // namespace fourbit::topology

@@ -1,0 +1,63 @@
+// Node placements and radio-environment bundles.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+#include "phy/config.hpp"
+#include "phy/interference.hpp"
+#include "sim/rng.hpp"
+
+namespace fourbit::topology {
+
+struct NodePlacement {
+  NodeId id;
+  Position position;
+};
+
+struct Topology {
+  std::vector<NodePlacement> nodes;
+  NodeId root;
+
+  [[nodiscard]] std::size_t size() const { return nodes.size(); }
+};
+
+/// Everything about the radio environment of a testbed, minus placement.
+struct Environment {
+  phy::PhyConfig phy;
+  phy::PropagationConfig propagation;
+  phy::HardwareVariationConfig hardware;
+  bool burst_interference = true;
+  phy::GilbertElliottInterference::Config bursts;
+};
+
+/// A named testbed: where the nodes are and what the air is like.
+struct Testbed {
+  Topology topology;
+  Environment environment;
+};
+
+// ---- generators -------------------------------------------------------
+
+/// `n` nodes on a line with the given spacing, root = node 0 at x = 0.
+[[nodiscard]] Topology line(std::size_t n, double spacing_m);
+
+/// rows x cols grid with the given pitch; each node jittered by up to
+/// `jitter_m` in both axes. Root = node 0 at the bottom-left corner.
+[[nodiscard]] Topology grid(std::size_t rows, std::size_t cols,
+                            double pitch_m, double jitter_m, sim::Rng& rng);
+
+// ---- testbed presets ----------------------------------------------------
+
+/// Mirage-like: 85 nodes (MicaZ-class) on an irregular indoor grid,
+/// root in the bottom-left corner (cf. paper Fig. 2).
+[[nodiscard]] Testbed mirage(sim::Rng& rng);
+
+/// Tutornet-like: 94 nodes (TelosB-class), denser and noisier (stronger
+/// shadowing, more hardware spread, more bursty interference) — the
+/// environment where MultiHopLQI dropped to 85% delivery.
+[[nodiscard]] Testbed tutornet(sim::Rng& rng);
+
+}  // namespace fourbit::topology

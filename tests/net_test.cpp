@@ -1,0 +1,498 @@
+// Tests of the network layer: wire formats, duplicate cache, routing
+// engine (parent selection, compare/pin bits, Trickle behaviour) and the
+// forwarding engine (retransmission, the ack bit, loop signals).
+//
+// The routing/forwarding engines are tested against a scripted fake
+// estimator and a captured data sender, so every behaviour is exercised
+// without a radio underneath.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "net/config.hpp"
+#include "net/forwarding_engine.hpp"
+#include "net/packets.hpp"
+#include "net/routing_engine.hpp"
+#include "sim/simulator.hpp"
+#include "stats/metrics.hpp"
+
+namespace fourbit::net {
+namespace {
+
+// ---- wire formats --------------------------------------------------------
+
+TEST(PacketsTest, BeaconRoundTrip) {
+  RoutingBeacon b;
+  b.parent = NodeId{17};
+  b.path_etx = 3.25;
+  b.pull = true;
+  const auto decoded = RoutingBeacon::decode(b.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->parent, NodeId{17});
+  EXPECT_DOUBLE_EQ(decoded->path_etx, 3.25);
+  EXPECT_TRUE(decoded->pull);
+}
+
+TEST(PacketsTest, BeaconPullDefaultsFalse) {
+  RoutingBeacon b;
+  b.parent = NodeId{1};
+  b.path_etx = 0.0;
+  const auto decoded = RoutingBeacon::decode(b.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_FALSE(decoded->pull);
+}
+
+TEST(PacketsTest, BeaconTruncatedRejected) {
+  const std::vector<std::uint8_t> bytes{0x00, 0x01};
+  EXPECT_FALSE(RoutingBeacon::decode(bytes).has_value());
+}
+
+TEST(PacketsTest, EtxQuantization) {
+  EXPECT_DOUBLE_EQ(dequantize_etx(quantize_etx(1.0)), 1.0);
+  EXPECT_NEAR(dequantize_etx(quantize_etx(3.14)), 3.14, 1.0 / 16.0);
+  EXPECT_DOUBLE_EQ(dequantize_etx(quantize_etx(0.0)), 0.0);
+  // Saturates instead of wrapping.
+  EXPECT_GT(dequantize_etx(quantize_etx(1e9)), 4000.0);
+}
+
+TEST(PacketsTest, DataHeaderRoundTrip) {
+  DataHeader h;
+  h.origin = NodeId{300};
+  h.seq = 4242;
+  h.thl = 7;
+  h.sender_path_etx = 12.5;
+  const std::vector<std::uint8_t> payload{9, 9, 9};
+  const auto decoded = decode_data(h.encode(payload));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->header.origin, NodeId{300});
+  EXPECT_EQ(decoded->header.seq, 4242);
+  EXPECT_EQ(decoded->header.thl, 7);
+  EXPECT_DOUBLE_EQ(decoded->header.sender_path_etx, 12.5);
+  EXPECT_EQ(decoded->app_payload, payload);
+}
+
+TEST(PacketsTest, DataHeaderTruncatedRejected) {
+  const std::vector<std::uint8_t> bytes{1, 2, 3};
+  EXPECT_FALSE(decode_data(bytes).has_value());
+}
+
+// ---- DupCache -----------------------------------------------------------------
+
+TEST(DupCacheTest, DetectsDuplicates) {
+  DupCache cache{8};
+  EXPECT_FALSE(cache.check_and_insert(NodeId{1}, 100));
+  EXPECT_TRUE(cache.check_and_insert(NodeId{1}, 100));
+  EXPECT_FALSE(cache.check_and_insert(NodeId{1}, 101));
+  EXPECT_FALSE(cache.check_and_insert(NodeId{2}, 100));
+}
+
+TEST(DupCacheTest, EvictsOldestAtCapacity) {
+  DupCache cache{2};
+  (void)cache.check_and_insert(NodeId{1}, 1);
+  (void)cache.check_and_insert(NodeId{1}, 2);
+  (void)cache.check_and_insert(NodeId{1}, 3);  // evicts (1,1)
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.check_and_insert(NodeId{1}, 1));  // forgotten
+}
+
+// ---- fakes -----------------------------------------------------------------------
+
+/// Scripted estimator: ETX per neighbor set by the test; records pins and
+/// ack-bit reports.
+class FakeEstimator final : public link::LinkEstimator {
+ public:
+  std::vector<std::uint8_t> wrap_beacon(
+      std::span<const std::uint8_t> p) override {
+    return {p.begin(), p.end()};
+  }
+  std::optional<std::vector<std::uint8_t>> unwrap_beacon(
+      NodeId, std::span<const std::uint8_t> bytes,
+      const link::PacketPhyInfo&) override {
+    return std::vector<std::uint8_t>{bytes.begin(), bytes.end()};
+  }
+  void on_unicast_result(NodeId to, bool acked) override {
+    ack_reports.emplace_back(to, acked);
+  }
+  bool pin(NodeId n) override {
+    if (!etx_map.contains(n)) return false;
+    pinned.insert(n);
+    return true;
+  }
+  void unpin(NodeId n) override { pinned.erase(n); }
+  void clear_pins() override { pinned.clear(); }
+  std::optional<double> etx(NodeId n) const override {
+    const auto it = etx_map.find(n);
+    if (it == etx_map.end()) return std::nullopt;
+    return it->second;
+  }
+  std::vector<NodeId> neighbors() const override {
+    std::vector<NodeId> out;
+    for (const auto& [n, e] : etx_map) out.push_back(n);
+    return out;
+  }
+  void remove(NodeId n) override { etx_map.erase(n); }
+  void set_compare_provider(link::CompareProvider* p) override {
+    compare = p;
+  }
+
+  std::map<NodeId, double> etx_map;
+  std::set<NodeId> pinned;
+  std::vector<std::pair<NodeId, bool>> ack_reports;
+  link::CompareProvider* compare = nullptr;
+};
+
+std::vector<std::uint8_t> beacon_from(NodeId parent, double cost,
+                                      bool pull = false) {
+  RoutingBeacon b;
+  b.parent = parent;
+  b.path_etx = cost;
+  b.pull = pull;
+  return b.encode();
+}
+
+// ---- RoutingEngine -------------------------------------------------------------
+
+class RoutingFixture : public ::testing::Test {
+ protected:
+  RoutingFixture()
+      : routing_(sim_, NodeId{10}, false, estimator_, CollectionConfig{},
+                 sim::Rng{1}) {
+    routing_.set_beacon_sender(
+        [this](std::vector<std::uint8_t> payload) {
+          sent_beacons_.push_back(std::move(payload));
+        });
+    routing_.start();
+  }
+
+  sim::Simulator sim_;
+  FakeEstimator estimator_;
+  RoutingEngine routing_;
+  std::vector<std::vector<std::uint8_t>> sent_beacons_;
+};
+
+TEST_F(RoutingFixture, NoRouteInitially) {
+  EXPECT_FALSE(routing_.has_route());
+  EXPECT_GE(routing_.path_etx(), CollectionConfig{}.max_path_etx);
+}
+
+TEST_F(RoutingFixture, AdoptsBestCostParent) {
+  estimator_.etx_map[NodeId{1}] = 1.0;
+  estimator_.etx_map[NodeId{2}] = 1.0;
+  routing_.on_beacon(NodeId{1}, beacon_from(NodeId{99}, 2.0));
+  routing_.on_beacon(NodeId{2}, beacon_from(NodeId{99}, 0.5));
+  EXPECT_TRUE(routing_.has_route());
+  EXPECT_EQ(routing_.parent(), NodeId{2});
+  EXPECT_NEAR(routing_.path_etx(), 1.5, 1e-9);
+}
+
+TEST_F(RoutingFixture, PinsCurrentParent) {
+  estimator_.etx_map[NodeId{1}] = 1.0;
+  routing_.on_beacon(NodeId{1}, beacon_from(NodeId{99}, 2.0));
+  EXPECT_TRUE(estimator_.pinned.contains(NodeId{1}));
+  // A far better parent appears (beats hysteresis): pin moves.
+  estimator_.etx_map[NodeId{2}] = 1.0;
+  routing_.on_beacon(NodeId{2}, beacon_from(NodeId{99}, 0.0));
+  EXPECT_EQ(routing_.parent(), NodeId{2});
+  EXPECT_TRUE(estimator_.pinned.contains(NodeId{2}));
+  EXPECT_FALSE(estimator_.pinned.contains(NodeId{1}));
+}
+
+TEST_F(RoutingFixture, HysteresisKeepsCurrentParent) {
+  estimator_.etx_map[NodeId{1}] = 1.0;
+  estimator_.etx_map[NodeId{2}] = 1.0;
+  routing_.on_beacon(NodeId{1}, beacon_from(NodeId{99}, 2.0));
+  ASSERT_EQ(routing_.parent(), NodeId{1});
+  // Candidate is better, but not by the switch threshold.
+  routing_.on_beacon(NodeId{2}, beacon_from(NodeId{99}, 1.8));
+  EXPECT_EQ(routing_.parent(), NodeId{1});
+  // Now decisively better: switch.
+  routing_.on_beacon(NodeId{2}, beacon_from(NodeId{99}, 0.2));
+  EXPECT_EQ(routing_.parent(), NodeId{2});
+}
+
+TEST_F(RoutingFixture, IgnoresNeighborRoutingThroughUs) {
+  estimator_.etx_map[NodeId{1}] = 1.0;
+  routing_.on_beacon(NodeId{1}, beacon_from(NodeId{10}, 1.0));  // child!
+  EXPECT_FALSE(routing_.has_route());
+}
+
+TEST_F(RoutingFixture, IgnoresRoutelessNeighbors) {
+  estimator_.etx_map[NodeId{1}] = 1.0;
+  routing_.on_beacon(NodeId{1},
+                     beacon_from(NodeId{99}, CollectionConfig{}.max_path_etx));
+  EXPECT_FALSE(routing_.has_route());
+}
+
+TEST_F(RoutingFixture, IgnoresNeighborsWithoutLinkEstimate) {
+  // Route info exists but the estimator does not track the node.
+  routing_.on_beacon(NodeId{5}, beacon_from(NodeId{99}, 0.5));
+  EXPECT_FALSE(routing_.has_route());
+}
+
+TEST_F(RoutingFixture, RootAdvertisesZero) {
+  FakeEstimator est;
+  RoutingEngine root{sim_, NodeId{0}, true, est, CollectionConfig{},
+                     sim::Rng{2}};
+  EXPECT_TRUE(root.is_root());
+  EXPECT_TRUE(root.has_route());
+  EXPECT_DOUBLE_EQ(root.path_etx(), 0.0);
+}
+
+TEST_F(RoutingFixture, BeaconsCarryCostAndPull) {
+  sim_.run_for(sim::Duration::from_seconds(2.0));
+  ASSERT_FALSE(sent_beacons_.empty());
+  const auto b = RoutingBeacon::decode(sent_beacons_.back());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_TRUE(b->pull) << "routeless nodes must set the pull bit";
+
+  estimator_.etx_map[NodeId{1}] = 1.0;
+  routing_.on_beacon(NodeId{1}, beacon_from(NodeId{99}, 1.0));
+  sent_beacons_.clear();
+  sim_.run_for(sim::Duration::from_seconds(10.0));
+  ASSERT_FALSE(sent_beacons_.empty());
+  const auto b2 = RoutingBeacon::decode(sent_beacons_.back());
+  ASSERT_TRUE(b2.has_value());
+  EXPECT_FALSE(b2->pull);
+  EXPECT_NEAR(b2->path_etx, 2.0, 0.1);
+}
+
+TEST_F(RoutingFixture, TrickleSlowsWhenStable) {
+  estimator_.etx_map[NodeId{1}] = 1.0;
+  routing_.on_beacon(NodeId{1}, beacon_from(NodeId{99}, 1.0));
+  sim_.run_for(sim::Duration::from_seconds(60.0));
+  const auto early = sent_beacons_.size();
+  sim_.run_for(sim::Duration::from_seconds(60.0));
+  const auto late = sent_beacons_.size() - early;
+  EXPECT_LT(late, early) << "beacon rate must decay when the route is stable";
+}
+
+TEST_F(RoutingFixture, CompareBitTrueForBetterRoute) {
+  estimator_.etx_map[NodeId{1}] = 2.0;
+  routing_.on_beacon(NodeId{1}, beacon_from(NodeId{99}, 3.0));  // worst = 5
+  EXPECT_TRUE(routing_.compare_bit(NodeId{7}, beacon_from(NodeId{99}, 1.0)));
+  EXPECT_FALSE(routing_.compare_bit(NodeId{7}, beacon_from(NodeId{99}, 9.0)));
+}
+
+TEST_F(RoutingFixture, CompareBitFalseForRoutelessCandidate) {
+  estimator_.etx_map[NodeId{1}] = 1.0;
+  routing_.on_beacon(NodeId{1}, beacon_from(NodeId{99}, 1.0));
+  EXPECT_FALSE(routing_.compare_bit(
+      NodeId{7}, beacon_from(NodeId{99}, CollectionConfig{}.max_path_etx)));
+}
+
+TEST_F(RoutingFixture, CompareBitFalseForOurChild) {
+  estimator_.etx_map[NodeId{1}] = 1.0;
+  routing_.on_beacon(NodeId{1}, beacon_from(NodeId{99}, 1.0));
+  EXPECT_FALSE(routing_.compare_bit(NodeId{7}, beacon_from(NodeId{10}, 0.5)));
+}
+
+TEST_F(RoutingFixture, CompareBitTrueWhenTableMostlyUseless) {
+  // Estimator tracks nodes the routing layer knows nothing about.
+  estimator_.etx_map[NodeId{1}] = 1.0;
+  estimator_.etx_map[NodeId{2}] = 1.0;
+  estimator_.etx_map[NodeId{3}] = 1.0;
+  EXPECT_TRUE(routing_.compare_bit(NodeId{7}, beacon_from(NodeId{99}, 5.0)));
+}
+
+TEST_F(RoutingFixture, CompareBitFalseOnMalformedPayload) {
+  const std::vector<std::uint8_t> garbage{0x01};
+  EXPECT_FALSE(routing_.compare_bit(NodeId{7}, garbage));
+}
+
+TEST_F(RoutingFixture, StaleCandidateRoutesExpire) {
+  estimator_.etx_map[NodeId{1}] = 1.0;
+  estimator_.etx_map[NodeId{2}] = 1.0;
+  routing_.on_beacon(NodeId{1}, beacon_from(NodeId{99}, 1.0));
+  ASSERT_EQ(routing_.parent(), NodeId{1});
+  routing_.on_beacon(NodeId{2}, beacon_from(NodeId{99}, 1.2));
+  // Let node 2's advertisement go stale, then break the parent.
+  sim_.run_for(CollectionConfig{}.route_expiry +
+               sim::Duration::from_seconds(5.0));
+  estimator_.etx_map.erase(NodeId{1});
+  routing_.on_delivery_failure(NodeId{1});
+  // Node 2's route info is stale -> not used; no route remains.
+  EXPECT_FALSE(routing_.has_route());
+}
+
+TEST_F(RoutingFixture, ParentExemptFromExpiry) {
+  estimator_.etx_map[NodeId{1}] = 1.0;
+  routing_.on_beacon(NodeId{1}, beacon_from(NodeId{99}, 1.0));
+  ASSERT_TRUE(routing_.has_route());
+  sim_.run_for(CollectionConfig{}.route_expiry +
+               sim::Duration::from_seconds(60.0));
+  EXPECT_TRUE(routing_.has_route())
+      << "the current parent must not expire from silence alone";
+}
+
+// ---- ForwardingEngine -------------------------------------------------------------
+
+class ForwardingFixture : public ::testing::Test {
+ protected:
+  ForwardingFixture()
+      : routing_(sim_, NodeId{10}, false, estimator_, config_, sim::Rng{1}),
+        forwarding_(sim_, NodeId{10}, routing_, estimator_, config_,
+                    &metrics_, sim::Rng{2}) {
+    routing_.set_beacon_sender([](std::vector<std::uint8_t>) {});
+    routing_.start();
+    forwarding_.set_data_sender(
+        [this](NodeId dst, std::vector<std::uint8_t> payload,
+               std::function<void(bool)> done) {
+          sends_.push_back({dst, std::move(payload)});
+          pending_done_.push_back(std::move(done));
+        });
+    // Give the node a route: parent 1 with cost 1.
+    estimator_.etx_map[NodeId{1}] = 1.0;
+    routing_.on_beacon(NodeId{1}, beacon_from(NodeId{99}, 0.0));
+  }
+
+  /// Completes the oldest outstanding MAC send with the given ack result.
+  void complete(bool acked) {
+    ASSERT_FALSE(pending_done_.empty());
+    auto done = std::move(pending_done_.front());
+    pending_done_.pop_front();
+    done(acked);
+  }
+
+  struct Sent {
+    NodeId dst;
+    std::vector<std::uint8_t> payload;
+  };
+
+  sim::Simulator sim_;
+  FakeEstimator estimator_;
+  CollectionConfig config_;
+  stats::Metrics metrics_;
+  RoutingEngine routing_;
+  ForwardingEngine forwarding_;
+  std::vector<Sent> sends_;
+  std::deque<std::function<void(bool)>> pending_done_;
+};
+
+TEST_F(ForwardingFixture, OriginatesTowardParent) {
+  const std::vector<std::uint8_t> app{1, 2, 3};
+  EXPECT_TRUE(forwarding_.send(app));
+  ASSERT_EQ(sends_.size(), 1u);
+  EXPECT_EQ(sends_[0].dst, NodeId{1});
+  const auto decoded = decode_data(sends_[0].payload);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->header.origin, NodeId{10});
+  EXPECT_EQ(decoded->header.thl, 0);
+  EXPECT_EQ(decoded->app_payload, app);
+  EXPECT_EQ(metrics_.generated_total(), 1u);
+}
+
+TEST_F(ForwardingFixture, AckBitReportedPerTransmission) {
+  (void)forwarding_.send(std::vector<std::uint8_t>{1});
+  complete(false);
+  sim_.run_for(config_.retx_delay + sim::Duration::from_ms(1));
+  complete(true);
+  ASSERT_EQ(estimator_.ack_reports.size(), 2u);
+  EXPECT_EQ(estimator_.ack_reports[0], (std::pair<NodeId, bool>{NodeId{1},
+                                                                false}));
+  EXPECT_EQ(estimator_.ack_reports[1], (std::pair<NodeId, bool>{NodeId{1},
+                                                                true}));
+  EXPECT_EQ(metrics_.data_tx_total(), 2u);
+}
+
+TEST_F(ForwardingFixture, RetransmitsUntilBudgetThenDrops) {
+  config_ = CollectionConfig{};
+  (void)forwarding_.send(std::vector<std::uint8_t>{1});
+  const int budget = CollectionConfig{}.max_retransmissions;
+  for (int i = 0; i <= budget; ++i) {
+    complete(false);
+    sim_.run_for(CollectionConfig{}.retx_delay + sim::Duration::from_ms(1));
+  }
+  EXPECT_TRUE(pending_done_.empty()) << "packet must be dropped after budget";
+  EXPECT_EQ(metrics_.retx_drops(), 1u);
+  EXPECT_EQ(forwarding_.queue_depth(), 0u);
+}
+
+TEST_F(ForwardingFixture, ForwardsReceivedDataWithIncrementedThl) {
+  DataHeader h;
+  h.origin = NodeId{5};
+  h.seq = 9;
+  h.thl = 3;
+  h.sender_path_etx = 10.0;
+  forwarding_.on_data(NodeId{5}, h.encode(std::vector<std::uint8_t>{7}),
+                      link::PacketPhyInfo{});
+  ASSERT_EQ(sends_.size(), 1u);
+  const auto fwd = decode_data(sends_[0].payload);
+  ASSERT_TRUE(fwd.has_value());
+  EXPECT_EQ(fwd->header.origin, NodeId{5});
+  EXPECT_EQ(fwd->header.thl, 4);
+}
+
+TEST_F(ForwardingFixture, DuplicateDataDropped) {
+  DataHeader h;
+  h.origin = NodeId{5};
+  h.seq = 9;
+  h.sender_path_etx = 10.0;
+  const auto bytes = h.encode(std::vector<std::uint8_t>{});
+  forwarding_.on_data(NodeId{5}, bytes, link::PacketPhyInfo{});
+  forwarding_.on_data(NodeId{5}, bytes, link::PacketPhyInfo{});
+  EXPECT_EQ(sends_.size(), 1u);
+  EXPECT_EQ(metrics_.duplicate_rx(), 1u);
+}
+
+TEST_F(ForwardingFixture, ThlCapDropsCirclingPackets) {
+  DataHeader h;
+  h.origin = NodeId{5};
+  h.seq = 9;
+  h.thl = static_cast<std::uint8_t>(config_.max_thl);
+  h.sender_path_etx = 10.0;
+  forwarding_.on_data(NodeId{5}, h.encode(std::vector<std::uint8_t>{}),
+                      link::PacketPhyInfo{});
+  EXPECT_TRUE(sends_.empty());
+}
+
+TEST_F(ForwardingFixture, QueueOverflowDrops) {
+  // Fill the queue; the head is in flight, the rest wait.
+  for (std::size_t i = 0; i < config_.queue_capacity + 3; ++i) {
+    (void)forwarding_.send(std::vector<std::uint8_t>{1});
+  }
+  EXPECT_GT(metrics_.queue_drops(), 0u);
+}
+
+TEST_F(ForwardingFixture, RootDeliversToSink) {
+  FakeEstimator est;
+  RoutingEngine root_routing{sim_, NodeId{0}, true, est, config_,
+                             sim::Rng{3}};
+  ForwardingEngine root_fwd{sim_,  NodeId{0}, root_routing, est,
+                            config_, &metrics_, sim::Rng{4}};
+  int sink_packets = 0;
+  root_fwd.set_sink_handler(
+      [&](const DataHeader& h, std::span<const std::uint8_t> payload) {
+        ++sink_packets;
+        EXPECT_EQ(h.origin, NodeId{5});
+        EXPECT_EQ(payload.size(), 2u);
+      });
+  DataHeader h;
+  h.origin = NodeId{5};
+  h.seq = 1;
+  h.sender_path_etx = 1.0;
+  root_fwd.on_data(NodeId{5}, h.encode(std::vector<std::uint8_t>{1, 2}),
+                   link::PacketPhyInfo{});
+  EXPECT_EQ(sink_packets, 1);
+  EXPECT_EQ(metrics_.delivered_unique_total(), 1u);
+}
+
+TEST_F(ForwardingFixture, RootOwnPacketsDeliverLocally) {
+  FakeEstimator est;
+  RoutingEngine root_routing{sim_, NodeId{0}, true, est, config_,
+                             sim::Rng{3}};
+  ForwardingEngine root_fwd{sim_,  NodeId{0}, root_routing, est,
+                            config_, &metrics_, sim::Rng{4}};
+  int sink_packets = 0;
+  root_fwd.set_sink_handler([&](const DataHeader&,
+                                std::span<const std::uint8_t>) {
+    ++sink_packets;
+  });
+  EXPECT_TRUE(root_fwd.send(std::vector<std::uint8_t>{1}));
+  EXPECT_EQ(sink_packets, 1);
+}
+
+}  // namespace
+}  // namespace fourbit::net

@@ -1,0 +1,484 @@
+// Tests of the physical layer: modulation, LQI, propagation, hardware
+// variation, interference processes, and the channel/radio pair.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "phy/channel.hpp"
+#include "phy/hardware.hpp"
+#include "phy/interference.hpp"
+#include "phy/lqi.hpp"
+#include "phy/modulation.hpp"
+#include "phy/propagation.hpp"
+#include "phy/radio.hpp"
+#include "sim/simulator.hpp"
+
+namespace fourbit::phy {
+namespace {
+
+// ---- OqpskModulation -------------------------------------------------------
+
+TEST(ModulationTest, BerEndpoints) {
+  OqpskModulation mod;
+  EXPECT_LT(mod.bit_error_rate(10.0), 1e-9);   // clean channel
+  EXPECT_GT(mod.bit_error_rate(-10.0), 0.05);  // hopeless channel
+}
+
+TEST(ModulationTest, BerMonotoneNonIncreasing) {
+  OqpskModulation mod;
+  double prev = 1.0;
+  for (double snr = -12.0; snr <= 12.0; snr += 0.25) {
+    const double ber = mod.bit_error_rate(snr);
+    EXPECT_LE(ber, prev + 1e-12) << "at snr " << snr;
+    prev = ber;
+  }
+}
+
+TEST(ModulationTest, TableMatchesExactFormula) {
+  OqpskModulation mod;
+  for (double snr = -8.0; snr <= 8.0; snr += 0.37) {
+    const double exact = OqpskModulation::exact_bit_error_rate(snr);
+    const double table = mod.bit_error_rate(snr);
+    EXPECT_NEAR(table, exact, exact * 0.05 + 1e-9) << "at snr " << snr;
+  }
+}
+
+TEST(ModulationTest, PrrDecreasesWithFrameLength) {
+  OqpskModulation mod;
+  const double snr = 0.5;  // in the transition region
+  const double short_frame = mod.packet_reception_ratio(snr, 20);
+  const double long_frame = mod.packet_reception_ratio(snr, 120);
+  EXPECT_GT(short_frame, long_frame);
+}
+
+TEST(ModulationTest, PrrEndpoints) {
+  OqpskModulation mod;
+  EXPECT_NEAR(mod.packet_reception_ratio(10.0, 40), 1.0, 1e-6);
+  EXPECT_LT(mod.packet_reception_ratio(-10.0, 40), 1e-6);
+}
+
+TEST(ModulationTest, PrrTransitionRegionIsGrayZone) {
+  OqpskModulation mod;
+  // There must exist SNRs giving intermediate PRR (the gray zone links
+  // the paper cares about).
+  bool found = false;
+  for (double snr = -5.0; snr <= 5.0; snr += 0.1) {
+    const double prr = mod.packet_reception_ratio(snr, 46);
+    if (prr > 0.2 && prr < 0.8) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+// ---- LqiModel -----------------------------------------------------------------
+
+TEST(LqiTest, MeanMonotoneInSnr) {
+  double prev = 0.0;
+  for (double snr = -10.0; snr <= 15.0; snr += 0.5) {
+    const double lqi = LqiModel::mean_lqi(snr);
+    EXPECT_GE(lqi, prev);
+    prev = lqi;
+  }
+}
+
+TEST(LqiTest, SaturatesHighAndLow) {
+  EXPECT_NEAR(LqiModel::mean_lqi(15.0), 110.0, 1.0);
+  EXPECT_NEAR(LqiModel::mean_lqi(-10.0), 50.0, 1.0);
+}
+
+TEST(LqiTest, SamplesClampedToRange) {
+  sim::Rng rng{1};
+  for (int i = 0; i < 1000; ++i) {
+    const int lqi = LqiModel::sample(5.0, rng);
+    EXPECT_GE(lqi, LqiModel::kMinLqi);
+    EXPECT_LE(lqi, LqiModel::kMaxLqi);
+  }
+}
+
+TEST(LqiTest, SampleMeanNearModel) {
+  sim::Rng rng{2};
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += LqiModel::sample(2.0, rng);
+  EXPECT_NEAR(sum / n, LqiModel::mean_lqi(2.0), 0.3);
+}
+
+// ---- PropagationModel -----------------------------------------------------------
+
+TEST(PropagationTest, DeterministicPerPair) {
+  PropagationConfig cfg;
+  PropagationModel m1{cfg, sim::Rng{7}};
+  PropagationModel m2{cfg, sim::Rng{7}};
+  const Position a{0, 0};
+  const Position b{10, 0};
+  EXPECT_DOUBLE_EQ(m1.loss(NodeId{1}, a, NodeId{2}, b).value(),
+                   m2.loss(NodeId{1}, a, NodeId{2}, b).value());
+}
+
+TEST(PropagationTest, CachedValueStable) {
+  PropagationModel m{PropagationConfig{}, sim::Rng{7}};
+  const Position a{0, 0};
+  const Position b{10, 0};
+  const double first = m.loss(NodeId{1}, a, NodeId{2}, b).value();
+  const double second = m.loss(NodeId{1}, a, NodeId{2}, b).value();
+  EXPECT_DOUBLE_EQ(first, second);
+}
+
+TEST(PropagationTest, LossGrowsWithDistanceOnAverage) {
+  PropagationConfig cfg;
+  cfg.shadowing_sigma_db = 0.0;
+  cfg.asymmetry_sigma_db = 0.0;
+  PropagationModel m{cfg, sim::Rng{7}};
+  const double near = m.loss(NodeId{1}, {0, 0}, NodeId{2}, {5, 0}).value();
+  const double far = m.loss(NodeId{1}, {0, 0}, NodeId{3}, {50, 0}).value();
+  EXPECT_GT(far, near);
+  // Log-distance slope: 10x distance = 10*n dB.
+  EXPECT_NEAR(far - near, 10.0 * cfg.exponent, 1e-9);
+}
+
+TEST(PropagationTest, DirectionalAsymmetryBounded) {
+  PropagationConfig cfg;
+  cfg.shadowing_sigma_db = 3.0;
+  cfg.asymmetry_sigma_db = 1.5;
+  PropagationModel m{cfg, sim::Rng{11}};
+  // The a->b / b->a difference comes only from the directional component,
+  // so across many pairs its spread should reflect ~sqrt(2)*sigma_dir.
+  double sum = 0.0;
+  double sumsq = 0.0;
+  const int n = 400;
+  for (int i = 0; i < n; ++i) {
+    const NodeId a{static_cast<std::uint16_t>(2 * i)};
+    const NodeId b{static_cast<std::uint16_t>(2 * i + 1)};
+    const Position pa{0, 0};
+    const Position pb{10, static_cast<double>(i % 7)};
+    const double delta =
+        m.loss(a, pa, b, pb).value() - m.loss(b, pb, a, pa).value();
+    sum += delta;
+    sumsq += delta * delta;
+  }
+  const double mean = sum / n;
+  const double stddev = std::sqrt(sumsq / n - mean * mean);
+  EXPECT_NEAR(mean, 0.0, 0.35);
+  EXPECT_NEAR(stddev, cfg.asymmetry_sigma_db * std::sqrt(2.0), 0.5);
+}
+
+TEST(PropagationTest, MinimumDistanceClamped) {
+  PropagationConfig cfg;
+  cfg.shadowing_sigma_db = 0.0;
+  cfg.asymmetry_sigma_db = 0.0;
+  PropagationModel m{cfg, sim::Rng{3}};
+  // Coincident nodes: distance clamps at 0.5 m, loss stays finite.
+  const double loss = m.loss(NodeId{1}, {0, 0}, NodeId{2}, {0, 0}).value();
+  EXPECT_GT(loss, 0.0);
+  EXPECT_LT(loss, 100.0);
+}
+
+// ---- HardwareProfile ---------------------------------------------------------------
+
+TEST(HardwareTest, SampleSpreadMatchesConfig) {
+  HardwareVariationConfig cfg;
+  cfg.tx_offset_sigma_db = 2.0;
+  cfg.noise_figure_sigma_db = 1.0;
+  sim::Rng rng{5};
+  double tx_sumsq = 0.0;
+  double nf_sumsq = 0.0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    const auto hw = HardwareProfile::sample(cfg, rng);
+    tx_sumsq += hw.tx_power_offset.value() * hw.tx_power_offset.value();
+    nf_sumsq +=
+        hw.noise_figure_offset.value() * hw.noise_figure_offset.value();
+  }
+  EXPECT_NEAR(std::sqrt(tx_sumsq / n), 2.0, 0.15);
+  EXPECT_NEAR(std::sqrt(nf_sumsq / n), 1.0, 0.1);
+}
+
+// ---- Interference -------------------------------------------------------------------
+
+TEST(InterferenceTest, NullNeverDestroys) {
+  NullInterference ni;
+  EXPECT_EQ(ni.destroy_probability(NodeId{1}, sim::Time::from_us(0),
+                                   sim::Time::from_us(1000)),
+            0.0);
+}
+
+TEST(InterferenceTest, GilbertElliottTimeFractionMatchesDwells) {
+  GilbertElliottInterference::Config cfg;
+  cfg.mean_good = sim::Duration::from_seconds(90.0);
+  cfg.mean_bad = sim::Duration::from_seconds(30.0);
+  cfg.affected_fraction = 1.0;
+  cfg.bad_loss_probability = 1.0;
+  GilbertElliottInterference ge{cfg, sim::Rng{21}};
+  // Sample the chain of one node over a long horizon; the bad-state
+  // fraction should approach 30 / (90 + 30) = 0.25.
+  int bad = 0;
+  const int samples = 20000;
+  for (int i = 0; i < samples; ++i) {
+    const auto t = sim::Time::from_us(static_cast<std::int64_t>(i) *
+                                      1'000'000);  // 1 s grid
+    if (ge.in_bad_state(NodeId{1}, t)) ++bad;
+  }
+  EXPECT_NEAR(static_cast<double>(bad) / samples, 0.25, 0.04);
+}
+
+TEST(InterferenceTest, UnaffectedNodesNeverBad) {
+  GilbertElliottInterference::Config cfg;
+  cfg.affected_fraction = 0.0;
+  GilbertElliottInterference ge{cfg, sim::Rng{22}};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(ge.in_bad_state(
+        NodeId{3}, sim::Time::from_us(static_cast<std::int64_t>(i) * 1e7)));
+  }
+}
+
+TEST(InterferenceTest, ExemptNodeNeverBad) {
+  GilbertElliottInterference::Config cfg;
+  cfg.affected_fraction = 1.0;
+  cfg.exempt = NodeId{9};
+  GilbertElliottInterference ge{cfg, sim::Rng{23}};
+  for (int i = 0; i < 200; ++i) {
+    const auto t = sim::Time::from_us(static_cast<std::int64_t>(i) * 1e7);
+    EXPECT_FALSE(ge.in_bad_state(NodeId{9}, t));
+  }
+}
+
+TEST(InterferenceTest, ScheduledBurstWindowing) {
+  std::vector<ScheduledBurstInterference::Burst> bursts = {
+      {NodeId{1}, sim::Time::from_us(100), sim::Time::from_us(200), 0.5},
+      {kBroadcastId, sim::Time::from_us(500), sim::Time::from_us(600), 0.9},
+  };
+  ScheduledBurstInterference si{bursts};
+  // Inside the victim-specific window.
+  EXPECT_EQ(si.destroy_probability(NodeId{1}, sim::Time::from_us(120),
+                                   sim::Time::from_us(130)),
+            0.5);
+  // Wrong victim.
+  EXPECT_EQ(si.destroy_probability(NodeId{2}, sim::Time::from_us(120),
+                                   sim::Time::from_us(130)),
+            0.0);
+  // Broadcast burst hits everyone.
+  EXPECT_EQ(si.destroy_probability(NodeId{2}, sim::Time::from_us(510),
+                                   sim::Time::from_us(520)),
+            0.9);
+  // Outside every window.
+  EXPECT_EQ(si.destroy_probability(NodeId{1}, sim::Time::from_us(300),
+                                   sim::Time::from_us(310)),
+            0.0);
+  // Partial overlap counts.
+  EXPECT_EQ(si.destroy_probability(NodeId{1}, sim::Time::from_us(90),
+                                   sim::Time::from_us(110)),
+            0.5);
+}
+
+// ---- Channel + Radio ------------------------------------------------------------------
+
+class ChannelFixture : public ::testing::Test {
+ protected:
+  ChannelFixture() {
+    PropagationConfig prop;
+    prop.shadowing_sigma_db = 0.0;
+    prop.asymmetry_sigma_db = 0.0;
+    channel_ = std::make_unique<Channel>(
+        sim_, PhyConfig{}, prop, std::make_unique<NullInterference>(),
+        sim::Rng{42});
+  }
+
+  Radio make_radio(std::uint16_t id, double x) {
+    return Radio{*channel_, NodeId{id}, Position{x, 0.0}, HardwareProfile{},
+                 PowerDbm{0.0}};
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<Channel> channel_;
+};
+
+TEST_F(ChannelFixture, CloseRadiosAlwaysDeliver) {
+  Radio a = make_radio(1, 0.0);
+  Radio b = make_radio(2, 5.0);
+  int received = 0;
+  RxInfo last_info;
+  b.set_rx_handler([&](std::span<const std::uint8_t> frame,
+                       const RxInfo& info) {
+    ++received;
+    last_info = info;
+    EXPECT_EQ(frame.size(), 10u);
+  });
+  for (int i = 0; i < 20; ++i) {
+    a.transmit(std::vector<std::uint8_t>(10, 0x55), nullptr);
+    sim_.run();
+  }
+  EXPECT_EQ(received, 20);
+  EXPECT_GT(last_info.snr_db, 10.0);
+  EXPECT_TRUE(last_info.white);  // clean channel -> white bit set
+  EXPECT_GE(last_info.lqi, 105);
+}
+
+TEST_F(ChannelFixture, FarRadiosNeverDeliver) {
+  Radio a = make_radio(1, 0.0);
+  Radio b = make_radio(2, 500.0);
+  int received = 0;
+  b.set_rx_handler(
+      [&](std::span<const std::uint8_t>, const RxInfo&) { ++received; });
+  for (int i = 0; i < 20; ++i) {
+    a.transmit(std::vector<std::uint8_t>(10, 0x55), nullptr);
+    sim_.run();
+  }
+  EXPECT_EQ(received, 0);
+}
+
+TEST_F(ChannelFixture, SenderDoesNotHearItself) {
+  Radio a = make_radio(1, 0.0);
+  int self_rx = 0;
+  a.set_rx_handler(
+      [&](std::span<const std::uint8_t>, const RxInfo&) { ++self_rx; });
+  a.transmit(std::vector<std::uint8_t>(10, 1), nullptr);
+  sim_.run();
+  EXPECT_EQ(self_rx, 0);
+}
+
+TEST_F(ChannelFixture, TxDoneFiresAtAirtimeEnd) {
+  Radio a = make_radio(1, 0.0);
+  sim::Time done_at;
+  a.transmit(std::vector<std::uint8_t>(10, 1),
+             [&] { done_at = sim_.now(); });
+  EXPECT_TRUE(a.transmitting());
+  sim_.run();
+  // 10-byte MPDU + 6 bytes PHY overhead at 250 kbps = 512 us.
+  EXPECT_EQ(done_at.us(), 512);
+  EXPECT_FALSE(a.transmitting());
+}
+
+TEST_F(ChannelFixture, StrongInterfererDestroysWeakerPacket) {
+  // Capture: c sits next to interferer b and far from a. During overlap,
+  // a's packet has deeply negative SINR at c and is lost; b's packet
+  // shrugs off the weak interference and is received.
+  Radio a = make_radio(1, 40.0);
+  Radio b = make_radio(2, 2.0);
+  Radio c = make_radio(3, 0.0);
+  int from_a = 0;
+  int from_b = 0;
+  c.set_rx_handler(
+      [&](std::span<const std::uint8_t> frame, const RxInfo& info) {
+        if (!info.fcs_ok) return;
+        (frame[0] == 1 ? from_a : from_b) += 1;
+      });
+  for (int i = 0; i < 20; ++i) {
+    a.transmit(std::vector<std::uint8_t>(40, 1), nullptr);
+    b.transmit(std::vector<std::uint8_t>(40, 2), nullptr);
+    sim_.run();
+  }
+  EXPECT_EQ(from_a, 0);
+  EXPECT_EQ(from_b, 20);
+}
+
+TEST_F(ChannelFixture, InterferenceDegradesMarginalLink) {
+  // A link that is perfect in isolation loses packets when a concurrent
+  // transmitter adds comparable interference power.
+  Radio a = make_radio(1, 0.0);
+  Radio c = make_radio(3, 30.0);
+  Radio jammer = make_radio(2, 60.0);
+  int received = 0;
+  c.set_rx_handler([&](std::span<const std::uint8_t> frame,
+                       const RxInfo& info) {
+    if (info.fcs_ok && frame[0] == 1) ++received;
+  });
+  const int rounds = 50;
+  for (int i = 0; i < rounds; ++i) {
+    a.transmit(std::vector<std::uint8_t>(60, 1), nullptr);
+    jammer.transmit(std::vector<std::uint8_t>(60, 2), nullptr);
+    sim_.run();
+  }
+  EXPECT_LT(received, rounds);  // interference cost something
+}
+
+TEST_F(ChannelFixture, ReceiverBusyTransmittingMissesPacket) {
+  Radio a = make_radio(1, 0.0);
+  Radio b = make_radio(2, 5.0);
+  int received = 0;
+  b.set_rx_handler(
+      [&](std::span<const std::uint8_t>, const RxInfo&) { ++received; });
+  // b starts a long transmission; a transmits during it.
+  b.transmit(std::vector<std::uint8_t>(100, 9), nullptr);
+  a.transmit(std::vector<std::uint8_t>(10, 1), nullptr);
+  sim_.run();
+  EXPECT_EQ(received, 0);
+}
+
+TEST_F(ChannelFixture, CcaSeesNearbyTransmission) {
+  Radio a = make_radio(1, 0.0);
+  Radio b = make_radio(2, 5.0);
+  EXPECT_TRUE(b.channel_clear());
+  a.transmit(std::vector<std::uint8_t>(100, 1), nullptr);
+  EXPECT_FALSE(b.channel_clear());
+  EXPECT_FALSE(a.channel_clear());  // own transmission
+  sim_.run();
+  EXPECT_TRUE(b.channel_clear());
+}
+
+TEST_F(ChannelFixture, MeanPrrMatchesSnrCurve) {
+  Radio a = make_radio(1, 0.0);
+  Radio b = make_radio(2, 5.0);
+  EXPECT_NEAR(channel_->mean_prr(a, b, 40), 1.0, 1e-6);
+  Radio far = make_radio(3, 400.0);
+  EXPECT_LT(channel_->mean_prr(a, far, 40), 0.01);
+}
+
+TEST_F(ChannelFixture, FramesTransmittedCounts) {
+  Radio a = make_radio(1, 0.0);
+  const auto before = channel_->frames_transmitted();
+  a.transmit(std::vector<std::uint8_t>(10, 1), nullptr);
+  sim_.run();
+  a.transmit(std::vector<std::uint8_t>(10, 1), nullptr);
+  sim_.run();
+  EXPECT_EQ(channel_->frames_transmitted(), before + 2);
+}
+
+TEST_F(ChannelFixture, HardwareOffsetsShiftSnr) {
+  Radio a = make_radio(1, 0.0);
+  Radio b = make_radio(2, 30.0);
+  HardwareProfile hot;
+  hot.tx_power_offset = Decibels{4.0};
+  Radio a_hot{*channel_, NodeId{3}, Position{0.0, 0.1}, hot, PowerDbm{0.0}};
+  EXPECT_NEAR(channel_->snr_db(a_hot, b) - channel_->snr_db(a, b), 4.0, 0.5);
+}
+
+TEST(ChannelBurstTest, BurstDestroysWithoutLqiTrace) {
+  // During a 100%-destroy burst nothing is received at all; after it,
+  // packets arrive with HIGH LQI — the Figure 3 mechanism in miniature.
+  sim::Simulator sim;
+  PropagationConfig prop;
+  prop.shadowing_sigma_db = 0.0;
+  prop.asymmetry_sigma_db = 0.0;
+  std::vector<ScheduledBurstInterference::Burst> bursts = {
+      {NodeId{2}, sim::Time::from_us(0), sim::Time::from_us(10'000'000),
+       1.0}};
+  Channel channel{sim, PhyConfig{}, prop,
+                  std::make_unique<ScheduledBurstInterference>(bursts),
+                  sim::Rng{1}};
+  Radio a{channel, NodeId{1}, {0, 0}, HardwareProfile{}, PowerDbm{0.0}};
+  Radio b{channel, NodeId{2}, {5, 0}, HardwareProfile{}, PowerDbm{0.0}};
+  int received = 0;
+  int min_lqi = 200;
+  b.set_rx_handler([&](std::span<const std::uint8_t>, const RxInfo& info) {
+    if (!info.fcs_ok) return;  // the MAC would drop these
+    ++received;
+    min_lqi = std::min(min_lqi, info.lqi);
+  });
+  // 5 packets during the burst: all destroyed.
+  for (int i = 0; i < 5; ++i) {
+    a.transmit(std::vector<std::uint8_t>(20, 1), nullptr);
+    sim.run();
+  }
+  EXPECT_EQ(received, 0);
+  // After the burst: all received, all clean.
+  sim.run_until(sim::Time::from_us(10'000'001));
+  for (int i = 0; i < 5; ++i) {
+    a.transmit(std::vector<std::uint8_t>(20, 1), nullptr);
+    sim.run();
+  }
+  EXPECT_EQ(received, 5);
+  EXPECT_GE(min_lqi, 100);
+}
+
+}  // namespace
+}  // namespace fourbit::phy

@@ -1,0 +1,151 @@
+// Tests of the metrics/statistics module.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/metrics.hpp"
+#include "stats/summary.hpp"
+#include "stats/time_series.hpp"
+
+namespace fourbit::stats {
+namespace {
+
+// ---- Metrics -------------------------------------------------------------
+
+TEST(MetricsTest, CostIsTxPerUniqueDelivered) {
+  Metrics m;
+  m.on_generated(NodeId{1}, 0);
+  m.on_generated(NodeId{1}, 1);
+  for (int i = 0; i < 6; ++i) m.on_data_tx(NodeId{1});
+  m.on_delivered(NodeId{1}, 0);
+  m.on_delivered(NodeId{1}, 1);
+  EXPECT_DOUBLE_EQ(m.cost(), 3.0);
+}
+
+TEST(MetricsTest, DuplicateDeliveriesCountOnce) {
+  Metrics m;
+  m.on_generated(NodeId{1}, 0);
+  m.on_delivered(NodeId{1}, 0);
+  m.on_delivered(NodeId{1}, 0);
+  EXPECT_EQ(m.delivered_unique_total(), 1u);
+  EXPECT_DOUBLE_EQ(m.delivery_ratio(), 1.0);
+}
+
+TEST(MetricsTest, DeliveryRatioAggregates) {
+  Metrics m;
+  for (std::uint16_t s = 0; s < 10; ++s) m.on_generated(NodeId{1}, s);
+  for (std::uint16_t s = 0; s < 5; ++s) m.on_delivered(NodeId{1}, s);
+  EXPECT_DOUBLE_EQ(m.delivery_ratio(), 0.5);
+}
+
+TEST(MetricsTest, PerNodeDeliverySeparatesOrigins) {
+  Metrics m;
+  m.on_generated(NodeId{1}, 0);
+  m.on_delivered(NodeId{1}, 0);
+  m.on_generated(NodeId{2}, 0);
+  m.on_generated(NodeId{2}, 1);
+  m.on_delivered(NodeId{2}, 0);
+  auto v = m.per_node_delivery();
+  std::sort(v.begin(), v.end());
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_DOUBLE_EQ(v[0], 0.5);
+  EXPECT_DOUBLE_EQ(v[1], 1.0);
+}
+
+TEST(MetricsTest, ZeroGeneratedIsZeroRatio) {
+  Metrics m;
+  EXPECT_DOUBLE_EQ(m.delivery_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(m.cost(), 0.0);
+}
+
+TEST(MetricsTest, DepthSamplesAverage) {
+  Metrics m;
+  m.record_depth_sample(1.0);
+  m.record_depth_sample(2.0);
+  m.record_depth_sample(3.0);
+  EXPECT_DOUBLE_EQ(m.average_depth(), 2.0);
+  Metrics empty;
+  EXPECT_DOUBLE_EQ(empty.average_depth(), 0.0);
+}
+
+TEST(MetricsTest, DropCounters) {
+  Metrics m;
+  m.on_retx_drop(NodeId{1});
+  m.on_queue_drop(NodeId{1});
+  m.on_queue_drop(NodeId{2});
+  m.on_duplicate_rx(NodeId{3});
+  m.on_beacon_tx(NodeId{1});
+  EXPECT_EQ(m.retx_drops(), 1u);
+  EXPECT_EQ(m.queue_drops(), 2u);
+  EXPECT_EQ(m.duplicate_rx(), 1u);
+  EXPECT_EQ(m.beacon_tx_total(), 1u);
+}
+
+// ---- five-number summary ------------------------------------------------------
+
+TEST(SummaryTest, KnownDistribution) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const auto s = five_number_summary(xs);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.q1, 2.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.q3, 4.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+}
+
+TEST(SummaryTest, UnsortedInputHandled) {
+  const std::vector<double> xs{5, 1, 3, 2, 4};
+  const auto s = five_number_summary(xs);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+}
+
+TEST(SummaryTest, SingleElement) {
+  const auto s = five_number_summary({7.0});
+  EXPECT_DOUBLE_EQ(s.min, 7.0);
+  EXPECT_DOUBLE_EQ(s.median, 7.0);
+  EXPECT_DOUBLE_EQ(s.max, 7.0);
+}
+
+TEST(SummaryTest, EmptyIsZeros) {
+  const auto s = five_number_summary({});
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+}
+
+TEST(SummaryTest, QuantileInterpolates) {
+  const std::vector<double> sorted{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.0), 0.0);
+}
+
+// ---- BinnedSeries ---------------------------------------------------------------
+
+TEST(BinnedSeriesTest, BinsByTime) {
+  BinnedSeries s{sim::Duration::from_seconds(10.0)};
+  s.add(sim::Time::from_us(1'000'000), 1.0);    // bin 0
+  s.add(sim::Time::from_us(9'000'000), 3.0);    // bin 0
+  s.add(sim::Time::from_us(15'000'000), 10.0);  // bin 1
+  EXPECT_EQ(s.bins(), 2u);
+  EXPECT_DOUBLE_EQ(s.mean(0), 2.0);
+  EXPECT_DOUBLE_EQ(s.mean(1), 10.0);
+  EXPECT_EQ(s.count(0), 2u);
+  EXPECT_EQ(s.count(1), 1u);
+}
+
+TEST(BinnedSeriesTest, EmptyBinUsesFallback) {
+  BinnedSeries s{sim::Duration::from_seconds(1.0)};
+  s.add(sim::Time::from_us(5'000'000), 2.0);  // bin 5; bins 0-4 empty
+  EXPECT_DOUBLE_EQ(s.mean(2, -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(s.mean(99, -1.0), -1.0);
+}
+
+TEST(BinnedSeriesTest, BinStartSeconds) {
+  BinnedSeries s{sim::Duration::from_minutes(10.0)};
+  EXPECT_DOUBLE_EQ(s.bin_start_seconds(3), 1800.0);
+}
+
+}  // namespace
+}  // namespace fourbit::stats

@@ -1,0 +1,99 @@
+// Tests of topology generators and the testbed presets.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "topology/topology.hpp"
+
+namespace fourbit::topology {
+namespace {
+
+TEST(TopologyTest, LineGeometry) {
+  const auto t = line(5, 10.0);
+  ASSERT_EQ(t.size(), 5u);
+  EXPECT_EQ(t.root, NodeId{0});
+  EXPECT_DOUBLE_EQ(t.nodes[0].position.x, 0.0);
+  EXPECT_DOUBLE_EQ(t.nodes[4].position.x, 40.0);
+  EXPECT_DOUBLE_EQ(t.nodes[2].position.y, 0.0);
+}
+
+TEST(TopologyTest, GridDimensionsAndJitter) {
+  sim::Rng rng{1};
+  const auto t = grid(4, 5, 8.0, 1.0, rng);
+  ASSERT_EQ(t.size(), 20u);
+  // Every node within jitter of its lattice point.
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 5; ++c) {
+      const auto& p = t.nodes[r * 5 + c].position;
+      EXPECT_NEAR(p.x, static_cast<double>(c) * 8.0, 1.0 + 1e-9);
+      EXPECT_NEAR(p.y, static_cast<double>(r) * 8.0, 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST(TopologyTest, GridIdsUniqueAndContiguous) {
+  sim::Rng rng{1};
+  const auto t = grid(3, 3, 5.0, 0.5, rng);
+  std::unordered_set<NodeId> ids;
+  for (const auto& n : t.nodes) ids.insert(n.id);
+  EXPECT_EQ(ids.size(), 9u);
+  for (std::uint16_t i = 0; i < 9; ++i) {
+    EXPECT_TRUE(ids.contains(NodeId{i}));
+  }
+}
+
+TEST(TopologyTest, MiragePreset) {
+  sim::Rng rng{42};
+  const auto tb = mirage(rng);
+  EXPECT_EQ(tb.topology.size(), 85u);  // the paper's node count
+  EXPECT_EQ(tb.topology.root, NodeId{0});
+  // Root is at the corner (paper: bottom-left).
+  EXPECT_LT(tb.topology.nodes[0].position.x, 5.0);
+  EXPECT_LT(tb.topology.nodes[0].position.y, 5.0);
+  EXPECT_TRUE(tb.environment.burst_interference);
+}
+
+TEST(TopologyTest, TutornetPreset) {
+  sim::Rng rng{42};
+  const auto tb = tutornet(rng);
+  EXPECT_EQ(tb.topology.size(), 94u);  // the paper's node count
+  // Harsher than Mirage in shadowing and hardware spread.
+  sim::Rng rng2{42};
+  const auto mi = mirage(rng2);
+  EXPECT_GT(tb.environment.propagation.shadowing_sigma_db,
+            mi.environment.propagation.shadowing_sigma_db);
+  EXPECT_GT(tb.environment.hardware.tx_offset_sigma_db,
+            mi.environment.hardware.tx_offset_sigma_db);
+}
+
+TEST(TopologyTest, PresetsDeterministicPerSeed) {
+  sim::Rng a{7};
+  sim::Rng b{7};
+  const auto ta = mirage(a);
+  const auto tb = mirage(b);
+  ASSERT_EQ(ta.topology.size(), tb.topology.size());
+  for (std::size_t i = 0; i < ta.topology.size(); ++i) {
+    EXPECT_EQ(ta.topology.nodes[i].position, tb.topology.nodes[i].position);
+  }
+  sim::Rng c{8};
+  const auto tc = mirage(c);
+  bool any_differ = false;
+  for (std::size_t i = 0; i < ta.topology.size(); ++i) {
+    if (!(ta.topology.nodes[i].position == tc.topology.nodes[i].position)) {
+      any_differ = true;
+    }
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(TopologyTest, PresetIdsMatchIndices) {
+  sim::Rng rng{3};
+  const auto tb = tutornet(rng);
+  for (std::size_t i = 0; i < tb.topology.size(); ++i) {
+    EXPECT_EQ(tb.topology.nodes[i].id,
+              NodeId{static_cast<std::uint16_t>(i)});
+  }
+}
+
+}  // namespace
+}  // namespace fourbit::topology

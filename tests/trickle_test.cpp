@@ -1,0 +1,137 @@
+// Tests of the Trickle timer: interval doubling, reset semantics,
+// suppression, and firing-window placement.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/trickle.hpp"
+#include "sim/simulator.hpp"
+
+namespace fourbit::net {
+namespace {
+
+TrickleConfig fast_config() {
+  TrickleConfig cfg;
+  cfg.min_interval = sim::Duration::from_ms(100);
+  cfg.max_interval = sim::Duration::from_seconds(10.0);
+  return cfg;
+}
+
+TEST(TrickleTest, FiresWithinEachIntervalWindow) {
+  sim::Simulator sim;
+  std::vector<std::int64_t> fire_times;
+  TrickleTimer t{sim, fast_config(),
+                 [&] { fire_times.push_back(sim.now().us()); },
+                 sim::Rng{1}};
+  t.start();
+  sim.run_for(sim::Duration::from_ms(100));
+  ASSERT_EQ(fire_times.size(), 1u);
+  // First interval is [0, 100ms]; firing point in [50ms, 100ms].
+  EXPECT_GE(fire_times[0], 50'000);
+  EXPECT_LE(fire_times[0], 100'000);
+}
+
+TEST(TrickleTest, IntervalDoublesUpToMax) {
+  sim::Simulator sim;
+  int fires = 0;
+  TrickleTimer t{sim, fast_config(), [&] { ++fires; }, sim::Rng{2}};
+  t.start();
+  // Intervals: 0.1, 0.2, 0.4, ... capped at 10 s. In 60 s there are
+  // ~7 doubling fires plus ~5 at the 10 s ceiling.
+  sim.run_for(sim::Duration::from_seconds(60.0));
+  EXPECT_GE(fires, 10);
+  EXPECT_LE(fires, 14);
+  EXPECT_EQ(t.current_interval().us(),
+            fast_config().max_interval.us());
+}
+
+TEST(TrickleTest, ResetReturnsToMinInterval) {
+  sim::Simulator sim;
+  int fires = 0;
+  TrickleTimer t{sim, fast_config(), [&] { ++fires; }, sim::Rng{3}};
+  t.start();
+  sim.run_for(sim::Duration::from_seconds(60.0));
+  const int before = fires;
+  t.reset();
+  EXPECT_EQ(t.current_interval().us(), fast_config().min_interval.us());
+  sim.run_for(sim::Duration::from_seconds(2.0));
+  EXPECT_GE(fires - before, 3) << "post-reset beacons must come quickly";
+}
+
+TEST(TrickleTest, ResetAtMinIntervalIsNoOp) {
+  sim::Simulator sim;
+  std::vector<std::int64_t> fire_times;
+  TrickleTimer t{sim, fast_config(),
+                 [&] { fire_times.push_back(sim.now().us()); },
+                 sim::Rng{4}};
+  t.start();
+  sim.run_for(sim::Duration::from_ms(20));
+  t.reset();  // still in the first (minimum) interval: must not re-arm
+  sim.run_for(sim::Duration::from_ms(80));
+  ASSERT_EQ(fire_times.size(), 1u);
+  EXPECT_LE(fire_times[0], 100'000);
+}
+
+TEST(TrickleTest, SuppressionSkipsFiring) {
+  sim::Simulator sim;
+  TrickleConfig cfg = fast_config();
+  cfg.redundancy_k = 2;
+  int fires = 0;
+  TrickleTimer t{sim, cfg, [&] { ++fires; }, sim::Rng{5}};
+  t.start();
+  // Keep the suppression counter above k in every interval.
+  sim::Timer feeder{sim, [&] { t.consistent(); }};
+  feeder.start_periodic(sim::Duration::from_ms(10));
+  sim.run_for(sim::Duration::from_seconds(5.0));
+  EXPECT_EQ(fires, 0);
+  EXPECT_GT(t.suppressions(), 0u);
+}
+
+TEST(TrickleTest, BelowThresholdStillFires) {
+  sim::Simulator sim;
+  TrickleConfig cfg = fast_config();
+  cfg.redundancy_k = 100;  // never reached by one consistent() per interval
+  int fires = 0;
+  TrickleTimer t{sim, cfg, [&] { ++fires; }, sim::Rng{6}};
+  t.start();
+  sim.run_for(sim::Duration::from_seconds(2.0));
+  EXPECT_GT(fires, 0);
+}
+
+TEST(TrickleTest, StopHaltsFiring) {
+  sim::Simulator sim;
+  int fires = 0;
+  TrickleTimer t{sim, fast_config(), [&] { ++fires; }, sim::Rng{7}};
+  t.start();
+  sim.run_for(sim::Duration::from_seconds(1.0));
+  const int before = fires;
+  t.stop();
+  sim.run_for(sim::Duration::from_seconds(10.0));
+  EXPECT_EQ(fires, before);
+  EXPECT_FALSE(t.running());
+}
+
+TEST(TrickleTest, SetMaxIntervalCapsGrowth) {
+  sim::Simulator sim;
+  int fires = 0;
+  TrickleTimer t{sim, fast_config(), [&] { ++fires; }, sim::Rng{8}};
+  t.start();
+  t.set_max_interval(sim::Duration::from_ms(400));
+  sim.run_for(sim::Duration::from_seconds(30.0));
+  EXPECT_LE(t.current_interval().us(), 400'000);
+  // ~2 fires during doubling + ~1 per 400 ms after: ~70+.
+  EXPECT_GT(fires, 50);
+}
+
+TEST(TrickleTest, RestartResetsState) {
+  sim::Simulator sim;
+  int fires = 0;
+  TrickleTimer t{sim, fast_config(), [&] { ++fires; }, sim::Rng{9}};
+  t.start();
+  sim.run_for(sim::Duration::from_seconds(30.0));
+  t.start();  // restart
+  EXPECT_EQ(t.current_interval().us(), fast_config().min_interval.us());
+}
+
+}  // namespace
+}  // namespace fourbit::net
