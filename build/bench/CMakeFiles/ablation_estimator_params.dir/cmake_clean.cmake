@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_estimator_params.dir/ablation_estimator_params.cpp.o"
+  "CMakeFiles/ablation_estimator_params.dir/ablation_estimator_params.cpp.o.d"
+  "ablation_estimator_params"
+  "ablation_estimator_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_estimator_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

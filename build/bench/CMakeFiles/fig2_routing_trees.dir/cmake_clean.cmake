@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_routing_trees.dir/fig2_routing_trees.cpp.o"
+  "CMakeFiles/fig2_routing_trees.dir/fig2_routing_trees.cpp.o.d"
+  "fig2_routing_trees"
+  "fig2_routing_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_routing_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

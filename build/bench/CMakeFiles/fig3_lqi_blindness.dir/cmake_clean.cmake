@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_lqi_blindness.dir/fig3_lqi_blindness.cpp.o"
+  "CMakeFiles/fig3_lqi_blindness.dir/fig3_lqi_blindness.cpp.o.d"
+  "fig3_lqi_blindness"
+  "fig3_lqi_blindness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_lqi_blindness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

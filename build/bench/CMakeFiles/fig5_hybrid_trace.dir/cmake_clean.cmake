@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_hybrid_trace.dir/fig5_hybrid_trace.cpp.o"
+  "CMakeFiles/fig5_hybrid_trace.dir/fig5_hybrid_trace.cpp.o.d"
+  "fig5_hybrid_trace"
+  "fig5_hybrid_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_hybrid_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_delivery_boxplot.dir/fig8_delivery_boxplot.cpp.o"
+  "CMakeFiles/fig8_delivery_boxplot.dir/fig8_delivery_boxplot.cpp.o.d"
+  "fig8_delivery_boxplot"
+  "fig8_delivery_boxplot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_delivery_boxplot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

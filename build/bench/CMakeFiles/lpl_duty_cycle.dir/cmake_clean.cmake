@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpl_duty_cycle.dir/lpl_duty_cycle.cpp.o"
+  "CMakeFiles/lpl_duty_cycle.dir/lpl_duty_cycle.cpp.o.d"
+  "lpl_duty_cycle"
+  "lpl_duty_cycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpl_duty_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tutornet_headline.dir/tutornet_headline.cpp.o"
+  "CMakeFiles/tutornet_headline.dir/tutornet_headline.cpp.o.d"
+  "tutornet_headline"
+  "tutornet_headline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tutornet_headline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bursty_link_study.dir/bursty_link_study.cpp.o"
+  "CMakeFiles/bursty_link_study.dir/bursty_link_study.cpp.o.d"
+  "bursty_link_study"
+  "bursty_link_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bursty_link_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

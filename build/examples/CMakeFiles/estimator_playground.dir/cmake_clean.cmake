@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimator_playground.dir/estimator_playground.cpp.o"
+  "CMakeFiles/estimator_playground.dir/estimator_playground.cpp.o.d"
+  "estimator_playground"
+  "estimator_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimator_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

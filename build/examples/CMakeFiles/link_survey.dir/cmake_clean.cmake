@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_survey.dir/link_survey.cpp.o"
+  "CMakeFiles/link_survey.dir/link_survey.cpp.o.d"
+  "link_survey"
+  "link_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("phy")
+subdirs("mac")
+subdirs("link")
+subdirs("core")
+subdirs("estimators")
+subdirs("net")
+subdirs("app")
+subdirs("topology")
+subdirs("stats")
+subdirs("runner")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/traffic.cpp" "src/app/CMakeFiles/fourbit_app.dir/traffic.cpp.o" "gcc" "src/app/CMakeFiles/fourbit_app.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/fourbit_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fourbit_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/fourbit_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/fourbit_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fourbit_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

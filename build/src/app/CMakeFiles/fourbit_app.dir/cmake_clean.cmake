@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fourbit_app.dir/traffic.cpp.o"
+  "CMakeFiles/fourbit_app.dir/traffic.cpp.o.d"
+  "libfourbit_app.a"
+  "libfourbit_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fourbit_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

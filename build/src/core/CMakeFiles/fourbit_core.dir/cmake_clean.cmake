@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fourbit_core.dir/four_bit_estimator.cpp.o"
+  "CMakeFiles/fourbit_core.dir/four_bit_estimator.cpp.o.d"
+  "libfourbit_core.a"
+  "libfourbit_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fourbit_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

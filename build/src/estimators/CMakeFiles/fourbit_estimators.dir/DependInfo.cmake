@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/estimators/broadcast_etx.cpp" "src/estimators/CMakeFiles/fourbit_estimators.dir/broadcast_etx.cpp.o" "gcc" "src/estimators/CMakeFiles/fourbit_estimators.dir/broadcast_etx.cpp.o.d"
+  "/root/repo/src/estimators/lqi_estimator.cpp" "src/estimators/CMakeFiles/fourbit_estimators.dir/lqi_estimator.cpp.o" "gcc" "src/estimators/CMakeFiles/fourbit_estimators.dir/lqi_estimator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/fourbit_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fourbit_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

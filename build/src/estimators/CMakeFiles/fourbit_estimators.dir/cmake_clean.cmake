@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fourbit_estimators.dir/broadcast_etx.cpp.o"
+  "CMakeFiles/fourbit_estimators.dir/broadcast_etx.cpp.o.d"
+  "CMakeFiles/fourbit_estimators.dir/lqi_estimator.cpp.o"
+  "CMakeFiles/fourbit_estimators.dir/lqi_estimator.cpp.o.d"
+  "libfourbit_estimators.a"
+  "libfourbit_estimators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fourbit_estimators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

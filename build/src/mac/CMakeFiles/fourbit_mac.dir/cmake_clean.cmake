@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fourbit_mac.dir/csma.cpp.o"
+  "CMakeFiles/fourbit_mac.dir/csma.cpp.o.d"
+  "CMakeFiles/fourbit_mac.dir/frame.cpp.o"
+  "CMakeFiles/fourbit_mac.dir/frame.cpp.o.d"
+  "CMakeFiles/fourbit_mac.dir/lpl.cpp.o"
+  "CMakeFiles/fourbit_mac.dir/lpl.cpp.o.d"
+  "libfourbit_mac.a"
+  "libfourbit_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fourbit_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

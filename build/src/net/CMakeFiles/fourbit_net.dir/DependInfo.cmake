@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/collection_node.cpp" "src/net/CMakeFiles/fourbit_net.dir/collection_node.cpp.o" "gcc" "src/net/CMakeFiles/fourbit_net.dir/collection_node.cpp.o.d"
+  "/root/repo/src/net/forwarding_engine.cpp" "src/net/CMakeFiles/fourbit_net.dir/forwarding_engine.cpp.o" "gcc" "src/net/CMakeFiles/fourbit_net.dir/forwarding_engine.cpp.o.d"
+  "/root/repo/src/net/packets.cpp" "src/net/CMakeFiles/fourbit_net.dir/packets.cpp.o" "gcc" "src/net/CMakeFiles/fourbit_net.dir/packets.cpp.o.d"
+  "/root/repo/src/net/routing_engine.cpp" "src/net/CMakeFiles/fourbit_net.dir/routing_engine.cpp.o" "gcc" "src/net/CMakeFiles/fourbit_net.dir/routing_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/fourbit_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/fourbit_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fourbit_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/fourbit_phy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

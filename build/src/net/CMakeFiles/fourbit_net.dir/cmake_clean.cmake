@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fourbit_net.dir/collection_node.cpp.o"
+  "CMakeFiles/fourbit_net.dir/collection_node.cpp.o.d"
+  "CMakeFiles/fourbit_net.dir/forwarding_engine.cpp.o"
+  "CMakeFiles/fourbit_net.dir/forwarding_engine.cpp.o.d"
+  "CMakeFiles/fourbit_net.dir/packets.cpp.o"
+  "CMakeFiles/fourbit_net.dir/packets.cpp.o.d"
+  "CMakeFiles/fourbit_net.dir/routing_engine.cpp.o"
+  "CMakeFiles/fourbit_net.dir/routing_engine.cpp.o.d"
+  "libfourbit_net.a"
+  "libfourbit_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fourbit_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfourbit_net.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/channel.cpp" "src/phy/CMakeFiles/fourbit_phy.dir/channel.cpp.o" "gcc" "src/phy/CMakeFiles/fourbit_phy.dir/channel.cpp.o.d"
+  "/root/repo/src/phy/interference.cpp" "src/phy/CMakeFiles/fourbit_phy.dir/interference.cpp.o" "gcc" "src/phy/CMakeFiles/fourbit_phy.dir/interference.cpp.o.d"
+  "/root/repo/src/phy/lqi.cpp" "src/phy/CMakeFiles/fourbit_phy.dir/lqi.cpp.o" "gcc" "src/phy/CMakeFiles/fourbit_phy.dir/lqi.cpp.o.d"
+  "/root/repo/src/phy/modulation.cpp" "src/phy/CMakeFiles/fourbit_phy.dir/modulation.cpp.o" "gcc" "src/phy/CMakeFiles/fourbit_phy.dir/modulation.cpp.o.d"
+  "/root/repo/src/phy/propagation.cpp" "src/phy/CMakeFiles/fourbit_phy.dir/propagation.cpp.o" "gcc" "src/phy/CMakeFiles/fourbit_phy.dir/propagation.cpp.o.d"
+  "/root/repo/src/phy/radio.cpp" "src/phy/CMakeFiles/fourbit_phy.dir/radio.cpp.o" "gcc" "src/phy/CMakeFiles/fourbit_phy.dir/radio.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/fourbit_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fourbit_phy.dir/channel.cpp.o"
+  "CMakeFiles/fourbit_phy.dir/channel.cpp.o.d"
+  "CMakeFiles/fourbit_phy.dir/interference.cpp.o"
+  "CMakeFiles/fourbit_phy.dir/interference.cpp.o.d"
+  "CMakeFiles/fourbit_phy.dir/lqi.cpp.o"
+  "CMakeFiles/fourbit_phy.dir/lqi.cpp.o.d"
+  "CMakeFiles/fourbit_phy.dir/modulation.cpp.o"
+  "CMakeFiles/fourbit_phy.dir/modulation.cpp.o.d"
+  "CMakeFiles/fourbit_phy.dir/propagation.cpp.o"
+  "CMakeFiles/fourbit_phy.dir/propagation.cpp.o.d"
+  "CMakeFiles/fourbit_phy.dir/radio.cpp.o"
+  "CMakeFiles/fourbit_phy.dir/radio.cpp.o.d"
+  "libfourbit_phy.a"
+  "libfourbit_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fourbit_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fourbit_runner.dir/describe.cpp.o"
+  "CMakeFiles/fourbit_runner.dir/describe.cpp.o.d"
+  "CMakeFiles/fourbit_runner.dir/experiment.cpp.o"
+  "CMakeFiles/fourbit_runner.dir/experiment.cpp.o.d"
+  "CMakeFiles/fourbit_runner.dir/network.cpp.o"
+  "CMakeFiles/fourbit_runner.dir/network.cpp.o.d"
+  "CMakeFiles/fourbit_runner.dir/profile.cpp.o"
+  "CMakeFiles/fourbit_runner.dir/profile.cpp.o.d"
+  "libfourbit_runner.a"
+  "libfourbit_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fourbit_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fourbit_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/fourbit_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/fourbit_sim.dir/rng.cpp.o"
+  "CMakeFiles/fourbit_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/fourbit_sim.dir/simulator.cpp.o"
+  "CMakeFiles/fourbit_sim.dir/simulator.cpp.o.d"
+  "libfourbit_sim.a"
+  "libfourbit_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fourbit_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

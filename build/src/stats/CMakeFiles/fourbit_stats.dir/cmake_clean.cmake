@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fourbit_stats.dir/metrics.cpp.o"
+  "CMakeFiles/fourbit_stats.dir/metrics.cpp.o.d"
+  "libfourbit_stats.a"
+  "libfourbit_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fourbit_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

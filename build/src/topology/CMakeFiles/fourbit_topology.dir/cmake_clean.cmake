@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fourbit_topology.dir/topology.cpp.o"
+  "CMakeFiles/fourbit_topology.dir/topology.cpp.o.d"
+  "libfourbit_topology.a"
+  "libfourbit_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fourbit_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

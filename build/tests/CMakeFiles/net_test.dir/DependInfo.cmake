@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net_test.cpp" "tests/CMakeFiles/net_test.dir/net_test.cpp.o" "gcc" "tests/CMakeFiles/net_test.dir/net_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runner/CMakeFiles/fourbit_runner.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fourbit_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fourbit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimators/CMakeFiles/fourbit_estimators.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/fourbit_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/fourbit_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fourbit_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fourbit_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/fourbit_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/fourbit_app.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trickle_test.dir/trickle_test.cpp.o"
+  "CMakeFiles/trickle_test.dir/trickle_test.cpp.o.d"
+  "trickle_test"
+  "trickle_test.pdb"
+  "trickle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trickle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for trickle_test.
+# This may be replaced when dependencies are built.
