@@ -14,11 +14,16 @@
 // degrades table admission; disabling the pin bit lets churn evict the
 // route in use.
 //
-//   usage: ablation_estimator_params [minutes=25] [seeds=3]
+// Every (row, seed) trial across all sweeps runs in one Campaign pool.
+//
+//   usage: ablation_estimator_params [minutes=25] [seeds=3] [--threads N]
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
+#include <string>
+#include <vector>
 
+#include "runner/campaign.hpp"
 #include "runner/experiment.hpp"
 #include "sim/rng.hpp"
 #include "topology/topology.hpp"
@@ -28,80 +33,57 @@ using namespace fourbit;
 namespace {
 
 struct Row {
-  double cost = 0.0;
-  double delivery = 0.0;
-  double churn = 0.0;  // parent changes per node
+  std::string section;  // printed once, before the section's first row
+  std::string label;
+  std::function<void(runner::ExperimentConfig&)> customize;
 };
 
-Row run(double minutes, int seeds,
-        const std::function<void(runner::ExperimentConfig&)>& customize) {
-  Row row;
-  for (int s = 0; s < seeds; ++s) {
-    const std::uint64_t seed = 8000 + static_cast<std::uint64_t>(s) * 77;
-    sim::Rng rng{seed};
-    runner::ExperimentConfig cfg;
-    cfg.testbed = topology::mirage(rng);
-    cfg.profile = runner::Profile::kFourBit;
-    cfg.duration = sim::Duration::from_minutes(minutes);
-    cfg.seed = seed;
-    customize(cfg);
-    const auto r = runner::run_experiment(cfg);
-    row.cost += r.cost;
-    row.delivery += r.delivery_ratio;
-    row.churn += static_cast<double>(r.parent_changes) /
-                 static_cast<double>(cfg.testbed.topology.size());
-  }
-  row.cost /= seeds;
-  row.delivery /= seeds;
-  row.churn /= seeds;
-  return row;
-}
-
-void print_row(const char* label, const Row& r) {
-  std::printf("  %-24s cost=%-6.2f delivery=%5.1f%%  churn=%.1f/node\n",
-              label, r.cost, r.delivery * 100.0, r.churn);
+runner::ExperimentConfig make_trial(const Row& row, double minutes, int s) {
+  const std::uint64_t seed = 8000 + static_cast<std::uint64_t>(s) * 77;
+  sim::Rng rng{seed};
+  runner::ExperimentConfig cfg;
+  cfg.testbed = topology::mirage(rng);
+  cfg.profile = runner::Profile::kFourBit;
+  cfg.duration = sim::Duration::from_minutes(minutes);
+  cfg.seed = seed;
+  row.customize(cfg);
+  return cfg;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::size_t threads = runner::consume_threads_flag(argc, argv);
   const double minutes = argc > 1 ? std::atof(argv[1]) : 25.0;
   const int seeds = argc > 2 ? std::atoi(argv[2]) : 3;
 
   std::printf("=== Ablation: 4B estimator parameters (Mirage, %.0f min x "
               "%d seeds) ===\n\n", minutes, seeds);
 
-  std::printf("unicast window ku (paper: 5):\n");
+  std::vector<Row> rows;
   for (const std::size_t ku : {2, 5, 10, 20}) {
-    char label[32];
-    std::snprintf(label, sizeof label, "ku = %zu", ku);
-    print_row(label, run(minutes, seeds, [&](runner::ExperimentConfig& c) {
-                c.four_bit_override = core::FourBitConfig{};
-                c.four_bit_override->unicast_window = ku;
-              }));
+    rows.push_back({"unicast window ku (paper: 5):", "ku = " + std::to_string(ku),
+                    [ku](runner::ExperimentConfig& c) {
+                      c.four_bit_override = core::FourBitConfig{};
+                      c.four_bit_override->unicast_window = ku;
+                    }});
   }
-
-  std::printf("\nbeacon window kb (paper: 2):\n");
   for (const std::size_t kb : {1, 2, 5, 10}) {
-    char label[32];
-    std::snprintf(label, sizeof label, "kb = %zu", kb);
-    print_row(label, run(minutes, seeds, [&](runner::ExperimentConfig& c) {
-                c.four_bit_override = core::FourBitConfig{};
-                c.four_bit_override->beacon_window = kb;
-              }));
+    rows.push_back({"beacon window kb (paper: 2):", "kb = " + std::to_string(kb),
+                    [kb](runner::ExperimentConfig& c) {
+                      c.four_bit_override = core::FourBitConfig{};
+                      c.four_bit_override->beacon_window = kb;
+                    }});
   }
-
-  std::printf("\ncombining EWMA history weight (Fig. 5 implies 0.5):\n");
   for (const double alpha : {0.1, 0.5, 0.9}) {
     char label[32];
     std::snprintf(label, sizeof label, "history = %.1f", alpha);
-    print_row(label, run(minutes, seeds, [&](runner::ExperimentConfig& c) {
-                c.four_bit_override = core::FourBitConfig{};
-                c.four_bit_override->etx_history = alpha;
-              }));
+    rows.push_back({"combining EWMA history weight (Fig. 5 implies 0.5):",
+                    label, [alpha](runner::ExperimentConfig& c) {
+                      c.four_bit_override = core::FourBitConfig{};
+                      c.four_bit_override->etx_history = alpha;
+                    }});
   }
-
-  std::printf("\nwhite-bit source:\n");
   using Source = phy::PhyConfig::WhiteBitSource;
   const struct {
     const char* name;
@@ -110,21 +92,49 @@ int main(int argc, char** argv) {
                  {"SNR threshold", Source::kSnr},
                  {"never set", Source::kNever}};
   for (const auto& s : sources) {
-    print_row(s.name, run(minutes, seeds, [&](runner::ExperimentConfig& c) {
-                c.testbed.environment.phy.white_bit_source = s.source;
-              }));
+    rows.push_back({"white-bit source:", s.name,
+                    [source = s.source](runner::ExperimentConfig& c) {
+                      c.testbed.environment.phy.white_bit_source = source;
+                    }});
+  }
+  for (const bool pin : {true, false}) {
+    rows.push_back({"pin bit (table=4 maximizes admission churn pressure):",
+                    pin ? "pin on" : "pin off",
+                    [pin](runner::ExperimentConfig& c) {
+                      c.table_capacity = 4;
+                      net::CollectionConfig cc;
+                      cc.pin_parent = pin;
+                      c.collection_override = cc;
+                    }});
   }
 
-  std::printf("\npin bit (table=4 maximizes admission churn pressure):\n");
-  for (const bool pin : {true, false}) {
-    char label[32];
-    std::snprintf(label, sizeof label, "pin %s", pin ? "on" : "off");
-    print_row(label, run(minutes, seeds, [&](runner::ExperimentConfig& c) {
-                c.table_capacity = 4;
-                net::CollectionConfig cc;
-                cc.pin_parent = pin;
-                c.collection_override = cc;
-              }));
+  // One flat campaign, laid out [row][seed].
+  std::vector<runner::ExperimentConfig> trials;
+  trials.reserve(rows.size() * static_cast<std::size_t>(seeds));
+  for (const auto& row : rows) {
+    for (int s = 0; s < seeds; ++s) trials.push_back(make_trial(row, minutes, s));
+  }
+  runner::Campaign::Options options;
+  options.threads = threads;
+  options.on_trial_done = runner::stderr_progress();
+  const auto results = runner::Campaign::run(trials, options);
+
+  std::string current_section;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].section != current_section) {
+      current_section = rows[i].section;
+      std::printf("%s%s\n", i == 0 ? "" : "\n", current_section.c_str());
+    }
+    const auto begin =
+        results.begin() + static_cast<std::ptrdiff_t>(i * seeds);
+    const auto summary = runner::summarize(
+        {begin, begin + static_cast<std::ptrdiff_t>(seeds)});
+    const double nodes = static_cast<double>(
+        trials[i * static_cast<std::size_t>(seeds)].testbed.topology.size());
+    std::printf("  %-24s cost=%-6.2f delivery=%5.1f%%  churn=%.1f/node\n",
+                rows[i].label.c_str(), summary.cost.mean,
+                summary.delivery_ratio.mean * 100.0,
+                summary.parent_changes.mean / nodes);
   }
   return 0;
 }

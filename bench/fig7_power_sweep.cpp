@@ -6,11 +6,14 @@
 // cost is at most ~13% above the depth lower bound while MultiHopLQI's
 // is up to ~43% above; at -20 dBm both inflate (retransmissions), 4B less.
 //
-//   usage: fig7_power_sweep [minutes=40] [seeds=5]
+// All (protocol, power, seed) trials fan out across one Campaign pool.
+//
+//   usage: fig7_power_sweep [minutes=40] [seeds=5] [--threads N]
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
 
+#include "runner/campaign.hpp"
 #include "runner/experiment.hpp"
 #include "sim/rng.hpp"
 #include "topology/topology.hpp"
@@ -19,38 +22,23 @@ using namespace fourbit;
 
 namespace {
 
-struct Cell {
-  double cost = 0.0;
-  double depth = 0.0;
-  double delivery = 0.0;
-};
-
-Cell run_cell(runner::Profile profile, double power_dbm, double minutes,
-              int seeds) {
-  Cell cell;
-  for (int s = 0; s < seeds; ++s) {
-    const std::uint64_t seed = 2000 + static_cast<std::uint64_t>(s) * 77;
-    sim::Rng rng{seed};
-    runner::ExperimentConfig config;
-    config.testbed = topology::mirage(rng);
-    config.profile = profile;
-    config.tx_power = PowerDbm{power_dbm};
-    config.duration = sim::Duration::from_minutes(minutes);
-    config.seed = seed;
-    const auto r = runner::run_experiment(config);
-    cell.cost += r.cost;
-    cell.depth += r.mean_depth;
-    cell.delivery += r.delivery_ratio;
-  }
-  cell.cost /= seeds;
-  cell.depth /= seeds;
-  cell.delivery /= seeds;
-  return cell;
+runner::ExperimentConfig make_trial(runner::Profile profile, double power_dbm,
+                                    double minutes, int s) {
+  const std::uint64_t seed = 2000 + static_cast<std::uint64_t>(s) * 77;
+  sim::Rng rng{seed};
+  runner::ExperimentConfig config;
+  config.testbed = topology::mirage(rng);
+  config.profile = profile;
+  config.tx_power = PowerDbm{power_dbm};
+  config.duration = sim::Duration::from_minutes(minutes);
+  config.seed = seed;
+  return config;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::size_t threads = runner::consume_threads_flag(argc, argv);
   const double minutes = argc > 1 ? std::atof(argv[1]) : 40.0;
   const int seeds = argc > 2 ? std::atoi(argv[2]) : 5;
 
@@ -58,20 +46,44 @@ int main(int argc, char** argv) {
       "=== Figure 7: cost and depth vs. transmit power (Mirage) ===\n"
       "%.0f min x %d seeds per cell\n\n",
       minutes, seeds);
-  std::printf("%-14s %8s %10s %10s %10s %12s\n", "protocol", "power",
-              "cost", "depth", "delivery", "cost/depth");
 
+  const std::vector<runner::Profile> profiles = {
+      runner::Profile::kFourBit, runner::Profile::kMultihopLqi};
   const std::vector<double> powers = {0.0, -10.0, -20.0};
-  std::vector<Cell> fourb;
-  std::vector<Cell> mhlqi;
-  for (const auto p : {runner::Profile::kFourBit,
-                       runner::Profile::kMultihopLqi}) {
+
+  // One flat campaign, laid out [profile][power][seed].
+  std::vector<runner::ExperimentConfig> trials;
+  for (const auto p : profiles) {
     for (const double power : powers) {
-      const Cell c = run_cell(p, power, minutes, seeds);
-      (p == runner::Profile::kFourBit ? fourb : mhlqi).push_back(c);
-      std::printf("%-14s %5.0f dBm %10.2f %10.2f %9.1f%% %11.2fx\n",
-                  runner::profile_name(p).data(), power, c.cost, c.depth,
-                  c.delivery * 100.0, c.depth > 0 ? c.cost / c.depth : 0.0);
+      for (int s = 0; s < seeds; ++s) {
+        trials.push_back(make_trial(p, power, minutes, s));
+      }
+    }
+  }
+  runner::Campaign::Options options;
+  options.threads = threads;
+  options.on_trial_done = runner::stderr_progress();
+  const auto results = runner::Campaign::run(trials, options);
+
+  std::printf("%-14s %8s %10s %10s %10s %10s %12s\n", "protocol", "power",
+              "cost", "cost95ci", "depth", "delivery", "cost/depth");
+  std::vector<runner::CampaignSummary> fourb;
+  std::vector<runner::CampaignSummary> mhlqi;
+  std::size_t offset = 0;
+  for (const auto p : profiles) {
+    for (const double power : powers) {
+      const std::vector<runner::ExperimentResult> cell{
+          results.begin() + static_cast<std::ptrdiff_t>(offset),
+          results.begin() + static_cast<std::ptrdiff_t>(offset + seeds)};
+      offset += seeds;
+      const auto s = runner::summarize(cell);
+      (p == runner::Profile::kFourBit ? fourb : mhlqi).push_back(s);
+      std::printf(
+          "%-14s %5.0f dBm %10.2f %9.2f %10.2f %9.1f%% %11.2fx\n",
+          runner::profile_name(p).data(), power, s.cost.mean,
+          s.cost.ci95_half, s.mean_depth.mean,
+          s.delivery_ratio.mean * 100.0,
+          s.mean_depth.mean > 0 ? s.cost.mean / s.mean_depth.mean : 0.0);
     }
   }
 
@@ -79,7 +91,7 @@ int main(int argc, char** argv) {
               "(paper: 29%% at 0 dBm down to 11%% at -20 dBm):\n");
   for (std::size_t i = 0; i < powers.size(); ++i) {
     std::printf("  %5.0f dBm: %+.1f%%\n", powers[i],
-                (fourb[i].cost / mhlqi[i].cost - 1.0) * 100.0);
+                (fourb[i].cost.mean / mhlqi[i].cost.mean - 1.0) * 100.0);
   }
   return 0;
 }

@@ -6,11 +6,15 @@
 // at 0 dBm); MultiHopLQI's spread widens dramatically as power drops
 // (mean 95.9% with a 64% worst node at 0 dBm, far worse at -20 dBm).
 //
-//   usage: fig8_delivery_boxplot [minutes=40] [seeds=5]
+// All (protocol, power, seed) trials fan out across one Campaign pool;
+// each cell's boxplot pools the per-node samples of its seeds.
+//
+//   usage: fig8_delivery_boxplot [minutes=40] [seeds=5] [--threads N]
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
 
+#include "runner/campaign.hpp"
 #include "runner/experiment.hpp"
 #include "sim/rng.hpp"
 #include "stats/summary.hpp"
@@ -20,28 +24,23 @@ using namespace fourbit;
 
 namespace {
 
-stats::FiveNumber run_cell(runner::Profile profile, double power_dbm,
-                           double minutes, int seeds) {
-  std::vector<double> pooled;
-  for (int s = 0; s < seeds; ++s) {
-    const std::uint64_t seed = 2000 + static_cast<std::uint64_t>(s) * 77;
-    sim::Rng rng{seed};
-    runner::ExperimentConfig config;
-    config.testbed = topology::mirage(rng);
-    config.profile = profile;
-    config.tx_power = PowerDbm{power_dbm};
-    config.duration = sim::Duration::from_minutes(minutes);
-    config.seed = seed;
-    const auto r = runner::run_experiment(config);
-    pooled.insert(pooled.end(), r.per_node_delivery.begin(),
-                  r.per_node_delivery.end());
-  }
-  return stats::five_number_summary(std::move(pooled));
+runner::ExperimentConfig make_trial(runner::Profile profile, double power_dbm,
+                                    double minutes, int s) {
+  const std::uint64_t seed = 2000 + static_cast<std::uint64_t>(s) * 77;
+  sim::Rng rng{seed};
+  runner::ExperimentConfig config;
+  config.testbed = topology::mirage(rng);
+  config.profile = profile;
+  config.tx_power = PowerDbm{power_dbm};
+  config.duration = sim::Duration::from_minutes(minutes);
+  config.seed = seed;
+  return config;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::size_t threads = runner::consume_threads_flag(argc, argv);
   const double minutes = argc > 1 ? std::atof(argv[1]) : 40.0;
   const int seeds = argc > 2 ? std::atoi(argv[2]) : 5;
 
@@ -49,13 +48,35 @@ int main(int argc, char** argv) {
       "=== Figure 8: per-node delivery distributions vs. TX power ===\n"
       "Mirage-like testbed, %.0f min x %d seeds per cell\n\n",
       minutes, seeds);
+
+  const std::vector<runner::Profile> profiles = {
+      runner::Profile::kMultihopLqi, runner::Profile::kFourBit};
+  const std::vector<double> powers = {0.0, -10.0, -20.0};
+
+  std::vector<runner::ExperimentConfig> trials;
+  for (const auto p : profiles) {
+    for (const double power : powers) {
+      for (int s = 0; s < seeds; ++s) {
+        trials.push_back(make_trial(p, power, minutes, s));
+      }
+    }
+  }
+  runner::Campaign::Options options;
+  options.threads = threads;
+  options.on_trial_done = runner::stderr_progress();
+  const auto results = runner::Campaign::run(trials, options);
+
   std::printf("%-14s %8s %7s %7s %7s %7s %7s %8s\n", "protocol", "power",
               "min", "Q1", "median", "Q3", "max", "mean");
-
-  for (const auto p :
-       {runner::Profile::kMultihopLqi, runner::Profile::kFourBit}) {
-    for (const double power : {0.0, -10.0, -20.0}) {
-      const auto s = run_cell(p, power, minutes, seeds);
+  std::size_t offset = 0;
+  for (const auto p : profiles) {
+    for (const double power : powers) {
+      const std::vector<runner::ExperimentResult> cell{
+          results.begin() + static_cast<std::ptrdiff_t>(offset),
+          results.begin() + static_cast<std::ptrdiff_t>(offset + seeds)};
+      offset += seeds;
+      const auto s = stats::five_number_summary(
+          runner::pooled_per_node_delivery(cell));
       std::printf("%-14s %5.0f dBm %6.1f%% %6.1f%% %6.1f%% %6.1f%% %6.1f%% "
                   "%7.1f%%\n",
                   runner::profile_name(p).data(), power, s.min * 100.0,

@@ -5,10 +5,16 @@
 // average depth by 9.7% vs. MultiHopLQI, while delivering 99% of packets
 // vs. MultiHopLQI's 85%.
 //
-//   usage: tutornet_headline [minutes=60] [seeds=5]
+// Both protocols' seed sweeps run as one Campaign; per-trial seeds are
+// derived from the trial definition alone, so the printed aggregates are
+// bit-identical for any --threads value.
+//
+//   usage: tutornet_headline [minutes=60] [seeds=5] [--threads N]
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
+#include "runner/campaign.hpp"
 #include "runner/experiment.hpp"
 #include "sim/rng.hpp"
 #include "topology/topology.hpp"
@@ -17,36 +23,22 @@ using namespace fourbit;
 
 namespace {
 
-struct Row {
-  double cost = 0.0;
-  double depth = 0.0;
-  double delivery = 0.0;
-};
-
-Row run(runner::Profile profile, double minutes, int seeds) {
-  Row row;
-  for (int s = 0; s < seeds; ++s) {
-    const std::uint64_t seed = 4000 + static_cast<std::uint64_t>(s) * 77;
-    sim::Rng rng{seed};
-    runner::ExperimentConfig config;
-    config.testbed = topology::tutornet(rng);
-    config.profile = profile;
-    config.duration = sim::Duration::from_minutes(minutes);
-    config.seed = seed;
-    const auto r = runner::run_experiment(config);
-    row.cost += r.cost;
-    row.depth += r.mean_depth;
-    row.delivery += r.delivery_ratio;
-  }
-  row.cost /= seeds;
-  row.depth /= seeds;
-  row.delivery /= seeds;
-  return row;
+runner::ExperimentConfig make_trial(runner::Profile profile, double minutes,
+                                    int s) {
+  const std::uint64_t seed = 4000 + static_cast<std::uint64_t>(s) * 77;
+  sim::Rng rng{seed};
+  runner::ExperimentConfig config;
+  config.testbed = topology::tutornet(rng);
+  config.profile = profile;
+  config.duration = sim::Duration::from_minutes(minutes);
+  config.seed = seed;
+  return config;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::size_t threads = runner::consume_threads_flag(argc, argv);
   const double minutes = argc > 1 ? std::atof(argv[1]) : 60.0;
   const int seeds = argc > 2 ? std::atoi(argv[2]) : 5;
 
@@ -56,19 +48,33 @@ int main(int argc, char** argv) {
       "85%%\n%.0f min x %d seeds\n\n",
       minutes, seeds);
 
-  const Row fourb = run(runner::Profile::kFourBit, minutes, seeds);
-  const Row mhlqi = run(runner::Profile::kMultihopLqi, minutes, seeds);
+  // One campaign over both protocols, laid out [profile][seed].
+  std::vector<runner::ExperimentConfig> trials;
+  for (const auto p :
+       {runner::Profile::kFourBit, runner::Profile::kMultihopLqi}) {
+    for (int s = 0; s < seeds; ++s) trials.push_back(make_trial(p, minutes, s));
+  }
+  runner::Campaign::Options options;
+  options.threads = threads;
+  options.on_trial_done = runner::stderr_progress();
+  const auto results = runner::Campaign::run(trials, options);
 
-  std::printf("%-14s %10s %10s %10s\n", "protocol", "cost", "depth",
-              "delivery");
-  std::printf("%-14s %10.2f %10.2f %9.1f%%\n", "4B", fourb.cost, fourb.depth,
-              fourb.delivery * 100.0);
-  std::printf("%-14s %10.2f %10.2f %9.1f%%\n", "MultiHopLQI", mhlqi.cost,
-              mhlqi.depth, mhlqi.delivery * 100.0);
+  const auto n = static_cast<std::ptrdiff_t>(seeds);
+  const auto fourb = runner::summarize({results.begin(), results.begin() + n});
+  const auto mhlqi = runner::summarize({results.begin() + n, results.end()});
+
+  std::printf("%-14s %10s %10s %10s %12s\n", "protocol", "cost", "depth",
+              "delivery", "cost 95%ci");
+  std::printf("%-14s %10.2f %10.2f %9.1f%% %11.2f\n", "4B", fourb.cost.mean,
+              fourb.mean_depth.mean, fourb.delivery_ratio.mean * 100.0,
+              fourb.cost.ci95_half);
+  std::printf("%-14s %10.2f %10.2f %9.1f%% %11.2f\n", "MultiHopLQI",
+              mhlqi.cost.mean, mhlqi.mean_depth.mean,
+              mhlqi.delivery_ratio.mean * 100.0, mhlqi.cost.ci95_half);
 
   std::printf("\n  4B cost vs MultiHopLQI : %+.1f%%  (paper -44%%)\n",
-              (fourb.cost / mhlqi.cost - 1.0) * 100.0);
+              (fourb.cost.mean / mhlqi.cost.mean - 1.0) * 100.0);
   std::printf("  4B depth vs MultiHopLQI: %+.1f%%  (paper -9.7%%)\n",
-              (fourb.depth / mhlqi.depth - 1.0) * 100.0);
+              (fourb.mean_depth.mean / mhlqi.mean_depth.mean - 1.0) * 100.0);
   return 0;
 }

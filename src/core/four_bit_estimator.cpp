@@ -4,6 +4,7 @@
 
 #include "common/assert.hpp"
 #include "common/byte_io.hpp"
+#include "sim/trace.hpp"
 
 namespace fourbit::core {
 
@@ -94,8 +95,12 @@ void FourBitEstimator::note_beacon(Table::Entry& entry, std::uint8_t seq) {
   } else {
     // Gap since the last beacon (mod-256 arithmetic handles wrap).
     const std::uint8_t gap = static_cast<std::uint8_t>(seq - st.last_seq);
-    // gap == 0 would mean a duplicate sequence number; count it as one.
-    st.window_expected += std::max<std::uint32_t>(gap, 1);
+    // gap == 0 is a replayed/duplicated beacon (or exactly 256 losses,
+    // which at any plausible beacon rate is indistinguishable from a
+    // dead link anyway). Counting it would bump both received and
+    // expected, letting duplicates inflate the measured reception rate.
+    if (gap == 0) return;
+    st.window_expected += gap;
     st.window_received += 1;
     st.last_seq = seq;
   }
@@ -175,6 +180,17 @@ std::vector<NodeId> FourBitEstimator::neighbors() const {
   return out;
 }
 
-void FourBitEstimator::remove(NodeId n) { table_.remove(n); }
+bool FourBitEstimator::remove(NodeId n) {
+  const Table::Entry* entry = table_.find(n);
+  if (entry == nullptr) return true;  // already gone: nothing stale left
+  if (entry->pinned) {
+    sim::Trace::log(sim::TraceLevel::kError, sim::Time{}, "4b",
+                    "remove refused: entry is pinned");
+    return false;
+  }
+  const bool removed = table_.remove(n);
+  FOURBIT_ASSERT(removed, "unpinned entry must be removable");
+  return true;
+}
 
 }  // namespace fourbit::core

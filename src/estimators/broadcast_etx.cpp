@@ -4,6 +4,7 @@
 
 #include "common/assert.hpp"
 #include "common/byte_io.hpp"
+#include "sim/trace.hpp"
 
 namespace fourbit::estimators {
 namespace {
@@ -171,6 +172,15 @@ std::vector<NodeId> BroadcastEtxEstimator::neighbors() const {
   return out;
 }
 
-void BroadcastEtxEstimator::remove(NodeId n) { table_.remove(n); }
+bool BroadcastEtxEstimator::remove(NodeId n) {
+  const Table::Entry* entry = table_.find(n);
+  if (entry == nullptr) return true;
+  if (entry->pinned) {
+    sim::Trace::log(sim::TraceLevel::kError, sim::Time{}, "betx",
+                    "remove refused: entry is pinned");
+    return false;
+  }
+  return table_.remove(n);
+}
 
 }  // namespace fourbit::estimators

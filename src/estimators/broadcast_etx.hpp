@@ -68,7 +68,7 @@ class BroadcastEtxEstimator final : public link::LinkEstimator {
   void clear_pins() override;
   [[nodiscard]] std::optional<double> etx(NodeId n) const override;
   [[nodiscard]] std::vector<NodeId> neighbors() const override;
-  void remove(NodeId n) override;
+  bool remove(NodeId n) override;
   void set_compare_provider(link::CompareProvider* provider) override {
     compare_ = provider;
   }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/byte_io.hpp"
+#include "sim/trace.hpp"
 
 namespace fourbit::estimators {
 
@@ -86,6 +87,15 @@ std::vector<NodeId> LqiEstimator::neighbors() const {
   return out;
 }
 
-void LqiEstimator::remove(NodeId n) { table_.remove(n); }
+bool LqiEstimator::remove(NodeId n) {
+  const Table::Entry* entry = table_.find(n);
+  if (entry == nullptr) return true;
+  if (entry->pinned) {
+    sim::Trace::log(sim::TraceLevel::kError, sim::Time{}, "lqi",
+                    "remove refused: entry is pinned");
+    return false;
+  }
+  return table_.remove(n);
+}
 
 }  // namespace fourbit::estimators

@@ -87,9 +87,11 @@ class LinkEstimator {
   /// Nodes currently tracked.
   [[nodiscard]] virtual std::vector<NodeId> neighbors() const = 0;
 
-  /// Network layer gave up on this link; drop it (no-op if absent or
-  /// pinned).
-  virtual void remove(NodeId n) = 0;
+  /// Network layer gave up on this link; drop it. Returns true when the
+  /// table no longer holds `n` (removed, or never present) and false
+  /// when the entry is pinned and therefore refuses removal — callers
+  /// must not assume a stale pinned neighbor is gone.
+  virtual bool remove(NodeId n) = 0;
 
   /// Wires in the network layer's compare-bit provider (may be null).
   virtual void set_compare_provider(CompareProvider* provider) = 0;

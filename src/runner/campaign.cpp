@@ -1,0 +1,123 @@
+#include "runner/campaign.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+namespace fourbit::runner {
+
+std::vector<ExperimentResult> Campaign::run(
+    const std::vector<ExperimentConfig>& trials, const Options& options) {
+  std::vector<ExperimentResult> results(trials.size());
+  if (trials.empty()) return results;
+
+  std::size_t threads = options.threads != 0
+                            ? options.threads
+                            : std::max(1u, std::thread::hardware_concurrency());
+  threads = std::min(threads, trials.size());
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> completed{0};
+  std::mutex progress_mutex;
+
+  const auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= trials.size()) return;
+      // Each trial builds its own Simulator/Network/Rng from its config;
+      // writing into a distinct slot is the only sharing.
+      results[i] = run_experiment(trials[i]);
+      const std::size_t done =
+          completed.fetch_add(1, std::memory_order_acq_rel) + 1;
+      if (options.on_trial_done) {
+        const std::lock_guard<std::mutex> lock{progress_mutex};
+        options.on_trial_done(TrialProgress{
+            .trial_index = i,
+            .completed = done,
+            .total = trials.size(),
+            .config = &trials[i],
+            .result = &results[i],
+        });
+      }
+    }
+  };
+
+  if (threads == 1) {
+    worker();  // no pool: run inline (and keep single-thread stacks clean)
+    return results;
+  }
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  return results;
+}
+
+std::vector<ExperimentConfig> Campaign::seed_sweep(
+    const ExperimentConfig& base, std::size_t n) {
+  std::vector<ExperimentConfig> trials;
+  trials.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    trials.push_back(base);
+    trials.back().seed = base.seed + i;
+  }
+  return trials;
+}
+
+CampaignSummary summarize(const std::vector<ExperimentResult>& results) {
+  std::vector<double> cost, delivery, depth, churn;
+  cost.reserve(results.size());
+  delivery.reserve(results.size());
+  depth.reserve(results.size());
+  churn.reserve(results.size());
+  for (const auto& r : results) {
+    cost.push_back(r.cost);
+    delivery.push_back(r.delivery_ratio);
+    depth.push_back(r.mean_depth);
+    churn.push_back(static_cast<double>(r.parent_changes));
+  }
+  return CampaignSummary{
+      .cost = stats::Aggregate::of(std::move(cost)),
+      .delivery_ratio = stats::Aggregate::of(std::move(delivery)),
+      .mean_depth = stats::Aggregate::of(std::move(depth)),
+      .parent_changes = stats::Aggregate::of(std::move(churn)),
+  };
+}
+
+std::vector<double> pooled_per_node_delivery(
+    const std::vector<ExperimentResult>& results) {
+  std::vector<double> pooled;
+  for (const auto& r : results) {
+    pooled.insert(pooled.end(), r.per_node_delivery.begin(),
+                  r.per_node_delivery.end());
+  }
+  return pooled;
+}
+
+std::size_t consume_threads_flag(int& argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") != 0) continue;
+    std::size_t threads = 0;
+    if (i + 1 < argc) threads = static_cast<std::size_t>(std::atoi(argv[i + 1]));
+    const int consumed = (i + 1 < argc) ? 2 : 1;
+    for (int j = i; j + consumed < argc; ++j) argv[j] = argv[j + consumed];
+    argc -= consumed;
+    return threads;
+  }
+  return 0;
+}
+
+std::function<void(const TrialProgress&)> stderr_progress() {
+  return [](const TrialProgress& p) {
+    std::fprintf(stderr, "\r  %zu/%zu trials%s", p.completed, p.total,
+                 p.completed == p.total ? "\n" : "");
+    std::fflush(stderr);
+  };
+}
+
+}  // namespace fourbit::runner

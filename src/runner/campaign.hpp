@@ -1,0 +1,89 @@
+// Parallel trial campaigns: fan independent experiments out across a
+// thread pool.
+//
+// Every figure in the paper is a sweep — over seeds, TX power, profiles
+// or table sizes — and every trial in such a sweep is an independent
+// (config, seed) pair. A Campaign runs a list of ExperimentConfigs on N
+// worker threads and returns results indexed exactly like the inputs, so
+// the output is bit-identical regardless of thread count or completion
+// order.
+//
+// Determinism contract (verified by tests/campaign_test.cpp): each trial
+// constructs its OWN Simulator, Metrics, Rng tree and Network from its
+// config alone; run_experiment shares no mutable state between trials.
+// The only cross-thread state in the pool is the next-trial counter, the
+// disjoint result slots, and the progress mutex. `sim::Trace` is
+// process-global but read-only while trials run (configure it before
+// Campaign::run).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "runner/experiment.hpp"
+#include "stats/aggregate.hpp"
+
+namespace fourbit::runner {
+
+/// Progress report delivered after each trial completes. Callback
+/// invocations are serialized (never concurrent), but arrive from worker
+/// threads in completion order, which is not trial order.
+struct TrialProgress {
+  std::size_t trial_index = 0;  // index into the trial list
+  std::size_t completed = 0;    // trials finished so far, incl. this one
+  std::size_t total = 0;
+  const ExperimentConfig* config = nullptr;
+  const ExperimentResult* result = nullptr;
+};
+
+class Campaign {
+ public:
+  struct Options {
+    /// Worker threads; 0 = one per hardware core.
+    std::size_t threads = 0;
+    /// Optional per-trial completion callback (see TrialProgress).
+    std::function<void(const TrialProgress&)> on_trial_done;
+  };
+
+  /// Runs every trial across the pool. results[i] belongs to trials[i].
+  [[nodiscard]] static std::vector<ExperimentResult> run(
+      const std::vector<ExperimentConfig>& trials, const Options& options);
+  [[nodiscard]] static std::vector<ExperimentResult> run(
+      const std::vector<ExperimentConfig>& trials) {
+    return run(trials, Options{});
+  }
+
+  /// Expands `base` into `n` trials with deterministically derived
+  /// seeds: trial i gets seed = base.seed + i. The testbed is shared;
+  /// sweeps that also re-sample node placement per seed should build
+  /// their configs explicitly instead.
+  [[nodiscard]] static std::vector<ExperimentConfig> seed_sweep(
+      const ExperimentConfig& base, std::size_t n);
+};
+
+/// Field-wise aggregates of a result set (one sweep cell).
+struct CampaignSummary {
+  stats::Aggregate cost;
+  stats::Aggregate delivery_ratio;
+  stats::Aggregate mean_depth;
+  stats::Aggregate parent_changes;
+};
+
+[[nodiscard]] CampaignSummary summarize(
+    const std::vector<ExperimentResult>& results);
+
+/// Every per-node delivery sample across all trials, pooled (the Fig. 8
+/// boxplot population).
+[[nodiscard]] std::vector<double> pooled_per_node_delivery(
+    const std::vector<ExperimentResult>& results);
+
+/// Shared bench CLI handling: strips a "--threads N" argument from
+/// argv (anywhere after argv[0]) and returns N, or 0 (= all cores) if
+/// absent. Remaining positional arguments shift down.
+[[nodiscard]] std::size_t consume_threads_flag(int& argc, char** argv);
+
+/// Progress callback that ticks "completed/total" on stderr.
+[[nodiscard]] std::function<void(const TrialProgress&)> stderr_progress();
+
+}  // namespace fourbit::runner

@@ -13,8 +13,11 @@ namespace fourbit::sim {
 
 enum class TraceLevel { kOff = 0, kError = 1, kInfo = 2, kDebug = 3 };
 
-/// Process-wide trace configuration. Simulations are single-threaded by
-/// design (one Simulator per experiment), so plain statics suffice.
+/// Process-wide trace configuration. Each simulation is single-threaded
+/// (one Simulator per experiment), so plain statics suffice — but
+/// runner::Campaign runs experiments on several threads at once, so the
+/// level must be configured BEFORE a campaign starts and treated as
+/// read-only while trials run.
 class Trace {
  public:
   static void set_level(TraceLevel level) { level_ = level; }

@@ -1,0 +1,45 @@
+// Cross-trial aggregation: reduce one scalar sampled over many trials
+// (seed sweeps, power sweeps) into the numbers the figures report —
+// mean, sample stddev, a 95% confidence interval, and the boxplot
+// quartiles of summary.hpp.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "stats/summary.hpp"
+
+namespace fourbit::stats {
+
+struct Aggregate {
+  std::size_t n = 0;
+  double mean = 0.0;
+  /// Sample standard deviation (n-1 denominator); 0 for n < 2.
+  double stddev = 0.0;
+  /// Half-width of the 95% confidence interval on the mean
+  /// (normal approximation: 1.96 * stddev / sqrt(n)); 0 for n < 2.
+  double ci95_half = 0.0;
+  /// min / Q1 / median / Q3 / max of the sample.
+  FiveNumber quartiles;
+
+  [[nodiscard]] double ci_lo() const { return mean - ci95_half; }
+  [[nodiscard]] double ci_hi() const { return mean + ci95_half; }
+
+  [[nodiscard]] static Aggregate of(std::vector<double> xs) {
+    Aggregate a;
+    a.n = xs.size();
+    if (xs.empty()) return a;
+    a.quartiles = five_number_summary(xs);
+    a.mean = a.quartiles.mean;
+    if (a.n >= 2) {
+      double ss = 0.0;
+      for (const double x : xs) ss += (x - a.mean) * (x - a.mean);
+      a.stddev = std::sqrt(ss / static_cast<double>(a.n - 1));
+      a.ci95_half = 1.96 * a.stddev / std::sqrt(static_cast<double>(a.n));
+    }
+    return a;
+  }
+};
+
+}  // namespace fourbit::stats

@@ -1,5 +1,7 @@
 #include "stats/metrics.hpp"
 
+#include <algorithm>
+
 namespace fourbit::stats {
 
 void Metrics::on_generated(NodeId origin, std::uint16_t) {
@@ -7,8 +9,37 @@ void Metrics::on_generated(NodeId origin, std::uint16_t) {
 }
 
 void Metrics::on_delivered(NodeId origin, std::uint16_t seq) {
-  // Duplicates at the sink (same origin, same seq) count once.
-  origins_[origin].delivered_seqs.insert(seq);
+  // Duplicates at the sink (same origin, same seq epoch) count once.
+  PerOrigin& po = origins_[origin];
+  po.delivered_seqs.insert(po.expand_seq(seq));
+}
+
+std::uint64_t Metrics::PerOrigin::expand_seq(std::uint16_t seq) {
+  if (!has_delivered) {
+    has_delivered = true;
+    highest_expanded = seq;
+    return seq;
+  }
+  // Candidate expansions in the epoch of the highest seq seen and its two
+  // neighbors; pick the one closest to the highest (RFC 1982-style).
+  const std::uint64_t epoch = highest_expanded >> 16;
+  std::uint64_t best = (epoch << 16) | seq;
+  std::uint64_t best_dist = best > highest_expanded ? best - highest_expanded
+                                                    : highest_expanded - best;
+  for (const int d : {-1, +1}) {
+    if (d < 0 && epoch == 0) continue;  // epoch 0 has no predecessor
+    const std::uint64_t candidate =
+        ((epoch + static_cast<std::uint64_t>(d)) << 16) | seq;
+    const std::uint64_t dist = candidate > highest_expanded
+                                   ? candidate - highest_expanded
+                                   : highest_expanded - candidate;
+    if (dist < best_dist) {
+      best = candidate;
+      best_dist = dist;
+    }
+  }
+  highest_expanded = std::max(highest_expanded, best);
+  return best;
 }
 
 void Metrics::on_data_tx(NodeId) { ++data_tx_total_; }

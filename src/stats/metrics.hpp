@@ -61,7 +61,17 @@ class Metrics {
  private:
   struct PerOrigin {
     std::uint64_t generated = 0;
-    std::unordered_set<std::uint16_t> delivered_seqs;
+    // Dedup of delivered packets. The wire sequence number is 16 bits,
+    // so an origin that generates more than 65536 packets wraps: a raw
+    // set of uint16_t would collide across epochs and silently undercount
+    // delivery on long runs. Instead each delivered seq is widened to a
+    // 64-bit value near the highest expanded seq seen so far (tolerant of
+    // reordering/late retransmissions within +-32768) and deduped on that.
+    std::unordered_set<std::uint64_t> delivered_seqs;
+    std::uint64_t highest_expanded = 0;
+    bool has_delivered = false;
+
+    [[nodiscard]] std::uint64_t expand_seq(std::uint16_t seq);
   };
 
   std::unordered_map<NodeId, PerOrigin> origins_;

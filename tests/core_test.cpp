@@ -269,13 +269,45 @@ TEST(FourBitTest, SequenceWrapAroundCountsGap) {
               2.0 / 3.0 * 1.0 + 1.0 / 3.0 * (2.0 / 9.0), 1e-9);
 }
 
-TEST(FourBitTest, DuplicateSequenceCountsAsOne) {
+TEST(FourBitTest, DuplicateSequenceIgnored) {
+  // A replayed/duplicated beacon must not count as a reception: bumping
+  // both received and expected would inflate the measured PRR on links
+  // that also lose beacons.
+  FourBitConfig cfg;
+  cfg.beacon_window = 4;
+  FourBitEstimator est{cfg, sim::Rng{1}};
+  beacon(est, NodeId{1}, 0);  // admission seeds the window at 1/1
+  beacon(est, NodeId{1}, 2);  // gap 2 -> window 2/3
+  beacon(est, NodeId{1}, 2);  // exact duplicate: ignored
+  beacon(est, NodeId{1}, 2);  // ignored again
+  // Still bootstrap-only: the duplicates must not have completed a window.
+  EXPECT_NEAR(est.beacon_quality(NodeId{1}).value(), 1.0, 1e-9);
+  beacon(est, NodeId{1}, 3);  // window 3/4 -> sample 0.75
+  EXPECT_NEAR(est.beacon_quality(NodeId{1}).value(),
+              2.0 / 3.0 * 1.0 + 1.0 / 3.0 * 0.75, 1e-9);
+}
+
+TEST(FourBitTest, DuplicateOfFirstBeaconIgnored) {
   FourBitConfig cfg;
   cfg.beacon_window = 2;
   FourBitEstimator est{cfg, sim::Rng{1}};
   beacon(est, NodeId{1}, 5);
-  beacon(est, NodeId{1}, 5);  // duplicate seq: gap clamped to 1
+  beacon(est, NodeId{1}, 5);  // replay of the admitting beacon: window 1/1
   EXPECT_NEAR(est.beacon_quality(NodeId{1}).value(), 1.0, 1e-9);
+  beacon(est, NodeId{1}, 6);  // completes 2/2 -> PRR 1.0
+  EXPECT_NEAR(est.beacon_quality(NodeId{1}).value(), 1.0, 1e-9);
+}
+
+TEST(FourBitTest, DuplicateAfterWrapIgnored) {
+  FourBitConfig cfg;
+  cfg.beacon_window = 8;
+  FourBitEstimator est{cfg, sim::Rng{1}};
+  beacon(est, NodeId{1}, 254);
+  beacon(est, NodeId{1}, 2);  // gap 4 across the wrap -> window 2/5
+  beacon(est, NodeId{1}, 2);  // duplicate just past the wrap: ignored
+  beacon(est, NodeId{1}, 5);  // gap 3 -> window 3/8 -> sample 3/8
+  EXPECT_NEAR(est.beacon_quality(NodeId{1}).value(),
+              2.0 / 3.0 * 1.0 + 1.0 / 3.0 * (3.0 / 8.0), 1e-9);
 }
 
 TEST(FourBitTest, LossyBeaconsConvergeTowardTruePrr) {
@@ -311,10 +343,16 @@ TEST(FourBitTest, RemoveDropsUnpinnedOnly) {
   beacon(est, NodeId{1}, 0);
   beacon(est, NodeId{2}, 0);
   EXPECT_TRUE(est.pin(NodeId{1}));
-  est.remove(NodeId{1});  // pinned: no-op
-  est.remove(NodeId{2});
+  EXPECT_FALSE(est.remove(NodeId{1}));  // pinned: refused, reported
+  EXPECT_TRUE(est.remove(NodeId{2}));
   EXPECT_TRUE(est.etx(NodeId{1}).has_value());
   EXPECT_FALSE(est.etx(NodeId{2}).has_value());
+}
+
+TEST(FourBitTest, RemoveOfAbsentNodeSucceeds) {
+  // "Removed or never present" both mean no stale entry remains.
+  FourBitEstimator est{FourBitConfig{}, sim::Rng{1}};
+  EXPECT_TRUE(est.remove(NodeId{9}));
 }
 
 TEST(FourBitTest, ClearPinsReleasesAll) {

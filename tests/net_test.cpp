@@ -133,7 +133,10 @@ class FakeEstimator final : public link::LinkEstimator {
     for (const auto& [n, e] : etx_map) out.push_back(n);
     return out;
   }
-  void remove(NodeId n) override { etx_map.erase(n); }
+  bool remove(NodeId n) override {
+    etx_map.erase(n);
+    return true;
+  }
   void set_compare_provider(link::CompareProvider* p) override {
     compare = p;
   }

@@ -100,7 +100,7 @@ TEST(FixedBeaconTest, BeaconsAtConstantRate) {
     void clear_pins() override {}
     std::optional<double> etx(NodeId) const override { return std::nullopt; }
     std::vector<NodeId> neighbors() const override { return {}; }
-    void remove(NodeId) override {}
+    bool remove(NodeId) override { return true; }
     void set_compare_provider(link::CompareProvider*) override {}
   } estimator;
 
@@ -142,7 +142,7 @@ TEST(SnoopRouteTest, OverheardCostEnablesRoute) {
       return std::nullopt;
     }
     std::vector<NodeId> neighbors() const override { return {NodeId{7}}; }
-    void remove(NodeId) override {}
+    bool remove(NodeId) override { return true; }
     void set_compare_provider(link::CompareProvider*) override {}
   } estimator;
 

@@ -1,8 +1,10 @@
 // Tests of the metrics/statistics module.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
+#include "stats/aggregate.hpp"
 #include "stats/metrics.hpp"
 #include "stats/summary.hpp"
 #include "stats/time_series.hpp"
@@ -81,6 +83,50 @@ TEST(MetricsTest, DropCounters) {
   EXPECT_EQ(m.beacon_tx_total(), 1u);
 }
 
+// ---- 16-bit sequence wrap ------------------------------------------------
+
+TEST(MetricsTest, SequenceWrapDoesNotCollapseDeliveries) {
+  // An origin that generates more than 65536 packets wraps its 16-bit
+  // seq; deliveries from different epochs must not dedup against each
+  // other.
+  Metrics m;
+  const std::uint64_t total = 70'000;
+  for (std::uint64_t i = 0; i < total; ++i) {
+    const auto seq = static_cast<std::uint16_t>(i & 0xFFFF);
+    m.on_generated(NodeId{1}, seq);
+    m.on_delivered(NodeId{1}, seq);
+  }
+  EXPECT_EQ(m.delivered_unique_total(), total);
+  EXPECT_DOUBLE_EQ(m.delivery_ratio(), 1.0);
+}
+
+TEST(MetricsTest, DuplicateAcrossWrapBoundaryCountsOnce) {
+  Metrics m;
+  m.on_generated(NodeId{1}, 65535);
+  m.on_generated(NodeId{1}, 0);
+  m.on_delivered(NodeId{1}, 65535);
+  m.on_delivered(NodeId{1}, 0);  // next epoch
+  m.on_delivered(NodeId{1}, 0);  // retransmission duplicate
+  EXPECT_EQ(m.delivered_unique_total(), 2u);
+  EXPECT_DOUBLE_EQ(m.delivery_ratio(), 1.0);
+}
+
+TEST(MetricsTest, ReorderedDeliveryNearWrapBoundary) {
+  Metrics m;
+  for (const std::uint16_t seq : {65534, 65535, 0, 1}) {
+    m.on_generated(NodeId{1}, seq);
+  }
+  // Arrivals out of order around the wrap: the late pre-wrap packet must
+  // land in the old epoch, not 65536 packets into the future.
+  m.on_delivered(NodeId{1}, 65535);
+  m.on_delivered(NodeId{1}, 0);
+  m.on_delivered(NodeId{1}, 65534);  // late, from before the wrap
+  m.on_delivered(NodeId{1}, 1);
+  m.on_delivered(NodeId{1}, 65534);  // duplicate of the late one
+  EXPECT_EQ(m.delivered_unique_total(), 4u);
+  EXPECT_DOUBLE_EQ(m.delivery_ratio(), 1.0);
+}
+
 // ---- five-number summary ------------------------------------------------------
 
 TEST(SummaryTest, KnownDistribution) {
@@ -119,6 +165,43 @@ TEST(SummaryTest, QuantileInterpolates) {
   EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.5), 5.0);
   EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 1.0), 10.0);
   EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.0), 0.0);
+}
+
+// ---- Aggregate ------------------------------------------------------------
+
+TEST(AggregateTest, KnownSample) {
+  const auto a = Aggregate::of({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_EQ(a.n, 5u);
+  EXPECT_DOUBLE_EQ(a.mean, 3.0);
+  EXPECT_NEAR(a.stddev, std::sqrt(2.5), 1e-12);            // sample stddev
+  EXPECT_NEAR(a.ci95_half, 1.96 * std::sqrt(2.5 / 5.0), 1e-12);
+  EXPECT_DOUBLE_EQ(a.quartiles.min, 1.0);
+  EXPECT_DOUBLE_EQ(a.quartiles.q1, 2.0);
+  EXPECT_DOUBLE_EQ(a.quartiles.median, 3.0);
+  EXPECT_DOUBLE_EQ(a.quartiles.q3, 4.0);
+  EXPECT_DOUBLE_EQ(a.quartiles.max, 5.0);
+  EXPECT_NEAR(a.ci_hi() - a.ci_lo(), 2.0 * a.ci95_half, 1e-12);
+}
+
+TEST(AggregateTest, EmptyAndSingleton) {
+  const auto empty = Aggregate::of({});
+  EXPECT_EQ(empty.n, 0u);
+  EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+  EXPECT_DOUBLE_EQ(empty.stddev, 0.0);
+
+  const auto one = Aggregate::of({7.0});
+  EXPECT_EQ(one.n, 1u);
+  EXPECT_DOUBLE_EQ(one.mean, 7.0);
+  EXPECT_DOUBLE_EQ(one.stddev, 0.0);  // undefined for n=1: reported as 0
+  EXPECT_DOUBLE_EQ(one.ci95_half, 0.0);
+  EXPECT_DOUBLE_EQ(one.quartiles.median, 7.0);
+}
+
+TEST(AggregateTest, ConstantSampleHasZeroSpread) {
+  const auto a = Aggregate::of({2.0, 2.0, 2.0, 2.0});
+  EXPECT_DOUBLE_EQ(a.mean, 2.0);
+  EXPECT_DOUBLE_EQ(a.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(a.ci95_half, 0.0);
 }
 
 // ---- BinnedSeries ---------------------------------------------------------------
