@@ -44,6 +44,18 @@ struct FourBitConfig {
   /// average beyond recovery).
   double max_etx_sample = 16.0;
 
+  /// Beacon-seq reset detection: a mod-256 gap larger than this is
+  /// treated as a neighbor reboot (its sequence counter restarted) when
+  /// the white bit or the current ack window says the link is alive —
+  /// the window resynchronizes instead of charging up to 255 phantom
+  /// losses. Without alive evidence the charged loss is capped here
+  /// instead. Deliberately looser than the 2*beacon_window rule of
+  /// thumb: a genuine loss streak on a bad link can exceed a couple of
+  /// windows, and past ~16 expected beacons the PRR sample saturates at
+  /// max_etx_sample anyway, so nothing real is lost. 0 disables
+  /// detection (the pre-fault-injection behavior).
+  std::size_t seq_reset_gap = 16;
+
   /// Table-admission rule for beacons from unknown senders.
   InsertionPolicy insertion = InsertionPolicy::kWhiteCompare;
 

@@ -34,7 +34,7 @@ std::optional<std::vector<std::uint8_t>> FourBitEstimator::unwrap_beacon(
   std::vector<std::uint8_t> payload{payload_span.begin(), payload_span.end()};
 
   if (Table::Entry* entry = table_.find(from)) {
-    note_beacon(*entry, seq);
+    note_beacon(*entry, seq, phy);
     return payload;
   }
 
@@ -85,7 +85,8 @@ bool FourBitEstimator::try_admit(NodeId from, const link::PacketPhyInfo& phy,
   return false;
 }
 
-void FourBitEstimator::note_beacon(Table::Entry& entry, std::uint8_t seq) {
+void FourBitEstimator::note_beacon(Table::Entry& entry, std::uint8_t seq,
+                                   const link::PacketPhyInfo& phy) {
   LinkState& st = entry.data;
   if (!st.has_seq) {
     st.has_seq = true;
@@ -94,12 +95,29 @@ void FourBitEstimator::note_beacon(Table::Entry& entry, std::uint8_t seq) {
     st.window_expected = 1;
   } else {
     // Gap since the last beacon (mod-256 arithmetic handles wrap).
-    const std::uint8_t gap = static_cast<std::uint8_t>(seq - st.last_seq);
+    std::uint32_t gap = static_cast<std::uint8_t>(seq - st.last_seq);
     // gap == 0 is a replayed/duplicated beacon (or exactly 256 losses,
     // which at any plausible beacon rate is indistinguishable from a
     // dead link anyway). Counting it would bump both received and
     // expected, letting duplicates inflate the measured reception rate.
     if (gap == 0) return;
+    if (config_.seq_reset_gap > 0 && gap > config_.seq_reset_gap) {
+      // An implausibly large gap is more likely a neighbor reboot (its
+      // beacon sequence restarted near a random value) than that many
+      // consecutive losses — IF the white bit on this very packet, or
+      // an ack inside the current unicast window, says the link is
+      // alive. Resynchronize instead of charging phantom losses.
+      const bool alive = phy.white || st.window_acked > 0;
+      if (alive) {
+        ++seq_resets_;
+        gap = 1;
+      } else {
+        // No liveness evidence: still cap the charge so one wild gap
+        // costs at most one saturated window, not up to 255 beacons of
+        // debt that would take many windows to amortize.
+        gap = static_cast<std::uint32_t>(config_.seq_reset_gap);
+      }
+    }
     st.window_expected += gap;
     st.window_received += 1;
     st.last_seq = seq;
@@ -191,6 +209,15 @@ bool FourBitEstimator::remove(NodeId n) {
   const bool removed = table_.remove(n);
   FOURBIT_ASSERT(removed, "unpinned entry must be removable");
   return true;
+}
+
+void FourBitEstimator::reset() {
+  // A reboot loses everything in RAM: the table (pins included), every
+  // window in progress, and the beacon sequence counter — neighbors will
+  // see OUR seq restart, which is exactly what seq_reset_gap detects on
+  // their side. seq_resets_ is harness accounting, not node state.
+  table_.clear();
+  beacon_seq_ = 0;
 }
 
 }  // namespace fourbit::core

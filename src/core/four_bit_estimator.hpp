@@ -55,11 +55,16 @@ class FourBitEstimator final : public link::LinkEstimator {
   void set_compare_provider(link::CompareProvider* provider) override {
     compare_ = provider;
   }
+  void reset() override;
 
   // ---- introspection (tests, benches) ----
   [[nodiscard]] const FourBitConfig& config() const { return config_; }
   [[nodiscard]] std::size_t table_size() const { return table_.size(); }
   [[nodiscard]] std::uint8_t beacon_seq() const { return beacon_seq_; }
+
+  /// Times note_beacon classified a large seq gap as a neighbor reboot
+  /// and resynchronized instead of charging phantom losses.
+  [[nodiscard]] std::uint64_t seq_resets() const { return seq_resets_; }
 
   /// Most recent beacon-PRR EWMA for `n` (tests of the inner estimator).
   [[nodiscard]] std::optional<double> beacon_quality(NodeId n) const;
@@ -85,7 +90,8 @@ class FourBitEstimator final : public link::LinkEstimator {
 
   using Table = link::NeighborTable<LinkState>;
 
-  void note_beacon(Table::Entry& entry, std::uint8_t seq);
+  void note_beacon(Table::Entry& entry, std::uint8_t seq,
+                   const link::PacketPhyInfo& phy);
   void feed_etx_sample(LinkState& st, double sample);
   [[nodiscard]] bool try_admit(NodeId from, const link::PacketPhyInfo& phy,
                                std::span<const std::uint8_t> payload);
@@ -95,6 +101,7 @@ class FourBitEstimator final : public link::LinkEstimator {
   Table table_;
   link::CompareProvider* compare_ = nullptr;
   std::uint8_t beacon_seq_ = 0;
+  std::uint64_t seq_resets_ = 0;
 };
 
 }  // namespace fourbit::core

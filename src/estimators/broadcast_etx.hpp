@@ -72,6 +72,11 @@ class BroadcastEtxEstimator final : public link::LinkEstimator {
   void set_compare_provider(link::CompareProvider* provider) override {
     compare_ = provider;
   }
+  void reset() override {
+    table_.clear();
+    beacon_seq_ = 0;
+    footer_rotation_ = 0;
+  }
 
   // Introspection for tests.
   [[nodiscard]] std::optional<double> inbound_quality(NodeId n) const;

@@ -64,6 +64,10 @@ class LqiEstimator final : public link::LinkEstimator {
   [[nodiscard]] std::vector<NodeId> neighbors() const override;
   bool remove(NodeId n) override;
   void set_compare_provider(link::CompareProvider*) override {}
+  void reset() override {
+    table_.clear();
+    beacon_seq_ = 0;
+  }
 
   [[nodiscard]] std::optional<double> smoothed_lqi(NodeId n) const;
 

@@ -95,6 +95,13 @@ class LinkEstimator {
 
   /// Wires in the network layer's compare-bit provider (may be null).
   virtual void set_compare_provider(CompareProvider* provider) = 0;
+
+  // ---- fault model ------------------------------------------------------
+
+  /// Wipes all estimator state, as a node reboot would: table (including
+  /// pins), windows, sequence counters. Default no-op for stateless
+  /// estimators and test fakes.
+  virtual void reset() {}
 };
 
 }  // namespace fourbit::link

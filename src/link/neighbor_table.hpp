@@ -121,6 +121,10 @@ class NeighborTable {
     for (auto& e : entries_) e.pinned = false;
   }
 
+  /// Drops every entry, pinned or not (a node reboot wipes RAM; the pin
+  /// bit does not survive a crash).
+  void clear() { entries_.clear(); }
+
   [[nodiscard]] std::vector<Entry>& entries() { return entries_; }
   [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
 

@@ -77,7 +77,21 @@ void CsmaMac::on_backoff_expired() {
 void CsmaMac::transmit_current() {
   const Outgoing& out = queue_.front();
   if (tx_listener_) tx_listener_(out.frame);
-  radio_.transmit(out.frame.encode(), [this] { on_tx_done(); });
+  radio_.transmit(out.frame.encode(), [this, epoch = epoch_] {
+    if (epoch == epoch_) on_tx_done();
+  });
+}
+
+void CsmaMac::reset() {
+  ++epoch_;
+  backoff_timer_.stop();
+  ack_timer_.stop();
+  queue_.clear();  // callbacks dropped deliberately: their owners crashed
+  busy_ = false;
+  awaiting_ack_ = false;
+  ack_pending_ = false;
+  // next_dsn_ survives: peers' duplicate filters key on (src, dsn), and a
+  // restarted counter would alias recent pre-crash frames.
 }
 
 void CsmaMac::on_tx_done() {

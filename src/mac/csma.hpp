@@ -87,6 +87,8 @@ class CsmaMac final : public Mac {
     return queue_.size();
   }
 
+  void reset() override;
+
   [[nodiscard]] phy::Radio& radio() { return radio_; }
 
   /// Frames heard but dropped for a bad frame check sequence.
@@ -124,6 +126,11 @@ class CsmaMac final : public Mac {
   bool busy_ = false;  // an Outgoing is in progress
   std::uint8_t next_dsn_ = 0;
   std::uint64_t fcs_failures_ = 0;
+  // Bumped by reset(): the radio's tx-done callback cannot be cancelled,
+  // so a completion scheduled before a crash must not fire the state
+  // machine of the rebooted MAC. Callbacks capture the epoch they were
+  // issued in and no-op if it has moved on.
+  std::uint64_t epoch_ = 0;
 
   sim::Timer backoff_timer_;
   sim::Timer ack_timer_;

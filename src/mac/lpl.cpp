@@ -12,6 +12,11 @@ LplMac::LplMac(sim::Simulator& sim, CsmaMac& inner, LplConfig config,
       inner_(inner),
       config_(config),
       rng_(rng),
+      phase_timer_(sim,
+                   [this] {
+                     wake_timer_.start_periodic(config_.wake_interval);
+                     on_wake();
+                   }),
       wake_timer_(sim, [this] { on_wake(); }),
       sample_timer_(sim, [this] { on_sample_end(); }),
       gap_timer_(sim, [this] { transmit_copy(); }) {
@@ -25,12 +30,35 @@ LplMac::LplMac(sim::Simulator& sim, CsmaMac& inner, LplConfig config,
                                   const phy::RxInfo& info) {
     on_inner_rx(src, dsn, payload, info, /*snooped=*/true);
   });
+  arm_phase();
+  update_listening();
+}
+
+void LplMac::arm_phase() {
   // Desynchronize wake schedules across nodes.
   const double phase = rng_.uniform(0.0, config_.wake_interval.seconds());
-  sim_.schedule_in(sim::Duration::from_seconds(phase), [this] {
-    wake_timer_.start_periodic(config_.wake_interval);
-    on_wake();
-  });
+  phase_timer_.start_one_shot(sim::Duration::from_seconds(phase));
+}
+
+void LplMac::reset() {
+  phase_timer_.stop();
+  wake_timer_.stop();
+  sample_timer_.stop();
+  gap_timer_.stop();
+  queue_.clear();  // callbacks dropped deliberately: their owners crashed
+  tx_active_ = false;
+  current_ = Pending{};
+  sampling_ = false;
+  hold_until_ = sim::Time{};
+  recent_.clear();
+  inner_.reset();
+  update_listening();  // radio off until restart()
+}
+
+void LplMac::restart() {
+  // A fresh random phase: a rebooted node does not remember its old wake
+  // schedule, which is exactly why senders must cover a full interval.
+  arm_phase();
   update_listening();
 }
 

@@ -61,6 +61,9 @@ class LplMac final : public Mac {
     return queue_.size() + (tx_active_ ? 1 : 0);
   }
 
+  void reset() override;
+  void restart() override;
+
   // ---- introspection ----
   [[nodiscard]] std::uint64_t copies_transmitted() const { return copies_; }
   [[nodiscard]] std::uint64_t duplicates_suppressed() const {
@@ -78,6 +81,7 @@ class LplMac final : public Mac {
     SendCallback done;
   };
 
+  void arm_phase();
   void on_wake();
   void on_sample_end();
   void update_listening();
@@ -98,6 +102,7 @@ class LplMac final : public Mac {
   RxHandler snoop_handler_;
 
   // Receiver schedule.
+  sim::Timer phase_timer_;  // random initial offset, then wake_timer_
   sim::Timer wake_timer_;
   sim::Timer sample_timer_;
   bool sampling_ = false;

@@ -43,6 +43,17 @@ class Mac {
                     SendCallback done) = 0;
 
   [[nodiscard]] virtual std::size_t queue_depth() const = 0;
+
+  // ---- fault model ----------------------------------------------------
+
+  /// Node crash: drop the queue WITHOUT completing callbacks (the upper
+  /// layers are being wiped too), stop timers, forget any ack in flight.
+  /// Default no-op for fakes without internal state.
+  virtual void reset() {}
+
+  /// Node reboot after reset(): re-arm whatever periodic machinery the
+  /// MAC runs (e.g. the LPL wake schedule). Default no-op.
+  virtual void restart() {}
 };
 
 }  // namespace fourbit::mac

@@ -16,7 +16,7 @@ CollectionNode::CollectionNode(sim::Simulator& sim, mac::Mac& mac,
       estimator_(std::move(estimator)),
       metrics_(metrics),
       routing_(sim, mac.id(), is_root, *estimator_, config,
-               rng.fork("routing")),
+               rng.fork("routing"), metrics),
       forwarding_(sim, mac.id(), routing_, *estimator_, config, metrics,
                   rng.fork("forwarding")) {
   FOURBIT_ASSERT(estimator_ != nullptr, "node needs a link estimator");
@@ -67,9 +67,29 @@ CollectionNode::CollectionNode(sim::Simulator& sim, mac::Mac& mac,
 
 void CollectionNode::boot() { routing_.start(); }
 
+void CollectionNode::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  // Order matters: the MAC reset drops its queue (and the send callbacks
+  // forwarding is waiting on) before the upper layers are wiped, so no
+  // completion can fire into half-dead state.
+  mac_.reset();
+  forwarding_.crash();
+  routing_.crash();
+  estimator_->reset();
+}
+
+void CollectionNode::reboot() {
+  if (!crashed_) return;
+  crashed_ = false;
+  mac_.restart();
+  boot();
+}
+
 void CollectionNode::on_mac_rx(NodeId src, std::uint8_t /*dsn*/,
                                std::span<const std::uint8_t> payload,
                                const phy::RxInfo& info) {
+  if (crashed_) return;  // belt and braces; the radio should be off too
   if (payload.empty()) return;
   const std::uint8_t dispatch = payload[0];
   const auto body = payload.subspan(1);

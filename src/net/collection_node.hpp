@@ -35,8 +35,22 @@ class CollectionNode {
   /// time; the radio listens from construction.
   void boot();
 
+  /// Fault injection: wipes the whole stack — MAC queue and timers,
+  /// forwarding queue and duplicate cache, routing state, estimator
+  /// table (pins included, beacon seq restarted). The caller also turns
+  /// the radio off; see runner::Network::crash_node. Idempotent.
+  void crash();
+
+  /// Ends a crash: restarts the MAC machinery and boots the (now empty)
+  /// routing stack, exactly like a cold boot. No-op unless crashed.
+  void reboot();
+
+  [[nodiscard]] bool crashed() const { return crashed_; }
+
   /// Originates an application payload toward the collection root.
+  /// A crashed node generates nothing (returns false).
   bool send(std::span<const std::uint8_t> app_payload) {
+    if (crashed_) return false;
     return forwarding_.send(app_payload);
   }
 
@@ -64,6 +78,7 @@ class CollectionNode {
   stats::Metrics* metrics_;
   RoutingEngine routing_;
   ForwardingEngine forwarding_;
+  bool crashed_ = false;
 };
 
 }  // namespace fourbit::net

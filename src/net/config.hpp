@@ -74,6 +74,15 @@ struct CollectionConfig {
   /// selection. Stale advertised costs are the fuel of count-to-infinity
   /// loops; expiring them forces a pull/beacon exchange instead.
   sim::Duration route_expiry = sim::Duration::from_seconds(240.0);
+
+  /// After this many CONSECUTIVE retransmission-budget exhaustions toward
+  /// the current parent, the parent is presumed dead: its pin is dropped,
+  /// its table entry and route state evicted, and the route recomputed.
+  /// Without this a crashed parent wedges its children forever — the pin
+  /// bit blocks eviction and the parent's route entry never expires.
+  /// 0 disables eviction (MultiHopLQI keeps its original no-feedback
+  /// behavior, which is part of the paper's contrast).
+  int parent_evict_failures = 3;
 };
 
 }  // namespace fourbit::net

@@ -1,8 +1,10 @@
 #include "net/forwarding_engine.hpp"
 
+#include <cstdio>
 #include <utility>
 
 #include "common/assert.hpp"
+#include "sim/trace.hpp"
 
 namespace fourbit::net {
 
@@ -23,7 +25,7 @@ ForwardingEngine::ForwardingEngine(sim::Simulator& sim, NodeId self,
 
 bool ForwardingEngine::send(std::span<const std::uint8_t> app_payload) {
   const std::uint16_t seq = next_seq_++;
-  if (metrics_ != nullptr) metrics_->on_generated(self_, seq);
+  if (metrics_ != nullptr) metrics_->on_generated(self_, seq, sim_.now());
 
   if (routing_.is_root()) {
     // A root's own packets are already home.
@@ -37,6 +39,10 @@ bool ForwardingEngine::send(std::span<const std::uint8_t> app_payload) {
 
   if (queue_.size() >= config_.queue_capacity) {
     if (metrics_ != nullptr) metrics_->on_queue_drop(self_);
+    DataHeader h;
+    h.origin = self_;
+    h.seq = seq;
+    trace_drop("queue-full(origin)", h);
     return false;
   }
 
@@ -82,11 +88,13 @@ void ForwardingEngine::on_data(NodeId from,
   if (static_cast<int>(h.thl) + 1 > config_.max_thl) {
     routing_.on_loop_detected();
     if (metrics_ != nullptr) metrics_->on_queue_drop(self_);
+    trace_drop("thl-exceeded", h);
     return;
   }
 
   if (queue_.size() >= config_.queue_capacity) {
     if (metrics_ != nullptr) metrics_->on_queue_drop(self_);
+    trace_drop("queue-full(forward)", h);
     return;
   }
 
@@ -139,6 +147,7 @@ void ForwardingEngine::on_tx_result(bool acked) {
 
   Queued& q = queue_.front();
   if (acked) {
+    routing_.on_delivery_success(parent);
     queue_.pop_front();
     const double lo = config_.tx_pacing_min.seconds();
     const double hi = config_.tx_pacing_max.seconds();
@@ -147,8 +156,10 @@ void ForwardingEngine::on_tx_result(bool acked) {
   }
 
   if (q.transmissions > config_.max_retransmissions) {
+    const DataHeader dropped = q.header;
     queue_.pop_front();
     if (metrics_ != nullptr) metrics_->on_retx_drop(self_);
+    trace_drop("retx-exhausted", dropped);
     routing_.on_delivery_failure(parent);
     schedule_service(config_.retx_delay);
     return;
@@ -156,6 +167,25 @@ void ForwardingEngine::on_tx_result(bool acked) {
 
   // Retry (possibly toward a different parent if routing moved on).
   schedule_service(config_.retx_delay);
+}
+
+void ForwardingEngine::trace_drop(const char* reason,
+                                  const DataHeader& header) {
+  if (!sim::Trace::enabled(sim::TraceLevel::kInfo)) return;
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "drop %s at=%u origin=%u seq=%u", reason,
+                static_cast<unsigned>(self_.value()),
+                static_cast<unsigned>(header.origin.value()),
+                static_cast<unsigned>(header.seq));
+  sim::Trace::log(sim::TraceLevel::kInfo, sim_.now(), "fwd", buf);
+}
+
+void ForwardingEngine::crash() {
+  queue_.clear();
+  in_flight_ = false;
+  in_flight_dst_ = kInvalidNodeId;
+  service_timer_.stop();
+  dup_cache_.clear();
 }
 
 }  // namespace fourbit::net

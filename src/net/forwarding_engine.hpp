@@ -45,6 +45,11 @@ class DupCache {
 
   [[nodiscard]] std::size_t size() const { return fifo_.size(); }
 
+  void clear() {
+    fifo_.clear();
+    set_.clear();
+  }
+
  private:
   std::size_t capacity_;
   std::deque<std::uint32_t> fifo_;
@@ -84,6 +89,13 @@ class ForwardingEngine {
     return next_seq_;
   }
 
+  /// Node crash: drops the queue and duplicate cache, forgets the
+  /// in-flight transmission (its MAC callback was dropped with the MAC
+  /// queue) and stops the service timer. next_seq_ deliberately survives:
+  /// it is the metrics layer's per-origin packet index, and restarting it
+  /// would alias pre-crash packets in every duplicate filter downstream.
+  void crash();
+
  private:
   struct Queued {
     DataHeader header;
@@ -95,6 +107,7 @@ class ForwardingEngine {
   void transmit_head();
   void on_tx_result(bool acked);
   void schedule_service(sim::Duration delay);
+  void trace_drop(const char* reason, const DataHeader& header);
 
   sim::Simulator& sim_;
   NodeId self_;

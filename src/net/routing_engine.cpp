@@ -1,20 +1,24 @@
 #include "net/routing_engine.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/assert.hpp"
+#include "sim/trace.hpp"
 
 namespace fourbit::net {
 
 RoutingEngine::RoutingEngine(sim::Simulator& sim, NodeId self, bool is_root,
                              link::LinkEstimator& estimator,
-                             CollectionConfig config, sim::Rng rng)
+                             CollectionConfig config, sim::Rng rng,
+                             stats::Metrics* metrics)
     : sim_(sim),
       self_(self),
       is_root_(is_root),
       estimator_(estimator),
       config_(config),
       rng_(rng),
+      metrics_(metrics),
       my_cost_(is_root ? 0.0 : config.max_path_etx),
       trickle_(sim,
                TrickleConfig{.min_interval = config.trickle_min,
@@ -32,6 +36,9 @@ RoutingEngine::RoutingEngine(sim::Simulator& sim, NodeId self, bool is_root,
 
 void RoutingEngine::start() {
   started_ = true;
+  if (metrics_ != nullptr && !is_root_) {
+    metrics_->on_node_started(self_, sim_.now());
+  }
   if (config_.beacon_timing == BeaconTiming::kTrickle) {
     refresh_beacon_ceiling();
     trickle_.start();
@@ -42,6 +49,22 @@ void RoutingEngine::start() {
         sim::Duration::from_seconds(rng_.uniform(base * 0.9, base * 1.1)));
   }
   route_timer_.start_periodic(config_.route_update_interval);
+}
+
+void RoutingEngine::crash() {
+  trickle_.stop();
+  fixed_timer_.stop();
+  route_timer_.stop();
+  started_ = false;
+  routes_.clear();
+  parent_ = kInvalidNodeId;
+  my_cost_ = is_root_ ? 0.0 : config_.max_path_etx;
+  last_reset_ = sim::Time{};
+  parent_failures_ = 0;
+  // No route_lost event: Metrics::on_node_crashed (emitted by the
+  // harness) discards this node's pending reroute measurement, so the
+  // reroute times only describe LIVE nodes routing around damage.
+  had_route_ = false;
 }
 
 void RoutingEngine::refresh_beacon_ceiling() {
@@ -153,6 +176,23 @@ void RoutingEngine::on_snooped_cost(NodeId from, double path_etx) {
 }
 
 void RoutingEngine::update_route() {
+  recompute_route();
+  note_route_state();
+}
+
+void RoutingEngine::note_route_state() {
+  if (is_root_ || metrics_ == nullptr) return;
+  const bool routed = has_route();
+  if (routed == had_route_) return;
+  had_route_ = routed;
+  if (routed) {
+    metrics_->on_route_restored(self_, sim_.now());
+  } else {
+    metrics_->on_route_lost(self_, sim_.now());
+  }
+}
+
+void RoutingEngine::recompute_route() {
   if (is_root_ || !started_) return;
 
   NodeId best = kInvalidNodeId;
@@ -195,6 +235,7 @@ void RoutingEngine::update_route() {
     my_cost_ = best_cost;
     if (actually_changed) {
       ++parent_changes_;
+      parent_failures_ = 0;  // the failure streak belonged to the old link
       reset_beacon_interval();
     }
     return;
@@ -207,10 +248,57 @@ void RoutingEngine::update_route() {
 
 void RoutingEngine::on_delivery_failure(NodeId to) {
   // The estimator has already digested the unacked transmissions through
-  // the ack bit; re-evaluating the route is all that is left to do here.
-  (void)to;
+  // the ack bit. Toward the current parent a failure also feeds the
+  // dead-parent detector: hysteresis plus the pin bit would otherwise let
+  // a crashed parent wedge this node indefinitely (its route entry is
+  // exempt from expiry and its table entry from eviction).
+  if (to == parent_ && config_.parent_evict_failures > 0) {
+    if (parent_failures_ == 0) failure_streak_start_ = sim_.now();
+    if (++parent_failures_ >= config_.parent_evict_failures) {
+      evict_parent();
+      if (config_.datapath_feedback) reset_beacon_interval();
+      return;
+    }
+  }
   update_route();
   if (config_.datapath_feedback) reset_beacon_interval();
+}
+
+void RoutingEngine::on_delivery_success(NodeId to) {
+  if (to == parent_) parent_failures_ = 0;
+}
+
+void RoutingEngine::evict_parent() {
+  const NodeId dead = parent_;
+  FOURBIT_ASSERT(dead != kInvalidNodeId, "evicting without a parent");
+  ++parent_evictions_;
+  if (sim::Trace::enabled(sim::TraceLevel::kInfo)) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "node %u evicts dead parent %u",
+                  static_cast<unsigned>(self_.value()),
+                  static_cast<unsigned>(dead.value()));
+    sim::Trace::log(sim::TraceLevel::kInfo, sim_.now(), "route", buf);
+  }
+  // The pin bit refuses the first removal — that refusal is the recorded
+  // event the pin/eviction interplay tests look for — then the unpin
+  // makes the retry succeed.
+  if (!estimator_.remove(dead)) {
+    if (metrics_ != nullptr) metrics_->on_pin_refusal(self_);
+    estimator_.unpin(dead);
+    (void)estimator_.remove(dead);
+  }
+  routes_.erase(dead);
+  // The node has been wedged since the streak's first failed delivery;
+  // report the route as lost from that moment so time-to-reroute covers
+  // detection, not just the post-eviction search.
+  if (metrics_ != nullptr && !is_root_ && had_route_) {
+    metrics_->on_route_lost(self_, failure_streak_start_);
+    had_route_ = false;
+  }
+  parent_ = kInvalidNodeId;
+  my_cost_ = config_.max_path_etx;
+  parent_failures_ = 0;
+  update_route();  // an immediate alternative ends the outage right here
 }
 
 void RoutingEngine::on_loop_detected() {

@@ -21,6 +21,7 @@
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 #include "sim/timer.hpp"
+#include "stats/metrics.hpp"
 
 namespace fourbit::net {
 
@@ -30,9 +31,11 @@ class RoutingEngine final : public link::CompareProvider {
   /// broadcast.
   using BeaconSender = std::function<void(std::vector<std::uint8_t>)>;
 
+  /// `metrics` (optional) receives route-availability transitions for
+  /// the recovery metrics (time-to-first-route, time-to-reroute).
   RoutingEngine(sim::Simulator& sim, NodeId self, bool is_root,
                 link::LinkEstimator& estimator, CollectionConfig config,
-                sim::Rng rng);
+                sim::Rng rng, stats::Metrics* metrics = nullptr);
 
   void set_beacon_sender(BeaconSender sender) {
     beacon_sender_ = std::move(sender);
@@ -52,10 +55,20 @@ class RoutingEngine final : public link::CompareProvider {
   void on_snooped_cost(NodeId from, double path_etx);
 
   /// The forwarder exhausted its retransmission budget toward `to`.
+  /// Repeated failures toward the pinned parent eventually evict it
+  /// (config.parent_evict_failures) instead of wedging on the pin bit.
   void on_delivery_failure(NodeId to);
+
+  /// A unicast toward `to` was acknowledged: the link is alive, so any
+  /// failure streak toward it ends here.
+  void on_delivery_success(NodeId to);
 
   /// The forwarder saw a datapath inconsistency (possible loop).
   void on_loop_detected();
+
+  /// Node crash: stops all timers and wipes route state (table, parent,
+  /// cost, Trickle phase). start() afterwards models the reboot.
+  void crash();
 
   // ---- route state -----------------------------------------------------
 
@@ -83,6 +96,9 @@ class RoutingEngine final : public link::CompareProvider {
     return parent_changes_;
   }
   [[nodiscard]] std::uint64_t beacons_sent() const { return beacons_sent_; }
+  [[nodiscard]] std::uint64_t parent_evictions() const {
+    return parent_evictions_;
+  }
 
   // ---- link::CompareProvider --------------------------------------------
 
@@ -93,6 +109,9 @@ class RoutingEngine final : public link::CompareProvider {
 
  private:
   void update_route();
+  void recompute_route();
+  void note_route_state();
+  void evict_parent();
   void send_beacon();
   void reset_beacon_interval();
   void refresh_beacon_ceiling();
@@ -105,6 +124,7 @@ class RoutingEngine final : public link::CompareProvider {
   link::LinkEstimator& estimator_;
   CollectionConfig config_;
   sim::Rng rng_;
+  stats::Metrics* metrics_;
   BeaconSender beacon_sender_;
 
   std::unordered_map<NodeId, NeighborRoute> routes_;
@@ -119,6 +139,14 @@ class RoutingEngine final : public link::CompareProvider {
 
   std::uint64_t parent_changes_ = 0;
   std::uint64_t beacons_sent_ = 0;
+
+  // Dead-parent detection: consecutive retx-budget exhaustions toward
+  // the current parent, and when the streak began (the wedge duration
+  // reported as time-to-reroute runs from that first failure).
+  int parent_failures_ = 0;
+  sim::Time failure_streak_start_;
+  std::uint64_t parent_evictions_ = 0;
+  bool had_route_ = false;  // last route availability reported to metrics
 };
 
 }  // namespace fourbit::net

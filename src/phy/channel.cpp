@@ -33,6 +33,20 @@ void Channel::detach(Radio& radio) {
   }
 }
 
+std::uint32_t Channel::link_key(NodeId a, NodeId b) {
+  const std::uint32_t lo = std::min(a.value(), b.value());
+  const std::uint32_t hi = std::max(a.value(), b.value());
+  return lo << 16 | hi;
+}
+
+void Channel::set_link_outage(NodeId a, NodeId b, double loss) {
+  link_faults_[link_key(a, b)] = loss;
+}
+
+void Channel::clear_link_outage(NodeId a, NodeId b) {
+  link_faults_.erase(link_key(a, b));
+}
+
 PowerDbm Channel::rx_power(const Radio& from, const Radio& to) {
   const Decibels loss = propagation_.loss(from.id(), from.position(), to.id(),
                                           to.position());
@@ -174,6 +188,17 @@ void Channel::finish_transmission(const std::shared_ptr<ActiveTx>& tx) {
     // The receiver may have begun transmitting after this packet started
     // (its CSMA lost the race); half-duplex kills the reception.
     if (r.transmitting_until() > tx->start) continue;
+
+    // Fault injection: a forced outage on this pair drops the frame
+    // before the physical model sees it (an obstructed or detuned path
+    // leaves no LQI trace, like burst interference).
+    if (!link_faults_.empty()) {
+      const auto fault = link_faults_.find(link_key(tx->sender->id(), r.id()));
+      if (fault != link_faults_.end() &&
+          reception_rng_.bernoulli(fault->second)) {
+        continue;
+      }
+    }
 
     const double noise_mw = r.noise_floor().milliwatts();
     const double sinr_db =

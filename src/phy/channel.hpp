@@ -16,6 +16,7 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -52,6 +53,22 @@ class Channel {
 
   void attach(Radio& radio);
   void detach(Radio& radio);
+
+  // --- Fault injection -------------------------------------------------
+
+  /// Forces the (symmetric) link a<->b to drop each frame with
+  /// probability `loss` on top of the physical model (1.0 = total
+  /// blackout). Replaces any previous outage on the same pair. A random
+  /// draw is consumed per frame ONLY on faulted links, so runs without
+  /// faults keep their exact RNG sequence.
+  void set_link_outage(NodeId a, NodeId b, double loss);
+
+  /// Lifts a forced outage (no-op if none is active on the pair).
+  void clear_link_outage(NodeId a, NodeId b);
+
+  [[nodiscard]] std::size_t active_link_outages() const {
+    return link_faults_.size();
+  }
 
   /// Called by Radio::transmit. Takes ownership of the frame bytes.
   void start_transmission(Radio& sender, std::vector<std::uint8_t> frame,
@@ -109,6 +126,9 @@ class Channel {
   std::vector<std::shared_ptr<ActiveTx>> active_;
   std::uint64_t frames_transmitted_ = 0;
   TxObserver tx_observer_;
+  // Forced per-link loss (fault injection), keyed on the unordered pair.
+  [[nodiscard]] static std::uint32_t link_key(NodeId a, NodeId b);
+  std::unordered_map<std::uint32_t, double> link_faults_;
 };
 
 }  // namespace fourbit::phy

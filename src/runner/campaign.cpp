@@ -70,7 +70,7 @@ std::vector<ExperimentConfig> Campaign::seed_sweep(
 }
 
 CampaignSummary summarize(const std::vector<ExperimentResult>& results) {
-  std::vector<double> cost, delivery, depth, churn;
+  std::vector<double> cost, delivery, depth, churn, outage_dlv, reroute;
   cost.reserve(results.size());
   delivery.reserve(results.size());
   depth.reserve(results.size());
@@ -80,12 +80,22 @@ CampaignSummary summarize(const std::vector<ExperimentResult>& results) {
     delivery.push_back(r.delivery_ratio);
     depth.push_back(r.mean_depth);
     churn.push_back(static_cast<double>(r.parent_changes));
+    // Only faulted trials carry recovery samples; pooling zeros from
+    // fault-free trials would fabricate a perfect-failure signal.
+    if (r.generated_during_outage > 0) {
+      outage_dlv.push_back(r.delivery_during_outage);
+    }
+    if (r.max_time_to_reroute_s > 0.0) {
+      reroute.push_back(r.mean_time_to_reroute_s);
+    }
   }
   return CampaignSummary{
       .cost = stats::Aggregate::of(std::move(cost)),
       .delivery_ratio = stats::Aggregate::of(std::move(delivery)),
       .mean_depth = stats::Aggregate::of(std::move(depth)),
       .parent_changes = stats::Aggregate::of(std::move(churn)),
+      .delivery_during_outage = stats::Aggregate::of(std::move(outage_dlv)),
+      .time_to_reroute_s = stats::Aggregate::of(std::move(reroute)),
   };
 }
 

@@ -68,6 +68,10 @@ struct CampaignSummary {
   stats::Aggregate delivery_ratio;
   stats::Aggregate mean_depth;
   stats::Aggregate parent_changes;
+  /// Recovery aggregates over trials that actually suffered faults
+  /// (fault-free trials contribute no samples here).
+  stats::Aggregate delivery_during_outage;
+  stats::Aggregate time_to_reroute_s;
 };
 
 [[nodiscard]] CampaignSummary summarize(

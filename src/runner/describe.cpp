@@ -49,6 +49,18 @@ std::string describe(const ExperimentConfig& config) {
   } else {
     out += "interference : none\n";
   }
+  if (config.faults.enabled()) {
+    out += format(
+        "faults       : %zu crashes (down %.0fs), %zu link outages "
+        "(%.0fs, %.0f%% loss)%s in [%.0fs, %.0fs)\n",
+        config.faults.node_crashes,
+        config.faults.crash_downtime.seconds(), config.faults.link_outages,
+        config.faults.outage_duration.seconds(),
+        config.faults.outage_loss * 100.0,
+        config.faults.root_region_crash ? ", root-region crash" : "",
+        config.faults.window_start.seconds(),
+        config.faults.window_end.seconds());
+  }
   return out;
 }
 
@@ -70,6 +82,34 @@ std::string describe(const ExperimentResult& result) {
                 static_cast<unsigned long long>(result.queue_drops));
   out += format("churn        : %llu parent changes\n",
                 static_cast<unsigned long long>(result.parent_changes));
+  out += format("first route  : %.1f s mean boot-to-route\n",
+                result.mean_time_to_first_route_s);
+  if (result.node_crashes > 0 || result.link_outages > 0) {
+    out += format("faults       : %llu crashes, %llu reboots, "
+                  "%llu link outages\n",
+                  static_cast<unsigned long long>(result.node_crashes),
+                  static_cast<unsigned long long>(result.node_reboots),
+                  static_cast<unsigned long long>(result.link_outages));
+    out += format("recovery     : reroute %.1f s mean / %.1f s max "
+                  "(%llu losses), %llu evictions, %llu pin refusals\n",
+                  result.mean_time_to_reroute_s,
+                  result.max_time_to_reroute_s,
+                  static_cast<unsigned long long>(result.route_losses),
+                  static_cast<unsigned long long>(result.parent_evictions),
+                  static_cast<unsigned long long>(result.pin_refusals));
+    if (result.mean_table_refill_s > 0.0) {
+      out += format("table refill : %.1f s mean after reboot\n",
+                    result.mean_table_refill_s);
+    }
+    out += format("outage dlv   : %.1f%% during (%llu pkts), "
+                  "%.1f%% post (%llu pkts)\n",
+                  result.delivery_during_outage * 100.0,
+                  static_cast<unsigned long long>(
+                      result.generated_during_outage),
+                  result.delivery_post_outage * 100.0,
+                  static_cast<unsigned long long>(
+                      result.generated_post_outage));
+  }
   if (result.projected_lifetime_days > 0.0) {
     out += format("energy       : worst node %.3f mAh, lifetime %.1f days\n",
                   result.worst_node_mah, result.projected_lifetime_days);

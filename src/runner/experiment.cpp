@@ -29,6 +29,18 @@ ExperimentResult run_experiment(ExperimentConfig config) {
         });
   }
 
+  // Faults: the plan is fixed before anything runs, so outage windows
+  // are known upfront and every generated packet can be classified as
+  // normal / during-outage / post-outage.
+  FaultRuntime fault_runtime{sim, network, &metrics};
+  sim::FaultPlan fault_plan =
+      build_fault_plan(config.faults, config.testbed.topology, config.seed);
+  if (!fault_plan.empty()) {
+    register_outage_windows(fault_plan, metrics,
+                            sim::Time{} + config.duration);
+    fault_runtime.arm(std::move(fault_plan));
+  }
+
   network.start(config.boot_stagger, config.traffic);
 
   // Depth sampling starts after boot + initial convergence window so the
@@ -63,6 +75,23 @@ ExperimentResult run_experiment(ExperimentConfig config) {
   result.duplicates = metrics.duplicate_rx();
   result.parent_changes = network.total_parent_changes();
   result.final_tree = network.tree_snapshot();
+
+  result.node_crashes = metrics.node_crashes();
+  result.node_reboots = metrics.node_reboots();
+  if (fault_runtime.injector() != nullptr) {
+    result.link_outages = fault_runtime.injector()->outages_executed();
+  }
+  result.route_losses = metrics.route_losses();
+  result.parent_evictions = network.total_parent_evictions();
+  result.pin_refusals = metrics.pin_refusals();
+  result.mean_time_to_reroute_s = metrics.mean_time_to_reroute_s();
+  result.max_time_to_reroute_s = metrics.max_time_to_reroute_s();
+  result.mean_time_to_first_route_s = metrics.mean_time_to_first_route_s();
+  result.mean_table_refill_s = metrics.mean_table_refill_s();
+  result.generated_during_outage = metrics.generated_during_outage();
+  result.generated_post_outage = metrics.generated_post_outage();
+  result.delivery_during_outage = metrics.delivery_during_outage();
+  result.delivery_post_outage = metrics.delivery_post_outage();
 
   if (config.track_energy) {
     std::vector<NodeId> all_nodes;

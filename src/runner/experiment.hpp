@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "app/traffic.hpp"
+#include "runner/faults.hpp"
 #include "runner/network.hpp"
 #include "runner/profile.hpp"
 #include "stats/energy.hpp"
@@ -29,6 +30,10 @@ struct ExperimentConfig {
 
   /// Duty-cycle the radios with low-power listening (0 = always on).
   sim::Duration lpl_wake_interval = sim::Duration::from_us(0);
+
+  /// Fault schedule (crashes, link outages). The concrete plan is
+  /// derived deterministically from this spec and the trial seed.
+  FaultSpec faults;
 
   /// Charge every transmission to the energy model and report lifetime
   /// projections in the result.
@@ -55,6 +60,22 @@ struct ExperimentResult {
   std::uint64_t parent_changes = 0;
 
   TreeSnapshot final_tree;
+
+  // Fault / recovery metrics (meaningful when config.faults.enabled()).
+  std::uint64_t node_crashes = 0;
+  std::uint64_t node_reboots = 0;
+  std::uint64_t link_outages = 0;
+  std::uint64_t route_losses = 0;
+  std::uint64_t parent_evictions = 0;
+  std::uint64_t pin_refusals = 0;
+  double mean_time_to_reroute_s = 0.0;
+  double max_time_to_reroute_s = 0.0;
+  double mean_time_to_first_route_s = 0.0;
+  double mean_table_refill_s = 0.0;
+  std::uint64_t generated_during_outage = 0;
+  std::uint64_t generated_post_outage = 0;
+  double delivery_during_outage = 0.0;
+  double delivery_post_outage = 0.0;
 
   // Energy (populated when config.track_energy is set).
   double worst_node_mah = 0.0;

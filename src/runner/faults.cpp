@@ -1,0 +1,182 @@
+#include "runner/faults.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/units.hpp"
+#include "sim/rng.hpp"
+
+namespace fourbit::runner {
+namespace {
+
+sim::Time draw_time(sim::Rng& rng, const FaultSpec& spec) {
+  const double at_s =
+      rng.uniform(spec.window_start.seconds(), spec.window_end.seconds());
+  return sim::Time::from_us(static_cast<std::int64_t>(at_s * 1e6));
+}
+
+/// Index of the node geometrically nearest to `nodes[i]` (ties broken by
+/// index, so the choice is deterministic).
+std::size_t nearest_neighbor(const std::vector<topology::NodePlacement>& nodes,
+                             std::size_t i) {
+  std::size_t best = i;
+  double best_d = std::numeric_limits<double>::max();
+  for (std::size_t j = 0; j < nodes.size(); ++j) {
+    if (j == i) continue;
+    const double d = distance_m(nodes[i].position, nodes[j].position);
+    if (d < best_d) {
+      best_d = d;
+      best = j;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+sim::FaultPlan build_fault_plan(const FaultSpec& spec,
+                                const topology::Topology& topo,
+                                std::uint64_t seed) {
+  sim::FaultPlan plan;
+  if (!spec.enabled()) return plan;
+  FOURBIT_ASSERT(spec.window_end.us() > spec.window_start.us(),
+                 "fault window is empty");
+
+  const sim::Rng rng = sim::Rng{seed}.fork("faults");
+
+  // Distinct non-root crash victims via a partial Fisher-Yates shuffle.
+  if (spec.node_crashes > 0) {
+    sim::Rng crash_rng = rng.fork("crashes");
+    std::vector<NodeId> candidates;
+    candidates.reserve(topo.nodes.size());
+    for (const auto& placement : topo.nodes) {
+      if (placement.id != topo.root) candidates.push_back(placement.id);
+    }
+    const std::size_t count = std::min(spec.node_crashes, candidates.size());
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t j =
+          i + static_cast<std::size_t>(
+                  crash_rng.uniform_int(candidates.size() - i));
+      std::swap(candidates[i], candidates[j]);
+      sim::FaultEvent event;
+      event.kind = sim::FaultKind::kNodeCrash;
+      event.at = draw_time(crash_rng, spec);
+      event.duration = spec.crash_downtime;
+      event.node = candidates[i];
+      plan.events.push_back(event);
+    }
+  }
+
+  // Link outages hit short links — a random node and its nearest
+  // neighbor — because those are the links routing actually uses.
+  if (spec.link_outages > 0) {
+    sim::Rng link_rng = rng.fork("links");
+    for (std::size_t k = 0; k < spec.link_outages; ++k) {
+      const std::size_t a = static_cast<std::size_t>(
+          link_rng.uniform_int(topo.nodes.size()));
+      const std::size_t b = nearest_neighbor(topo.nodes, a);
+      if (a == b) continue;  // single-node topology
+      sim::FaultEvent event;
+      event.kind = sim::FaultKind::kLinkOutage;
+      event.at = draw_time(link_rng, spec);
+      event.duration = spec.outage_duration;
+      event.node = topo.nodes[a].id;
+      event.peer = topo.nodes[b].id;
+      event.loss = spec.outage_loss;
+      plan.events.push_back(event);
+    }
+  }
+
+  if (spec.root_region_crash) {
+    sim::Rng region_rng = rng.fork("root-region");
+    sim::FaultEvent event;
+    event.kind = sim::FaultKind::kRootRegionCrash;
+    event.at = draw_time(region_rng, spec);
+    event.duration = spec.crash_downtime;
+    event.max_victims = spec.root_region_max_victims;
+    plan.events.push_back(event);
+  }
+
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const sim::FaultEvent& x, const sim::FaultEvent& y) {
+                     return x.at.us() < y.at.us();
+                   });
+  return plan;
+}
+
+void register_outage_windows(const sim::FaultPlan& plan,
+                             stats::Metrics& metrics, sim::Time run_end) {
+  for (const auto& event : plan.events) {
+    const sim::Time end = event.duration.us() > 0
+                              ? event.at + event.duration
+                              : run_end;  // permanent damage
+    metrics.add_outage_window(event.at, end);
+  }
+}
+
+FaultRuntime::FaultRuntime(sim::Simulator& sim, Network& network,
+                           stats::Metrics* metrics)
+    : sim_(sim), network_(network), metrics_(metrics) {}
+
+void FaultRuntime::arm(sim::FaultPlan plan) {
+  FOURBIT_ASSERT(injector_ == nullptr, "FaultRuntime armed twice");
+  sim::FaultInjector::Hooks hooks;
+  hooks.crash_node = [this](NodeId node) { on_crash(node); };
+  hooks.reboot_node = [this](NodeId node) { on_reboot(node); };
+  hooks.link_down = [this](NodeId a, NodeId b, double loss) {
+    network_.channel().set_link_outage(a, b, loss);
+  };
+  hooks.link_up = [this](NodeId a, NodeId b) {
+    network_.channel().clear_link_outage(a, b);
+  };
+  hooks.root_region = [this](std::size_t max_victims) {
+    std::vector<NodeId> victims;
+    for (const std::size_t i : network_.root_children()) {
+      if (max_victims > 0 && victims.size() >= max_victims) break;
+      victims.push_back(network_.node(i).id());
+    }
+    return victims;
+  };
+  injector_ = std::make_unique<sim::FaultInjector>(sim_, std::move(plan),
+                                                   std::move(hooks));
+  injector_->arm();
+}
+
+void FaultRuntime::on_crash(NodeId node) {
+  const std::size_t i = network_.index_of(node);
+  if (i >= network_.size()) return;
+  pre_crash_sizes_[i] = network_.node(i).estimator().neighbors().size();
+  network_.crash_node(i);
+}
+
+void FaultRuntime::on_reboot(NodeId node) {
+  const std::size_t i = network_.index_of(node);
+  if (i >= network_.size()) return;
+  network_.reboot_node(i);
+  const auto it = pre_crash_sizes_.find(i);
+  // A node that knew nobody before the crash has nothing to refill.
+  if (it == pre_crash_sizes_.end() || it->second == 0) return;
+  poll_refill(i, it->second, sim_.now());
+}
+
+void FaultRuntime::poll_refill(std::size_t index, std::size_t pre_crash_size,
+                               sim::Time rebooted_at) {
+  if (network_.node(index).crashed()) return;  // crashed again; give up
+  const std::size_t have =
+      network_.node(index).estimator().neighbors().size();
+  if (have * 2 >= pre_crash_size) {
+    if (metrics_ != nullptr) {
+      metrics_->on_table_refill(network_.node(index).id(),
+                                sim_.now() - rebooted_at);
+    }
+    return;
+  }
+  sim_.schedule_in(sim::Duration::from_seconds(2.0),
+                   [this, index, pre_crash_size, rebooted_at] {
+                     poll_refill(index, pre_crash_size, rebooted_at);
+                   });
+}
+
+}  // namespace fourbit::runner

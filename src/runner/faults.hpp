@@ -1,0 +1,96 @@
+// Runner-side fault harness: turns a compact FaultSpec into a seeded,
+// deterministic sim::FaultPlan, and binds sim::FaultInjector hooks to a
+// concrete Network (crash = stack wipe + receiver off; outage = forced
+// loss in the channel). Also watches rebooted nodes and reports how long
+// their neighbor table takes to refill.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "runner/network.hpp"
+#include "sim/fault.hpp"
+#include "sim/time.hpp"
+#include "stats/metrics.hpp"
+#include "topology/topology.hpp"
+
+namespace fourbit::runner {
+
+/// What faults a trial should suffer. The concrete victims, partners and
+/// times are derived deterministically from (spec, topology, seed), so
+/// the same trial always replays the same damage.
+struct FaultSpec {
+  /// Distinct random non-root nodes crash once each.
+  std::size_t node_crashes = 0;
+  /// Downtime before each crashed node reboots (zero = stays down).
+  sim::Duration crash_downtime = sim::Duration::from_seconds(120.0);
+
+  /// Random short links (a node and its nearest neighbor) black out.
+  std::size_t link_outages = 0;
+  sim::Duration outage_duration = sim::Duration::from_seconds(60.0);
+  /// Forced loss probability during an outage (1.0 = total blackout).
+  double outage_loss = 1.0;
+
+  /// Scripted scenario: the root's current first-hop children all crash
+  /// at once (victims resolved at fire time, once routing has shaped the
+  /// tree), rebooting after `crash_downtime`.
+  bool root_region_crash = false;
+  std::size_t root_region_max_victims = 0;  // 0 = every first-hop child
+
+  /// Fault times are drawn uniformly in [window_start, window_end). The
+  /// window should start after the boot stagger so faults hit a formed
+  /// network, and end early enough to observe recovery.
+  sim::Time window_start = sim::Time::from_us(8LL * 60 * 1'000'000);
+  sim::Time window_end = sim::Time::from_us(15LL * 60 * 1'000'000);
+
+  [[nodiscard]] bool enabled() const {
+    return node_crashes > 0 || link_outages > 0 || root_region_crash;
+  }
+};
+
+/// Expands the spec into a concrete schedule, sorted by fire time.
+[[nodiscard]] sim::FaultPlan build_fault_plan(const FaultSpec& spec,
+                                              const topology::Topology& topo,
+                                              std::uint64_t seed);
+
+/// Registers every plan event's damage interval as an outage window in
+/// the metrics (a permanent crash extends to `run_end`). Must run before
+/// traffic starts so every generated packet can be phase-classified.
+void register_outage_windows(const sim::FaultPlan& plan,
+                             stats::Metrics& metrics, sim::Time run_end);
+
+/// Owns a FaultInjector wired to a Network. Keep it alive for the whole
+/// run; construct after the network, arm before (or as) the sim runs.
+class FaultRuntime {
+ public:
+  FaultRuntime(sim::Simulator& sim, Network& network,
+               stats::Metrics* metrics);
+
+  /// Schedules the plan. Call at most once.
+  void arm(sim::FaultPlan plan);
+
+  [[nodiscard]] const sim::FaultInjector* injector() const {
+    return injector_.get();
+  }
+
+ private:
+  void on_crash(NodeId node);
+  void on_reboot(NodeId node);
+  /// Polls a rebooted node's neighbor table every couple of seconds
+  /// until it regains half its pre-crash size, then reports the delay.
+  void poll_refill(std::size_t index, std::size_t pre_crash_size,
+                   sim::Time rebooted_at);
+
+  sim::Simulator& sim_;
+  Network& network_;
+  stats::Metrics* metrics_;
+  std::unique_ptr<sim::FaultInjector> injector_;
+  /// Neighbor-table size at crash time, per node index (the refill
+  /// target after the matching reboot).
+  std::unordered_map<std::size_t, std::size_t> pre_crash_sizes_;
+};
+
+}  // namespace fourbit::runner

@@ -9,7 +9,7 @@ namespace fourbit::runner {
 
 Network::Network(sim::Simulator& sim, const topology::Testbed& testbed,
                  Options options, stats::Metrics* metrics)
-    : sim_(sim), root_(testbed.topology.root) {
+    : sim_(sim), metrics_(metrics), root_(testbed.topology.root) {
   sim::Rng rng{options.seed};
 
   std::unique_ptr<phy::InterferenceModel> interference;
@@ -140,6 +140,50 @@ std::uint64_t Network::total_parent_changes() const {
   std::uint64_t total = 0;
   for (const auto& n : nodes_) total += n->routing().parent_changes();
   return total;
+}
+
+std::uint64_t Network::total_parent_evictions() const {
+  std::uint64_t total = 0;
+  for (const auto& n : nodes_) total += n->routing().parent_evictions();
+  return total;
+}
+
+std::size_t Network::index_of(NodeId id) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i]->id() == id) return i;
+  }
+  return nodes_.size();
+}
+
+void Network::crash_node(std::size_t i) {
+  FOURBIT_ASSERT(i < nodes_.size(), "crash_node: index out of range");
+  if (i == root_index_) return;  // the sink is mains-powered
+  if (nodes_[i]->crashed()) return;
+  nodes_[i]->crash();
+  radios_[i]->set_listening(false);
+  if (metrics_ != nullptr) metrics_->on_node_crashed(nodes_[i]->id(), sim_.now());
+}
+
+void Network::reboot_node(std::size_t i) {
+  FOURBIT_ASSERT(i < nodes_.size(), "reboot_node: index out of range");
+  if (!nodes_[i]->crashed()) return;
+  radios_[i]->set_listening(true);
+  nodes_[i]->reboot();
+  if (metrics_ != nullptr) {
+    metrics_->on_node_rebooted(nodes_[i]->id(), sim_.now());
+  }
+}
+
+std::vector<std::size_t> Network::root_children() const {
+  std::vector<std::size_t> children;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (i == root_index_) continue;
+    const auto& routing = nodes_[i]->routing();
+    if (routing.has_route() && routing.parent() == root_) {
+      children.push_back(i);
+    }
+  }
+  return children;
 }
 
 }  // namespace fourbit::runner

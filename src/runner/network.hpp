@@ -73,8 +73,29 @@ class Network {
   /// Sum of parent changes across all nodes (route churn).
   [[nodiscard]] std::uint64_t total_parent_changes() const;
 
+  /// Sum of dead-parent evictions across all nodes.
+  [[nodiscard]] std::uint64_t total_parent_evictions() const;
+
+  // ---- fault control (used by the fault harness) ---------------------
+
+  /// Index of the node with this id; size() if unknown.
+  [[nodiscard]] std::size_t index_of(NodeId id) const;
+
+  /// Crashes node `i`: stack wiped, radio receiver off. The root cannot
+  /// crash (the paper's sink is mains-powered); asking is a no-op.
+  void crash_node(std::size_t i);
+
+  /// Reboots a crashed node: radio back on, cold boot of the stack.
+  void reboot_node(std::size_t i);
+
+  /// Non-root nodes currently routing directly through the root — the
+  /// victims of the root-region crash scenario. Deterministic order
+  /// (node index order).
+  [[nodiscard]] std::vector<std::size_t> root_children() const;
+
  private:
   sim::Simulator& sim_;
+  stats::Metrics* metrics_;
   NodeId root_;
   std::size_t root_index_ = 0;
   std::unique_ptr<phy::Channel> channel_;

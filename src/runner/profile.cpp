@@ -82,6 +82,10 @@ net::CollectionConfig make_collection_config(Profile p) {
     cfg.datapath_feedback = false;
     cfg.snoop = false;
     cfg.parent_switch_threshold = 0.5;
+    // MultiHopLQI has no datapath feedback into routing at all — it does
+    // not notice a dead parent either. Keeping eviction off preserves
+    // the wedge-on-failure behavior the paper contrasts 4B against.
+    cfg.parent_evict_failures = 0;
   }
   return cfg;
 }

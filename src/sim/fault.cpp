@@ -1,0 +1,75 @@
+#include "sim/fault.hpp"
+
+#include <cstdio>
+
+#include "common/assert.hpp"
+#include "sim/trace.hpp"
+
+namespace fourbit::sim {
+namespace {
+
+void trace_fault(Time now, const char* format, std::uint32_t a,
+                 std::uint32_t b) {
+  if (!Trace::enabled(TraceLevel::kInfo)) return;
+  char buffer[96];
+  std::snprintf(buffer, sizeof buffer, format, a, b);
+  Trace::log(TraceLevel::kInfo, now, "fault", buffer);
+}
+
+}  // namespace
+
+void FaultInjector::arm() {
+  FOURBIT_ASSERT(!armed_, "FaultInjector::arm called twice");
+  armed_ = true;
+  for (const FaultEvent& event : plan_.events) {
+    const Time at = event.at < sim_.now() ? sim_.now() : event.at;
+    sim_.schedule_at(at, [this, &event] { fire(event); });
+  }
+}
+
+void FaultInjector::crash_with_reboot(NodeId node, Duration downtime) {
+  trace_fault(sim_.now(), "crash node=%u downtime_us=%u", node.value(),
+              static_cast<std::uint32_t>(downtime.us()));
+  ++crashes_;
+  if (hooks_.crash_node) hooks_.crash_node(node);
+  if (downtime.us() <= 0) return;  // permanent failure
+  sim_.schedule_in(downtime, [this, node] {
+    trace_fault(sim_.now(), "reboot node=%u", node.value(), 0);
+    ++reboots_;
+    if (hooks_.reboot_node) hooks_.reboot_node(node);
+  });
+}
+
+void FaultInjector::fire(const FaultEvent& event) {
+  switch (event.kind) {
+    case FaultKind::kNodeCrash:
+      crash_with_reboot(event.node, event.duration);
+      break;
+    case FaultKind::kLinkOutage:
+      trace_fault(sim_.now(), "link down %u<->%u", event.node.value(),
+                  event.peer.value());
+      ++outages_;
+      if (hooks_.link_down) hooks_.link_down(event.node, event.peer,
+                                             event.loss);
+      if (event.duration.us() > 0) {
+        sim_.schedule_in(event.duration, [this, &event] {
+          trace_fault(sim_.now(), "link up %u<->%u", event.node.value(),
+                      event.peer.value());
+          if (hooks_.link_up) hooks_.link_up(event.node, event.peer);
+        });
+      }
+      break;
+    case FaultKind::kRootRegionCrash: {
+      std::vector<NodeId> victims;
+      if (hooks_.root_region) victims = hooks_.root_region(event.max_victims);
+      trace_fault(sim_.now(), "root-region crash: %u victims",
+                  static_cast<std::uint32_t>(victims.size()), 0);
+      for (const NodeId victim : victims) {
+        crash_with_reboot(victim, event.duration);
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace fourbit::sim

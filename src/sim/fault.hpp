@@ -1,0 +1,96 @@
+// Deterministic fault injection: scripted node crashes/reboots and link
+// outages, replayed against a simulation through opaque hooks.
+//
+// The injector knows nothing about radios, MACs or routing; the runner
+// binds hooks that do the actual damage (runner/faults.*). That keeps
+// the schedule — a plain value type derived from the trial seed — in the
+// sim layer where tests can build and inspect it without a network.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace fourbit::sim {
+
+enum class FaultKind : std::uint8_t {
+  /// `node` crashes at `at` and reboots `duration` later (duration of
+  /// zero = the node stays down for the rest of the run).
+  kNodeCrash,
+  /// The link `node`<->`peer` is forced to drop each frame with
+  /// probability `loss` for `duration` (1.0 = total blackout).
+  kLinkOutage,
+  /// Scripted scenario: every current first-hop child of the root (the
+  /// root's parent subtree heads, capped at `max_victims` when nonzero)
+  /// crashes at `at` and reboots `duration` later. Victims are resolved
+  /// at fire time via the root_region hook, because the subtree shape
+  /// only exists once routing has converged.
+  kRootRegionCrash,
+};
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kNodeCrash;
+  Time at;
+  Duration duration;
+  NodeId node = kInvalidNodeId;
+  NodeId peer = kInvalidNodeId;  // kLinkOutage only
+  double loss = 1.0;             // kLinkOutage only
+  std::size_t max_victims = 0;   // kRootRegionCrash only; 0 = all
+};
+
+/// A deterministic schedule of faults. Building one from (spec, seed) is
+/// the runner's job; the injector just replays it.
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  [[nodiscard]] bool empty() const { return events.empty(); }
+};
+
+class FaultInjector {
+ public:
+  /// Damage callbacks, bound by the layer that owns the network. Any
+  /// hook may be left empty; the corresponding action is skipped (but
+  /// still counted), so partial harnesses stay usable in tests.
+  struct Hooks {
+    std::function<void(NodeId)> crash_node;
+    std::function<void(NodeId)> reboot_node;
+    std::function<void(NodeId, NodeId, double loss)> link_down;
+    std::function<void(NodeId, NodeId)> link_up;
+    /// Resolves kRootRegionCrash victims at fire time.
+    std::function<std::vector<NodeId>(std::size_t max_victims)> root_region;
+  };
+
+  FaultInjector(Simulator& sim, FaultPlan plan, Hooks hooks)
+      : sim_(sim), plan_(std::move(plan)), hooks_(std::move(hooks)) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Schedules every event in the plan. Call once, before (or at) the
+  /// earliest event time; events already in the past fire immediately.
+  void arm();
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] std::uint64_t crashes_executed() const { return crashes_; }
+  [[nodiscard]] std::uint64_t reboots_executed() const { return reboots_; }
+  [[nodiscard]] std::uint64_t outages_executed() const { return outages_; }
+
+ private:
+  void fire(const FaultEvent& event);
+  void crash_with_reboot(NodeId node, Duration downtime);
+
+  Simulator& sim_;
+  FaultPlan plan_;
+  Hooks hooks_;
+  bool armed_ = false;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t reboots_ = 0;
+  std::uint64_t outages_ = 0;
+};
+
+}  // namespace fourbit::sim

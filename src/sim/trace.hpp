@@ -5,7 +5,9 @@
 #pragma once
 
 #include <cstdio>
+#include <functional>
 #include <string_view>
+#include <utility>
 
 #include "sim/time.hpp"
 
@@ -27,10 +29,22 @@ class Trace {
     return static_cast<int>(level) <= static_cast<int>(level_);
   }
 
+  /// Redirects trace output to `sink` instead of stderr (tests capture
+  /// events this way). Same threading rule as set_level: configure
+  /// before trials run. clear_sink() restores stderr output.
+  using Sink = std::function<void(TraceLevel, Time, std::string_view component,
+                                  std::string_view message)>;
+  static void set_sink(Sink sink) { sink_ = std::move(sink); }
+  static void clear_sink() { sink_ = nullptr; }
+
   /// Writes "[ time] component: message". Callers pre-format `message`.
   static void log(TraceLevel level, Time now, std::string_view component,
                   std::string_view message) {
     if (!enabled(level)) return;
+    if (sink_) {
+      sink_(level, now, component, message);
+      return;
+    }
     std::fprintf(stderr, "[%12.6f] %.*s: %.*s\n", now.seconds(),
                  static_cast<int>(component.size()), component.data(),
                  static_cast<int>(message.size()), message.data());
@@ -38,6 +52,7 @@ class Trace {
 
  private:
   inline static TraceLevel level_ = TraceLevel::kOff;
+  inline static Sink sink_ = nullptr;
 };
 
 }  // namespace fourbit::sim

@@ -4,14 +4,31 @@
 
 namespace fourbit::stats {
 
-void Metrics::on_generated(NodeId origin, std::uint16_t) {
-  origins_[origin].generated += 1;
+std::uint8_t Metrics::classify(sim::Time t) const {
+  for (const auto& [start, end] : outage_windows_) {
+    if (t >= start && t < end) return 1;  // during an outage
+  }
+  if (!outage_windows_.empty() && t >= last_outage_end_) return 2;  // post
+  return 0;
+}
+
+void Metrics::on_generated(NodeId origin, std::uint16_t, sim::Time now) {
+  PerOrigin& po = origins_[origin];
+  po.generated += 1;
+  const std::uint8_t phase = classify(now);
+  po.gen_phase.push_back(phase);
+  generated_by_phase_[phase] += 1;
 }
 
 void Metrics::on_delivered(NodeId origin, std::uint16_t seq) {
   // Duplicates at the sink (same origin, same seq epoch) count once.
   PerOrigin& po = origins_[origin];
-  po.delivered_seqs.insert(po.expand_seq(seq));
+  const std::uint64_t expanded = po.expand_seq(seq);
+  if (!po.delivered_seqs.insert(expanded).second) return;
+  // The expanded seq IS the packet's generation index at its origin.
+  if (expanded < po.gen_phase.size()) {
+    delivered_by_phase_[po.gen_phase[expanded]] += 1;
+  }
 }
 
 std::uint64_t Metrics::PerOrigin::expand_seq(std::uint16_t seq) {
@@ -94,6 +111,95 @@ double Metrics::average_depth() const {
   double sum = 0.0;
   for (const double d : depth_samples_) sum += d;
   return sum / static_cast<double>(depth_samples_.size());
+}
+
+// ---- fault / recovery ----------------------------------------------------
+
+void Metrics::add_outage_window(sim::Time start, sim::Time end) {
+  outage_windows_.emplace_back(start, end);
+  last_outage_end_ = std::max(last_outage_end_, end);
+}
+
+void Metrics::on_node_started(NodeId n, sim::Time now) {
+  Recovery& r = recovery_[n];
+  if (r.started) return;  // a reboot, not the cold boot
+  r.started = true;
+  r.first_start = now;
+}
+
+void Metrics::on_route_restored(NodeId n, sim::Time now) {
+  Recovery& r = recovery_[n];
+  if (r.started && !r.first_routed) {
+    r.first_routed = true;
+    r.first_route_s = (now - r.first_start).seconds();
+  }
+  if (r.loss_outstanding) {
+    r.loss_outstanding = false;
+    reroute_s_.push_back((now - r.lost_since).seconds());
+  }
+}
+
+void Metrics::on_route_lost(NodeId n, sim::Time now) {
+  Recovery& r = recovery_[n];
+  if (r.loss_outstanding) return;  // the earliest loss time wins
+  r.loss_outstanding = true;
+  r.lost_since = now;
+  ++route_losses_;
+}
+
+void Metrics::on_node_crashed(NodeId n, sim::Time) {
+  ++node_crashes_;
+  // A crashed node's downtime is not a reroute: that is what the
+  // delivery-during-outage metric describes. Only live nodes routing
+  // around damage contribute reroute samples.
+  recovery_[n].loss_outstanding = false;
+}
+
+void Metrics::on_node_rebooted(NodeId, sim::Time) { ++node_reboots_; }
+
+void Metrics::on_table_refill(NodeId, sim::Duration took) {
+  refill_s_.push_back(took.seconds());
+}
+
+void Metrics::on_pin_refusal(NodeId) { ++pin_refusals_; }
+
+namespace {
+double mean_of(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+}  // namespace
+
+double Metrics::mean_time_to_reroute_s() const { return mean_of(reroute_s_); }
+
+double Metrics::max_time_to_reroute_s() const {
+  return reroute_s_.empty()
+             ? 0.0
+             : *std::max_element(reroute_s_.begin(), reroute_s_.end());
+}
+
+double Metrics::mean_time_to_first_route_s() const {
+  std::vector<double> delays;
+  for (const auto& [node, r] : recovery_) {
+    if (r.first_routed) delays.push_back(r.first_route_s);
+  }
+  return mean_of(delays);
+}
+
+double Metrics::mean_table_refill_s() const { return mean_of(refill_s_); }
+
+double Metrics::delivery_during_outage() const {
+  if (generated_by_phase_[1] == 0) return 0.0;
+  return static_cast<double>(delivered_by_phase_[1]) /
+         static_cast<double>(generated_by_phase_[1]);
+}
+
+double Metrics::delivery_post_outage() const {
+  if (generated_by_phase_[2] == 0) return 0.0;
+  return static_cast<double>(delivered_by_phase_[2]) /
+         static_cast<double>(generated_by_phase_[2]);
 }
 
 }  // namespace fourbit::stats

@@ -364,6 +364,78 @@ TEST(FourBitTest, ClearPinsReleasesAll) {
   EXPECT_EQ(est.table_size(), 0u);
 }
 
+// ---- beacon sequence resets (neighbor reboot) ----------------------------
+
+TEST(FourBitTest, WhiteSeqResetDoesNotInflateExpected) {
+  // A neighbor reboots and restarts its beacon sequence at 0. Without
+  // the reset heuristic the mod-256 gap (here 55) would be charged as 55
+  // lost beacons, cratering the estimate of a link that works fine.
+  FourBitConfig cfg;
+  cfg.beacon_window = 4;
+  FourBitEstimator est{cfg, sim::Rng{1}};
+  beacon(est, NodeId{1}, 200);
+  beacon(est, NodeId{1}, 201);
+  beacon(est, NodeId{1}, 0);  // reset; white channel vouches for the link
+  beacon(est, NodeId{1}, 1);  // completes 4/4
+  EXPECT_NEAR(est.beacon_quality(NodeId{1}).value(), 1.0, 1e-9);
+  EXPECT_EQ(est.seq_resets(), 1u);
+}
+
+TEST(FourBitTest, SeqResetGapZeroDisablesHeuristic) {
+  FourBitConfig cfg;
+  cfg.beacon_window = 4;
+  cfg.seq_reset_gap = 0;
+  FourBitEstimator est{cfg, sim::Rng{1}};
+  beacon(est, NodeId{1}, 200);
+  beacon(est, NodeId{1}, 201);
+  beacon(est, NodeId{1}, 0);  // charged as a genuine 55-beacon gap: 3/57
+  EXPECT_NEAR(est.beacon_quality(NodeId{1}).value(),
+              2.0 / 3.0 * 1.0 + 1.0 / 3.0 * (3.0 / 57.0), 1e-9);
+  EXPECT_EQ(est.seq_resets(), 0u);
+}
+
+TEST(FourBitTest, GraySeqResetChargeIsCapped) {
+  // Same reset, but nothing vouches for the link (not white, no acks):
+  // charge the capped gap, not the full wrap distance.
+  FourBitConfig cfg;
+  cfg.beacon_window = 4;
+  FourBitEstimator est{cfg, sim::Rng{1}};
+  beacon(est, NodeId{1}, 200, gray_info());
+  beacon(est, NodeId{1}, 201, gray_info());
+  beacon(est, NodeId{1}, 0, gray_info());  // 3/(2 + 16) = 3/18
+  EXPECT_NEAR(est.beacon_quality(NodeId{1}).value(),
+              2.0 / 3.0 * 1.0 + 1.0 / 3.0 * (3.0 / 18.0), 1e-9);
+  EXPECT_EQ(est.seq_resets(), 0u);
+}
+
+TEST(FourBitTest, AckedLinkSeqResetForgiven) {
+  // Gray beacons, but recent unicast acks prove the link is alive — the
+  // reset is forgiven like a white one.
+  FourBitConfig cfg;
+  cfg.beacon_window = 4;
+  FourBitEstimator est{cfg, sim::Rng{1}};
+  beacon(est, NodeId{1}, 200, gray_info());
+  est.on_unicast_result(NodeId{1}, true);
+  beacon(est, NodeId{1}, 201, gray_info());
+  beacon(est, NodeId{1}, 0, gray_info());
+  beacon(est, NodeId{1}, 1, gray_info());  // completes 4/4
+  EXPECT_NEAR(est.beacon_quality(NodeId{1}).value(), 1.0, 1e-9);
+  EXPECT_EQ(est.seq_resets(), 1u);
+}
+
+TEST(FourBitTest, ResetWipesTableAndRestartsSequence) {
+  FourBitEstimator est{FourBitConfig{}, sim::Rng{1}};
+  beacon(est, NodeId{1}, 0);
+  EXPECT_TRUE(est.pin(NodeId{1}));
+  const auto before = est.wrap_beacon({});
+  est.reset();
+  EXPECT_EQ(est.table_size(), 0u);
+  EXPECT_TRUE(est.neighbors().empty());
+  // The beacon sequence restarts from scratch, like a real reboot.
+  const auto after = est.wrap_beacon({});
+  EXPECT_EQ(after[0], before[0]);
+}
+
 TEST(FourBitTest, CompareReceivesRoutingPayload) {
   FourBitConfig cfg;
   cfg.table_capacity = 1;

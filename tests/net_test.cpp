@@ -10,6 +10,8 @@
 #include <deque>
 #include <map>
 #include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "net/config.hpp"
@@ -17,6 +19,7 @@
 #include "net/packets.hpp"
 #include "net/routing_engine.hpp"
 #include "sim/simulator.hpp"
+#include "sim/trace.hpp"
 #include "stats/metrics.hpp"
 
 namespace fourbit::net {
@@ -134,6 +137,7 @@ class FakeEstimator final : public link::LinkEstimator {
     return out;
   }
   bool remove(NodeId n) override {
+    if (pinned.contains(n)) return false;  // real tables refuse pinned
     etx_map.erase(n);
     return true;
   }
@@ -330,6 +334,86 @@ TEST_F(RoutingFixture, ParentExemptFromExpiry) {
       << "the current parent must not expire from silence alone";
 }
 
+// ---- dead-parent eviction ------------------------------------------------
+
+TEST_F(RoutingFixture, DeadPinnedParentEvictedAfterFailureStreak) {
+  estimator_.etx_map[NodeId{1}] = 1.0;
+  estimator_.etx_map[NodeId{2}] = 1.0;
+  routing_.on_beacon(NodeId{1}, beacon_from(NodeId{99}, 0.0));
+  routing_.on_beacon(NodeId{2}, beacon_from(NodeId{99}, 0.5));
+  ASSERT_EQ(routing_.parent(), NodeId{1});
+  ASSERT_TRUE(estimator_.pinned.contains(NodeId{1}));
+
+  // Node 1 dies silently: every retransmission budget toward it burns.
+  const int evict_after = CollectionConfig{}.parent_evict_failures;
+  for (int i = 0; i < evict_after; ++i) {
+    routing_.on_delivery_failure(NodeId{1});
+  }
+  EXPECT_EQ(routing_.parent_evictions(), 1u);
+  EXPECT_FALSE(estimator_.pinned.contains(NodeId{1}))
+      << "the pin must not outlive the eviction";
+  EXPECT_FALSE(estimator_.etx_map.contains(NodeId{1}));
+  EXPECT_EQ(routing_.parent(), NodeId{2})
+      << "the next-best candidate takes over";
+}
+
+TEST_F(RoutingFixture, DeliverySuccessResetsFailureStreak) {
+  estimator_.etx_map[NodeId{1}] = 1.0;
+  routing_.on_beacon(NodeId{1}, beacon_from(NodeId{99}, 0.0));
+  ASSERT_EQ(routing_.parent(), NodeId{1});
+  const int evict_after = CollectionConfig{}.parent_evict_failures;
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < evict_after - 1; ++i) {
+      routing_.on_delivery_failure(NodeId{1});
+    }
+    routing_.on_delivery_success(NodeId{1});  // streak broken
+  }
+  EXPECT_EQ(routing_.parent_evictions(), 0u);
+  EXPECT_EQ(routing_.parent(), NodeId{1});
+}
+
+TEST(RoutingEvictionTest, EvictionUnpinsCountsRefusalAndReportsLoss) {
+  sim::Simulator sim;
+  FakeEstimator est;
+  stats::Metrics metrics;
+  RoutingEngine routing{sim,     NodeId{10},  false,       est,
+                        CollectionConfig{}, sim::Rng{1}, &metrics};
+  routing.set_beacon_sender([](std::vector<std::uint8_t>) {});
+  routing.start();
+  est.etx_map[NodeId{1}] = 1.0;
+  routing.on_beacon(NodeId{1}, beacon_from(NodeId{99}, 0.0));
+  ASSERT_TRUE(est.pinned.contains(NodeId{1}));
+
+  for (int i = 0; i < CollectionConfig{}.parent_evict_failures; ++i) {
+    routing.on_delivery_failure(NodeId{1});
+  }
+  // The pinned entry refused removal once, was unpinned, then removed.
+  EXPECT_EQ(metrics.pin_refusals(), 1u);
+  EXPECT_FALSE(est.pinned.contains(NodeId{1}));
+  EXPECT_FALSE(est.etx_map.contains(NodeId{1}));
+  // Sole candidate gone: the node is routeless, and says so.
+  EXPECT_FALSE(routing.has_route());
+  EXPECT_EQ(metrics.route_losses(), 1u);
+}
+
+TEST(RoutingEvictionTest, EvictionDisabledKeepsDeadParent) {
+  // MultiHopLQI-style config: no datapath feedback into routing, so a
+  // dead pinned parent wedges the node (the contrast the paper draws).
+  sim::Simulator sim;
+  FakeEstimator est;
+  CollectionConfig config;
+  config.parent_evict_failures = 0;
+  RoutingEngine routing{sim, NodeId{10}, false, est, config, sim::Rng{1}};
+  routing.set_beacon_sender([](std::vector<std::uint8_t>) {});
+  routing.start();
+  est.etx_map[NodeId{1}] = 1.0;
+  routing.on_beacon(NodeId{1}, beacon_from(NodeId{99}, 0.0));
+  for (int i = 0; i < 20; ++i) routing.on_delivery_failure(NodeId{1});
+  EXPECT_EQ(routing.parent_evictions(), 0u);
+  EXPECT_EQ(routing.parent(), NodeId{1});
+  EXPECT_TRUE(est.pinned.contains(NodeId{1}));
+}
+
 // ---- ForwardingEngine -------------------------------------------------------------
 
 class ForwardingFixture : public ::testing::Test {
@@ -411,6 +495,56 @@ TEST_F(ForwardingFixture, RetransmitsUntilBudgetThenDrops) {
   EXPECT_TRUE(pending_done_.empty()) << "packet must be dropped after budget";
   EXPECT_EQ(metrics_.retx_drops(), 1u);
   EXPECT_EQ(forwarding_.queue_depth(), 0u);
+}
+
+TEST_F(ForwardingFixture, QueueAndRetxDropsAreTraced) {
+  // Every dropped data packet must leave a trace event (the fault
+  // benches read these to attribute loss), tagged with reason + origin.
+  const auto prior_level = sim::Trace::level();
+  sim::Trace::set_level(sim::TraceLevel::kInfo);
+  std::vector<std::string> drops;
+  sim::Trace::set_sink([&](sim::TraceLevel, sim::Time,
+                           std::string_view component,
+                           std::string_view message) {
+    if (component == "fwd") drops.emplace_back(message);
+  });
+
+  // Exhaust one packet's retransmission budget...
+  (void)forwarding_.send(std::vector<std::uint8_t>{1});
+  const int budget = CollectionConfig{}.max_retransmissions;
+  for (int i = 0; i <= budget; ++i) {
+    complete(false);
+    sim_.run_for(CollectionConfig{}.retx_delay + sim::Duration::from_ms(1));
+  }
+  // ...then overflow the origin queue.
+  for (std::size_t i = 0; i < config_.queue_capacity + 3; ++i) {
+    (void)forwarding_.send(std::vector<std::uint8_t>{1});
+  }
+
+  sim::Trace::clear_sink();
+  sim::Trace::set_level(prior_level);
+
+  bool saw_retx = false;
+  bool saw_queue = false;
+  for (const auto& message : drops) {
+    if (message.find("retx-exhausted") != std::string::npos) saw_retx = true;
+    if (message.find("queue-full(origin)") != std::string::npos) {
+      saw_queue = true;
+    }
+  }
+  EXPECT_TRUE(saw_retx) << "retx-budget drop was not traced";
+  EXPECT_TRUE(saw_queue) << "queue-overflow drop was not traced";
+}
+
+TEST_F(ForwardingFixture, CrashEmptiesQueueAndDupCache) {
+  (void)forwarding_.send(std::vector<std::uint8_t>{1});
+  (void)forwarding_.send(std::vector<std::uint8_t>{2});
+  ASSERT_GT(forwarding_.queue_depth(), 0u);
+  forwarding_.crash();
+  EXPECT_EQ(forwarding_.queue_depth(), 0u);
+  // The MAC reset dropped the in-flight send's completion callback, so
+  // nothing fires into the wiped engine (CollectionNode::crash resets
+  // the MAC before the forwarder for exactly this reason).
 }
 
 TEST_F(ForwardingFixture, ForwardsReceivedDataWithIncrementedThl) {

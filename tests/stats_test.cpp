@@ -230,5 +230,92 @@ TEST(BinnedSeriesTest, BinStartSeconds) {
   EXPECT_DOUBLE_EQ(s.bin_start_seconds(3), 1800.0);
 }
 
+// ---- fault / recovery metrics --------------------------------------------
+
+namespace {
+sim::Time at_s(double s) {
+  return sim::Time::from_us(static_cast<std::int64_t>(s * 1e6));
+}
+}  // namespace
+
+TEST(MetricsRecoveryTest, RerouteSampleSpansLossToRestore) {
+  Metrics m;
+  m.on_route_lost(NodeId{1}, at_s(10.0));
+  m.on_route_lost(NodeId{1}, at_s(12.0));  // already outstanding: ignored
+  m.on_route_restored(NodeId{1}, at_s(25.0));
+  EXPECT_EQ(m.route_losses(), 1u);
+  EXPECT_EQ(m.reroute_count(), 1u);
+  EXPECT_DOUBLE_EQ(m.mean_time_to_reroute_s(), 15.0);
+  EXPECT_DOUBLE_EQ(m.max_time_to_reroute_s(), 15.0);
+}
+
+TEST(MetricsRecoveryTest, BackDatedLossExtendsTheSample) {
+  // Dead-parent eviction discovers the loss late and back-dates it to
+  // the start of the failure streak.
+  Metrics m;
+  m.on_route_lost(NodeId{1}, at_s(8.0));  // back-dated
+  m.on_route_restored(NodeId{1}, at_s(10.0));
+  EXPECT_DOUBLE_EQ(m.mean_time_to_reroute_s(), 2.0);
+}
+
+TEST(MetricsRecoveryTest, CrashDiscardsOutstandingLoss) {
+  // A crashed node's downtime is not a reroute; only live nodes steering
+  // around damage contribute samples.
+  Metrics m;
+  m.on_route_lost(NodeId{1}, at_s(10.0));
+  m.on_node_crashed(NodeId{1}, at_s(11.0));
+  m.on_route_restored(NodeId{1}, at_s(300.0));
+  EXPECT_EQ(m.reroute_count(), 0u);
+  EXPECT_EQ(m.node_crashes(), 1u);
+}
+
+TEST(MetricsRecoveryTest, FirstRouteAnchorsOnColdBoot) {
+  Metrics m;
+  m.on_node_started(NodeId{1}, at_s(5.0));
+  m.on_route_restored(NodeId{1}, at_s(20.0));
+  // The reboot's second start and route must not move the number.
+  m.on_node_started(NodeId{1}, at_s(90.0));
+  m.on_route_lost(NodeId{1}, at_s(90.0));
+  m.on_route_restored(NodeId{1}, at_s(95.0));
+  EXPECT_DOUBLE_EQ(m.mean_time_to_first_route_s(), 15.0);
+}
+
+TEST(MetricsRecoveryTest, OutagePhasesSplitDelivery) {
+  Metrics m;
+  m.add_outage_window(at_s(100.0), at_s(200.0));
+  m.on_generated(NodeId{1}, 0, at_s(50.0));   // normal
+  m.on_generated(NodeId{1}, 1, at_s(150.0));  // during
+  m.on_generated(NodeId{1}, 2, at_s(199.0));  // during
+  m.on_generated(NodeId{1}, 3, at_s(250.0));  // post (after last window)
+  m.on_delivered(NodeId{1}, 1);
+  m.on_delivered(NodeId{1}, 3);
+  EXPECT_EQ(m.generated_during_outage(), 2u);
+  EXPECT_EQ(m.generated_post_outage(), 1u);
+  EXPECT_DOUBLE_EQ(m.delivery_during_outage(), 0.5);
+  EXPECT_DOUBLE_EQ(m.delivery_post_outage(), 1.0);
+}
+
+TEST(MetricsRecoveryTest, NoWindowsMeansNoPhases) {
+  Metrics m;
+  m.on_generated(NodeId{1}, 0, at_s(50.0));
+  m.on_delivered(NodeId{1}, 0);
+  EXPECT_EQ(m.generated_during_outage(), 0u);
+  EXPECT_EQ(m.generated_post_outage(), 0u);
+  EXPECT_DOUBLE_EQ(m.delivery_during_outage(), 0.0);
+  EXPECT_DOUBLE_EQ(m.delivery_post_outage(), 0.0);
+}
+
+TEST(MetricsRecoveryTest, TableRefillAveragesAndCounts) {
+  Metrics m;
+  m.on_table_refill(NodeId{1}, sim::Duration::from_seconds(4.0));
+  m.on_table_refill(NodeId{2}, sim::Duration::from_seconds(8.0));
+  EXPECT_EQ(m.table_refill_count(), 2u);
+  EXPECT_DOUBLE_EQ(m.mean_table_refill_s(), 6.0);
+  m.on_pin_refusal(NodeId{3});
+  m.on_node_rebooted(NodeId{1}, at_s(1.0));
+  EXPECT_EQ(m.pin_refusals(), 1u);
+  EXPECT_EQ(m.node_reboots(), 1u);
+}
+
 }  // namespace
 }  // namespace fourbit::stats
