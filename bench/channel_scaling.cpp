@@ -1,0 +1,279 @@
+// Channel scaling benchmark: packets/sec through the shared medium at
+// N = 50 / 200 / 800 radios, fast path (link cache + culling + pooled
+// frames) vs the slow reference path.
+//
+// The workload is the channel's steady-state job in a collection run:
+// every radio wakes on its own period, samples CCA (busy_at), and puts a
+// 40-byte frame on the air if idle — enough concurrency that the
+// interference cross-product runs, and every delivery exercises the
+// SINR/PRR/LQI pipeline. Both paths must deliver the SAME number of
+// frames (bit-identical model); the benchmark fails loudly if not.
+//
+// Output is BENCH_channel.json. With --check BASELINE, the measured
+// fast/slow speedup at each N is compared against the checked-in
+// baseline and the run exits nonzero if any N regressed below 80% of it
+// — the CI perf-smoke gate. Speedup ratios, not absolute frame rates,
+// are compared: ratios transfer across machines, wall-clock does not.
+//
+//   usage: channel_scaling [--nodes 50,200,800] [--seconds S]
+//                          [--out BENCH_channel.json] [--check BASELINE]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "phy/channel.hpp"
+#include "phy/hardware.hpp"
+#include "phy/interference.hpp"
+#include "phy/radio.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+using namespace fourbit;
+
+namespace {
+
+constexpr std::size_t kFrameBytes = 40;
+constexpr double kPeriodSeconds = 0.05;  // per-radio transmit period
+
+struct RunResult {
+  std::size_t nodes = 0;
+  bool fast = false;
+  std::uint64_t frames = 0;
+  std::uint64_t deliveries = 0;
+  double wall_s = 0.0;
+
+  [[nodiscard]] double frames_per_s() const {
+    return wall_s > 0.0 ? static_cast<double>(frames) / wall_s : 0.0;
+  }
+};
+
+/// One benchmark cell: N radios on a 30 m grid, each on a periodic
+/// CCA-then-transmit tick, for `seconds` of simulated time.
+RunResult run_cell(std::size_t n, bool fast, double seconds) {
+  sim::Simulator sim;
+  phy::PhyConfig phy;
+  phy.use_link_cache = fast;
+  phy::Channel channel{sim, phy, phy::PropagationConfig{},
+                       std::make_unique<phy::NullInterference>(),
+                       sim::Rng{4242}};
+
+  RunResult out;
+  out.nodes = n;
+  out.fast = fast;
+
+  std::vector<std::unique_ptr<phy::Radio>> radios;
+  radios.reserve(n);
+  const std::size_t cols = 16;  // dense rows: plenty of in-range pairs
+  for (std::size_t i = 0; i < n; ++i) {
+    radios.push_back(std::make_unique<phy::Radio>(
+        channel, NodeId{static_cast<std::uint16_t>(i + 1)},
+        Position{static_cast<double>(i % cols) * 30.0,
+                 static_cast<double>(i / cols) * 30.0},
+        phy::HardwareProfile{}, PowerDbm{0.0}));
+    radios.back()->set_rx_handler(
+        [&out](std::span<const std::uint8_t>, const phy::RxInfo&) {
+          ++out.deliveries;
+        });
+  }
+
+  const auto end = sim::Time::from_us(
+      static_cast<std::int64_t>(seconds * 1e6));
+  const auto period = sim::Duration::from_seconds(kPeriodSeconds);
+
+  // Self-rescheduling per-radio tick; phases spread over one period so
+  // transmissions interleave instead of colliding en masse.
+  std::function<void(std::size_t)> tick = [&](std::size_t i) {
+    phy::Radio& r = *radios[i];
+    if (r.channel_clear() && !r.transmitting()) {
+      std::vector<std::uint8_t> frame(kFrameBytes);
+      frame[0] = static_cast<std::uint8_t>(i);
+      r.transmit(std::move(frame), nullptr);
+    }
+    const auto next = sim.now() + period;
+    if (next < end) sim.schedule_at(next, [&tick, i] { tick(i); });
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto phase = sim::Duration::from_us(static_cast<std::int64_t>(
+        kPeriodSeconds * 1e6 * static_cast<double>(i) /
+        static_cast<double>(n)));
+    sim.schedule_at(sim::Time{} + phase, [&tick, i] { tick(i); });
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  sim.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  out.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  out.frames = channel.frames_transmitted();
+  return out;
+}
+
+void write_json(const char* path, const std::vector<RunResult>& results,
+                double seconds) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"benchmark\": \"channel_scaling\",\n");
+  std::fprintf(f, "  \"frame_bytes\": %zu,\n", kFrameBytes);
+  std::fprintf(f, "  \"sim_seconds\": %.1f,\n", seconds);
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"nodes\": %zu, \"mode\": \"%s\", \"frames\": %llu, "
+                 "\"deliveries\": %llu, \"wall_s\": %.4f, "
+                 "\"frames_per_s\": %.1f}%s\n",
+                 r.nodes, r.fast ? "fast" : "slow",
+                 static_cast<unsigned long long>(r.frames),
+                 static_cast<unsigned long long>(r.deliveries), r.wall_s,
+                 r.frames_per_s(), i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"speedups\": [\n");
+  // results arrive as (slow, fast) pairs per N.
+  for (std::size_t i = 0; i + 1 < results.size(); i += 2) {
+    const double slow = results[i].frames_per_s();
+    const double speedup =
+        slow > 0.0 ? results[i + 1].frames_per_s() / slow : 0.0;
+    std::fprintf(f, "    {\"nodes\": %zu, \"speedup\": %.3f}%s\n",
+                 results[i].nodes, speedup,
+                 i + 3 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+/// Pulls {nodes, speedup} pairs out of a file written by write_json (or
+/// a hand-maintained baseline in the same line format). Not a JSON
+/// parser: it scans for the exact line shape this tool emits.
+std::vector<std::pair<std::size_t, double>> read_speedups(const char* path) {
+  std::FILE* f = std::fopen(path, "r");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot read baseline %s\n", path);
+    std::exit(1);
+  }
+  std::vector<std::pair<std::size_t, double>> out;
+  char line[256];
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strstr(line, "\"speedup\"") == nullptr) continue;
+    std::size_t nodes = 0;
+    double speedup = 0.0;
+    if (std::sscanf(line, " {\"nodes\": %zu, \"speedup\": %lf", &nodes,
+                    &speedup) == 2) {
+      out.emplace_back(nodes, speedup);
+    }
+  }
+  std::fclose(f);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::size_t> node_counts{50, 200, 800};
+  double seconds = 10.0;
+  const char* out_path = "BENCH_channel.json";
+  const char* baseline_path = nullptr;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--nodes") {
+      node_counts.clear();
+      std::string list = next();
+      for (char* tok = std::strtok(list.data(), ","); tok != nullptr;
+           tok = std::strtok(nullptr, ",")) {
+        node_counts.push_back(static_cast<std::size_t>(std::atoll(tok)));
+      }
+    } else if (arg == "--seconds") {
+      seconds = std::atof(next());
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--check") {
+      baseline_path = next();
+    } else {
+      std::fprintf(stderr,
+                   "usage: channel_scaling [--nodes 50,200,800] "
+                   "[--seconds S] [--out FILE] [--check BASELINE]\n");
+      return 2;
+    }
+  }
+
+  std::printf("=== Channel scaling (%.0f sim-s, %zu-byte frames) ===\n\n",
+              seconds, kFrameBytes);
+  std::printf("%6s %6s %10s %12s %10s %12s\n", "nodes", "mode", "frames",
+              "deliveries", "wall s", "frames/s");
+
+  std::vector<RunResult> results;
+  bool deliveries_match = true;
+  for (const std::size_t n : node_counts) {
+    const RunResult slow = run_cell(n, /*fast=*/false, seconds);
+    const RunResult fast = run_cell(n, /*fast=*/true, seconds);
+    for (const RunResult& r : {slow, fast}) {
+      std::printf("%6zu %6s %10llu %12llu %10.3f %12.1f\n", r.nodes,
+                  r.fast ? "fast" : "slow",
+                  static_cast<unsigned long long>(r.frames),
+                  static_cast<unsigned long long>(r.deliveries), r.wall_s,
+                  r.frames_per_s());
+    }
+    const double speedup = slow.frames_per_s() > 0.0
+                               ? fast.frames_per_s() / slow.frames_per_s()
+                               : 0.0;
+    std::printf("%6s %6s %46.2fx\n", "", "", speedup);
+    if (fast.deliveries != slow.deliveries ||
+        fast.frames != slow.frames) {
+      deliveries_match = false;
+    }
+    results.push_back(slow);
+    results.push_back(fast);
+  }
+
+  write_json(out_path, results, seconds);
+  std::printf("\nwrote %s\n", out_path);
+
+  if (!deliveries_match) {
+    std::fprintf(stderr,
+                 "FAIL: fast and slow paths disagree on frame/delivery "
+                 "counts — the determinism contract is broken\n");
+    return 1;
+  }
+
+  if (baseline_path != nullptr) {
+    const auto baseline = read_speedups(baseline_path);
+    const auto measured = read_speedups(out_path);
+    bool ok = true;
+    for (const auto& [nodes, base] : baseline) {
+      for (const auto& [mnodes, got] : measured) {
+        if (mnodes != nodes) continue;
+        const double floor = 0.8 * base;
+        const bool pass = got >= floor;
+        std::printf("check N=%zu: speedup %.2fx vs baseline %.2fx "
+                    "(floor %.2fx) %s\n",
+                    nodes, got, base, floor, pass ? "OK" : "REGRESSED");
+        ok = ok && pass;
+      }
+    }
+    if (!ok) {
+      std::fprintf(stderr, "FAIL: fast-path speedup regressed >20%% "
+                           "against %s\n",
+                   baseline_path);
+      return 1;
+    }
+  }
+  return 0;
+}

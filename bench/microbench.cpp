@@ -11,7 +11,11 @@
 #include "core/four_bit_estimator.hpp"
 #include "mac/frame.hpp"
 #include "net/packets.hpp"
+#include "phy/channel.hpp"
+#include "phy/hardware.hpp"
+#include "phy/interference.hpp"
 #include "phy/modulation.hpp"
+#include "phy/radio.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
@@ -108,6 +112,69 @@ void BM_OqpskPrrLookup(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_OqpskPrrLookup);
+
+/// N radios on a grid; args = {node count, use_link_cache}. Measures one
+/// full transmit -> deliver cycle, the channel's dominant cost. The
+/// fast/slow pairs at each N are the microbench view of the speedup that
+/// bench/channel_scaling.cpp measures end to end.
+void BM_ChannelBroadcast(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const bool fast = state.range(1) != 0;
+  sim::Simulator sim;
+  phy::PhyConfig phy;
+  phy.use_link_cache = fast;
+  phy::Channel channel{sim, phy, phy::PropagationConfig{},
+                       std::make_unique<phy::NullInterference>(),
+                       sim::Rng{1}};
+  std::vector<std::unique_ptr<phy::Radio>> radios;
+  for (std::size_t i = 0; i < n; ++i) {
+    radios.push_back(std::make_unique<phy::Radio>(
+        channel, NodeId{static_cast<std::uint16_t>(i + 1)},
+        Position{static_cast<double>(i % 16) * 30.0,
+                 static_cast<double>(i / 16) * 30.0},
+        phy::HardwareProfile{}, PowerDbm{0.0}));
+  }
+  const std::vector<std::uint8_t> frame(40, 0xAB);
+  std::size_t sender = 0;
+  for (auto _ : state) {
+    radios[sender]->transmit(frame, nullptr);
+    sim.run();
+    sender = (sender + 1) % n;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChannelBroadcast)
+    ->Args({50, 0})
+    ->Args({50, 1})
+    ->Args({200, 0})
+    ->Args({200, 1});
+
+/// CCA while 8 transmissions hang in the air (the sim never advances, so
+/// they stay active): the busy_at cost a CSMA backoff pays per sample.
+void BM_ChannelCcaPoll(benchmark::State& state) {
+  const bool fast = state.range(0) != 0;
+  sim::Simulator sim;
+  phy::PhyConfig phy;
+  phy.use_link_cache = fast;
+  phy::Channel channel{sim, phy, phy::PropagationConfig{},
+                       std::make_unique<phy::NullInterference>(),
+                       sim::Rng{1}};
+  std::vector<std::unique_ptr<phy::Radio>> radios;
+  for (std::size_t i = 0; i < 64; ++i) {
+    radios.push_back(std::make_unique<phy::Radio>(
+        channel, NodeId{static_cast<std::uint16_t>(i + 1)},
+        Position{static_cast<double>(i % 8) * 30.0,
+                 static_cast<double>(i / 8) * 30.0},
+        phy::HardwareProfile{}, PowerDbm{0.0}));
+  }
+  const std::vector<std::uint8_t> frame(40, 0xAB);
+  for (std::size_t i = 0; i < 8; ++i) radios[i]->transmit(frame, nullptr);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(radios.back()->channel_clear());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChannelCcaPoll)->Arg(0)->Arg(1);
 
 void BM_SimulatorTimerChurn(benchmark::State& state) {
   for (auto _ : state) {

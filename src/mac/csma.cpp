@@ -129,7 +129,10 @@ void CsmaMac::on_radio_rx(std::span<const std::uint8_t> bytes,
     ++fcs_failures_;
     return;
   }
-  const auto frame = MacFrame::decode(bytes);
+  // Zero-copy parse: header fields by value, payload left in place in
+  // the channel's buffer. Handlers receive a span valid only for this
+  // call; anything they keep, they copy.
+  const auto frame = MacFrameView::decode(bytes);
   if (!frame) {
     ++fcs_failures_;
     return;

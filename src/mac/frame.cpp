@@ -21,17 +21,17 @@ std::vector<std::uint8_t> MacFrame::encode() const {
   return out;
 }
 
-std::optional<MacFrame> MacFrame::decode(
+std::optional<MacFrameView> MacFrameView::decode(
     std::span<const std::uint8_t> bytes) {
-  if (bytes.size() < kFcsBytes + 2) return std::nullopt;
-  const auto body = bytes.first(bytes.size() - kFcsBytes);
+  if (bytes.size() < MacFrame::kFcsBytes + 2) return std::nullopt;
+  const auto body = bytes.first(bytes.size() - MacFrame::kFcsBytes);
   const std::uint16_t fcs =
       static_cast<std::uint16_t>(bytes[bytes.size() - 2]) << 8 |
       bytes[bytes.size() - 1];
   if (crc16(body) != fcs) return std::nullopt;
 
   ByteReader r{body};
-  MacFrame f;
+  MacFrameView f;
   const std::uint8_t type = r.u8();
   f.dsn = r.u8();
   switch (type) {
@@ -43,8 +43,7 @@ std::optional<MacFrame> MacFrame::decode(
       f.type = FrameType::kData;
       f.src = NodeId{r.u16()};
       f.dst = NodeId{r.u16()};
-      const auto rest = r.rest();
-      f.payload.assign(rest.begin(), rest.end());
+      f.payload = r.rest();
       break;
     }
     default:
@@ -52,6 +51,23 @@ std::optional<MacFrame> MacFrame::decode(
   }
   if (!r.ok()) return std::nullopt;
   return f;
+}
+
+MacFrame MacFrameView::to_owned() const {
+  MacFrame f;
+  f.type = type;
+  f.dsn = dsn;
+  f.src = src;
+  f.dst = dst;
+  f.payload.assign(payload.begin(), payload.end());
+  return f;
+}
+
+std::optional<MacFrame> MacFrame::decode(
+    std::span<const std::uint8_t> bytes) {
+  const auto view = MacFrameView::decode(bytes);
+  if (!view.has_value()) return std::nullopt;
+  return view->to_owned();
 }
 
 }  // namespace fourbit::mac

@@ -40,4 +40,30 @@ struct MacFrame {
       std::span<const std::uint8_t> bytes);
 };
 
+/// Zero-copy decode of a received frame: header fields by value, payload
+/// as a span into the caller's buffer. This is the receive-path type —
+/// the channel delivers a span of the in-flight frame, the MAC validates
+/// the FCS and parses headers in place, and upper layers see the payload
+/// span without a single copy. The span is only valid for the duration
+/// of the delivery call; a consumer that keeps the bytes (e.g. the
+/// forwarding queue) must copy them (see DESIGN.md, "Channel fast
+/// path").
+struct MacFrameView {
+  FrameType type = FrameType::kData;
+  std::uint8_t dsn = 0;
+  NodeId src;
+  NodeId dst;
+  std::span<const std::uint8_t> payload;
+
+  [[nodiscard]] bool is_broadcast() const { return dst == kBroadcastId; }
+
+  /// Validates the FCS and parses in place. Returns nullopt for
+  /// truncated, corrupt or unknown frames.
+  [[nodiscard]] static std::optional<MacFrameView> decode(
+      std::span<const std::uint8_t> bytes);
+
+  /// Deep copy, for consumers that outlive the delivery call.
+  [[nodiscard]] MacFrame to_owned() const;
+};
+
 }  // namespace fourbit::mac

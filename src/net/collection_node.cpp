@@ -32,8 +32,10 @@ CollectionNode::CollectionNode(sim::Simulator& sim, mac::Mac& mac,
                                   std::span<const std::uint8_t> payload,
                                   const phy::RxInfo&) {
       // Overheard unicast data: refresh the sender's advertised cost.
+      // Header-only view parse — snooping every neighbor's traffic must
+      // not copy every neighbor's payloads.
       if (payload.empty() || payload[0] != kDispatchData) return;
-      const auto decoded = decode_data(payload.subspan(1));
+      const auto decoded = decode_data_view(payload.subspan(1));
       if (!decoded.has_value()) return;
       routing_.on_snooped_cost(src, decoded->header.sender_path_etx);
     });

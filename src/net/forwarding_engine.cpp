@@ -61,9 +61,11 @@ void ForwardingEngine::on_data(NodeId from,
                                const link::PacketPhyInfo& phy) {
   estimator_.on_data_rx(from, phy);
 
-  auto decoded = decode_data(bytes);
+  // Zero-copy parse: duplicates, sink deliveries and drops never copy
+  // the payload; only a packet that enters the queue gets owned bytes.
+  const auto decoded = decode_data_view(bytes);
   if (!decoded.has_value()) return;
-  DataHeader& h = decoded->header;
+  const DataHeader& h = decoded->header;
 
   // Retransmissions whose ack was lost, and looped copies, die here.
   if (dup_cache_.check_and_insert(h.origin, h.seq)) {
@@ -101,7 +103,7 @@ void ForwardingEngine::on_data(NodeId from,
   Queued q;
   q.header = h;
   q.header.thl = static_cast<std::uint8_t>(h.thl + 1);
-  q.payload = std::move(decoded->app_payload);
+  q.payload.assign(decoded->app_payload.begin(), decoded->app_payload.end());
   queue_.push_back(std::move(q));
   service();
 }

@@ -38,16 +38,25 @@ std::vector<std::uint8_t> DataHeader::encode(
   return out;
 }
 
-std::optional<DecodedData> decode_data(std::span<const std::uint8_t> bytes) {
+std::optional<DataView> decode_data_view(
+    std::span<const std::uint8_t> bytes) {
   ByteReader r{bytes};
-  DecodedData d;
+  DataView d;
   d.header.origin = NodeId{r.u16()};
   d.header.seq = r.u16();
   d.header.thl = r.u8();
   d.header.sender_path_etx = dequantize_etx(r.u16());
   if (!r.ok()) return std::nullopt;
-  const auto rest = r.rest();
-  d.app_payload.assign(rest.begin(), rest.end());
+  d.app_payload = r.rest();
+  return d;
+}
+
+std::optional<DecodedData> decode_data(std::span<const std::uint8_t> bytes) {
+  const auto view = decode_data_view(bytes);
+  if (!view.has_value()) return std::nullopt;
+  DecodedData d;
+  d.header = view->header;
+  d.app_payload.assign(view->app_payload.begin(), view->app_payload.end());
   return d;
 }
 

@@ -64,4 +64,17 @@ struct DecodedData {
 [[nodiscard]] std::optional<DecodedData> decode_data(
     std::span<const std::uint8_t> bytes);
 
+/// Zero-copy parse of a data packet: the payload stays a span into the
+/// caller's buffer (valid only for the current delivery call). The
+/// receive path uses this so snoops, duplicates and drops never copy the
+/// payload; only a packet that actually enters the forwarding queue gets
+/// its bytes owned.
+struct DataView {
+  DataHeader header;
+  std::span<const std::uint8_t> app_payload;
+};
+
+[[nodiscard]] std::optional<DataView> decode_data_view(
+    std::span<const std::uint8_t> bytes);
+
 }  // namespace fourbit::net

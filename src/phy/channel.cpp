@@ -22,21 +22,30 @@ Channel::Channel(sim::Simulator& sim, PhyConfig phy, PropagationConfig prop,
 
 void Channel::attach(Radio& radio) {
   radios_.push_back(&radio);
+  cache_valid_ = false;
 }
 
 void Channel::detach(Radio& radio) {
   std::erase(radios_, &radio);
-  // Drop the departing radio from in-flight receptions.
-  for (auto& tx : active_) {
+  cache_valid_ = false;
+  for (ActiveTx* tx : active_) {
+    // Tombstone the departing radio's own in-flight transmission: the
+    // carrier is gone, so the frame is aborted and must never be
+    // delivered (and tx->sender must never be dereferenced again).
+    if (tx->sender == &radio) {
+      tx->sender = nullptr;
+      tx->cached = false;
+    }
+    // Drop the departing radio from in-flight receptions.
     std::erase_if(tx->receivers,
                   [&](const PendingRx& rx) { return rx.receiver == &radio; });
   }
 }
 
-std::uint32_t Channel::link_key(NodeId a, NodeId b) {
-  const std::uint32_t lo = std::min(a.value(), b.value());
-  const std::uint32_t hi = std::max(a.value(), b.value());
-  return lo << 16 | hi;
+std::uint64_t Channel::link_key(NodeId a, NodeId b) {
+  const std::uint64_t lo = std::min(a.value(), b.value());
+  const std::uint64_t hi = std::max(a.value(), b.value());
+  return lo << 32 | hi;
 }
 
 void Channel::set_link_outage(NodeId a, NodeId b, double loss) {
@@ -63,24 +72,136 @@ double Channel::mean_prr(const Radio& from, const Radio& to,
       snr_db(from, to), mpdu_bytes + phy_.phy_overhead_bytes);
 }
 
+// --- fast-path link cache --------------------------------------------
+
+void Channel::ensure_cache() {
+  if (!cache_valid_) rebuild_cache();
+}
+
+void Channel::rebuild_cache() {
+  n_ = radios_.size();
+  for (std::size_t i = 0; i < n_; ++i) radios_[i]->set_channel_index(i);
+
+  gain_dbm_.assign(n_ * n_, -1e9);
+  gain_mw_.assign(n_ * n_, 0.0);
+  rx_cutoff_dbm_.resize(n_);
+  noise_mw_.resize(n_);
+  noise_dbm_.resize(n_);
+  for (std::size_t r = 0; r < n_; ++r) {
+    rx_cutoff_dbm_[r] =
+        (radios_[r]->noise_floor() + phy_.reception_cutoff_margin).value();
+    // The exact doubles the slow delivery loop computes (noise_mw + 0.0
+    // keeps the bit pattern), so the cached-noise SINR is bit-identical.
+    noise_mw_[r] = radios_[r]->noise_floor().milliwatts();
+    noise_dbm_[r] = PowerDbm::from_milliwatts(noise_mw_[r]).value();
+  }
+  candidates_.assign(n_, {});
+  cca_words_ = (n_ + 63) / 64;
+  cca_audible_.assign(n_ * cca_words_, 0);
+  prr_bytes_.assign(n_ * n_, 0);
+  prr_val_.assign(n_ * n_, 0.0);
+  for (std::size_t s = 0; s < n_; ++s) rebuild_row(s);
+
+  // Re-point transmissions already in the air at their new cache slots
+  // (a radio attached or detached mid-flight shifts every index).
+  for (ActiveTx* tx : active_) {
+    tx->cached = tx->sender != nullptr && has_cache_slot(*tx->sender);
+    if (tx->cached) {
+      tx->sender_index =
+          static_cast<std::uint32_t>(tx->sender->channel_index());
+    }
+    for (PendingRx& rx : tx->receivers) {
+      rx.receiver_index =
+          static_cast<std::uint32_t>(rx.receiver->channel_index());
+    }
+  }
+  cache_valid_ = true;
+}
+
+void Channel::rebuild_row(std::size_t s) {
+  Radio& sender = *radios_[s];
+  double* row_dbm = &gain_dbm_[s * n_];
+  double* row_mw = &gain_mw_[s * n_];
+  std::uint64_t* cca_row = &cca_audible_[s * cca_words_];
+  std::fill(cca_row, cca_row + cca_words_, 0);
+  // New gains invalidate the row's memoized PRRs.
+  std::fill(&prr_bytes_[s * n_], &prr_bytes_[s * n_] + n_, 0);
+  auto& cands = candidates_[s];
+  cands.clear();
+  for (std::size_t r = 0; r < n_; ++r) {
+    if (r == s) continue;
+    // Exactly the slow path's arithmetic: cached doubles must equal what
+    // rx_power() would compute, or the paths diverge bitwise.
+    const PowerDbm p = rx_power(sender, *radios_[r]);
+    row_dbm[r] = p.value();
+    row_mw[r] = p.milliwatts();
+    if (p.value() >= rx_cutoff_dbm_[r]) {
+      cands.push_back(static_cast<std::uint32_t>(r));
+    }
+    if (p >= phy_.cca_threshold) {
+      cca_row[r / 64] |= std::uint64_t{1} << (r % 64);
+    }
+  }
+}
+
+void Channel::on_tx_power_changed(const Radio& radio) {
+  // A dirty cache re-derives everything on next use anyway; only a
+  // frozen cache holds stale powers for this sender's row.
+  if (!cache_valid_ || !has_cache_slot(radio)) return;
+  rebuild_row(radio.channel_index());
+}
+
+std::size_t Channel::candidate_count(const Radio& sender) {
+  ensure_cache();
+  if (!has_cache_slot(sender)) return 0;
+  return candidates_[sender.channel_index()].size();
+}
+
+// --- ActiveTx pool ----------------------------------------------------
+
+Channel::ActiveTx* Channel::acquire_tx() {
+  if (!tx_free_.empty()) {
+    ActiveTx* tx = tx_free_.back();
+    tx_free_.pop_back();
+    return tx;
+  }
+  tx_pool_.push_back(std::make_unique<ActiveTx>());
+  return tx_pool_.back().get();
+}
+
+void Channel::release_tx(ActiveTx* tx) {
+  tx->sender = nullptr;
+  tx->cached = false;
+  tx->frame.clear();      // keeps capacity: the next frame reuses it
+  tx->receivers.clear();  // likewise
+  tx_free_.push_back(tx);
+}
+
+// --- air interface ----------------------------------------------------
+
 bool Channel::busy_at(const Radio& listener) {
-  prune_finished();
   const sim::Time now = sim_.now();
-  for (const auto& tx : active_) {
-    if (tx->sender == &listener) continue;
+  bool fast_listener = false;
+  std::size_t li = 0;
+  if (phy_.use_link_cache) {
+    ensure_cache();
+    // A detached-but-alive listener has no cache slot; it falls back to
+    // the per-pair computation (identical values, just slower).
+    if (has_cache_slot(listener)) {
+      fast_listener = true;
+      li = listener.channel_index();
+    }
+  }
+  for (const ActiveTx* tx : active_) {
+    if (tx->sender == &listener || tx->sender == nullptr) continue;
     if (tx->end <= now) continue;
-    if (rx_power(*tx->sender, listener) >= phy_.cca_threshold) {
+    if (fast_listener && tx->cached) {
+      if (cca_audible(tx->sender_index, li)) return true;
+    } else if (rx_power(*tx->sender, listener) >= phy_.cca_threshold) {
       return true;
     }
   }
   return false;
-}
-
-void Channel::prune_finished() {
-  const sim::Time now = sim_.now();
-  std::erase_if(active_, [now](const std::shared_ptr<ActiveTx>& tx) {
-    return tx->end <= now;
-  });
 }
 
 void Channel::start_transmission(Radio& sender,
@@ -88,7 +209,8 @@ void Channel::start_transmission(Radio& sender,
                                  Radio::TxDoneHandler done) {
   FOURBIT_ASSERT(!sender.transmitting(),
                  "radio cannot start a second concurrent transmission");
-  prune_finished();
+  const bool fast = phy_.use_link_cache;
+  if (fast) ensure_cache();
 
   const sim::Time now = sim_.now();
   const sim::Duration airtime = phy_.airtime(frame.size());
@@ -99,41 +221,79 @@ void Channel::start_transmission(Radio& sender,
     tx_observer_(sender.id(), airtime, sender.effective_tx_power());
   }
 
-  auto tx = std::make_shared<ActiveTx>();
+  ActiveTx* tx = acquire_tx();
   tx->sender = &sender;
+  tx->cached = fast && has_cache_slot(sender);
+  tx->sender_index =
+      tx->cached ? static_cast<std::uint32_t>(sender.channel_index()) : 0;
   tx->start = now;
   tx->end = end;
   tx->frame = std::move(frame);
 
   // Enumerate candidate receivers and seed their interference with the
-  // transmissions already in the air.
-  for (Radio* r : radios_) {
-    if (r == &sender) continue;
-    // A sleeping receiver (LPL between channel samples) hears nothing.
-    if (!r->listening()) continue;
-    // Half-duplex: a radio mid-transmission cannot hear this packet. (A
-    // radio that *starts* transmitting later overlaps too, but CSMA makes
-    // that rare and the additive-interference model already punishes it.)
-    if (r->transmitting_until() > now) continue;
+  // transmissions already in the air. The fast path walks the sender's
+  // precomputed candidate list (attach order — the same receivers, in
+  // the same order, as the slow path's full scan) and reads powers from
+  // the gain matrix; a detached-but-alive sender has no cache row and
+  // falls back to the slow scan.
+  if (tx->cached) {
+    const double* row_dbm = &gain_dbm_[tx->sender_index * n_];
+    for (const std::uint32_t ri : candidates_[tx->sender_index]) {
+      Radio* r = radios_[ri];
+      // A sleeping receiver (LPL between channel samples) hears nothing.
+      if (!r->listening()) continue;
+      // Half-duplex: a radio mid-transmission cannot hear this packet.
+      if (r->transmitting_until() > now) continue;
 
-    const PowerDbm p = rx_power(sender, *r);
-    if (p < r->noise_floor() + phy_.reception_cutoff_margin) continue;
-
-    double interference_mw = 0.0;
-    for (const auto& other : active_) {
-      if (other->end <= now) continue;
-      interference_mw += rx_power(*other->sender, *r).milliwatts();
+      double interference_mw = 0.0;
+      for (const ActiveTx* other : active_) {
+        if (other->sender == nullptr || other->end <= now) continue;
+        interference_mw +=
+            other->cached
+                ? gain_mw_[other->sender_index * n_ + ri]
+                : rx_power(*other->sender, *r).milliwatts();
+      }
+      tx->receivers.push_back(
+          PendingRx{r, ri, PowerDbm{row_dbm[ri]}, interference_mw});
     }
-    tx->receivers.push_back(PendingRx{r, p, interference_mw});
+  } else {
+    for (Radio* r : radios_) {
+      if (r == &sender) continue;
+      if (!r->listening()) continue;
+      // (A radio that *starts* transmitting later overlaps too, but CSMA
+      // makes that rare and the additive-interference model already
+      // punishes it.)
+      if (r->transmitting_until() > now) continue;
+
+      const PowerDbm p = rx_power(sender, *r);
+      if (p < r->noise_floor() + phy_.reception_cutoff_margin) continue;
+
+      double interference_mw = 0.0;
+      for (const ActiveTx* other : active_) {
+        if (other->sender == nullptr || other->end <= now) continue;
+        interference_mw +=
+            fast && other->cached
+                ? gain_mw_[other->sender_index * n_ +
+                           r->channel_index()]
+                : rx_power(*other->sender, *r).milliwatts();
+      }
+      const std::uint32_t ri =
+          fast ? static_cast<std::uint32_t>(r->channel_index()) : 0;
+      tx->receivers.push_back(PendingRx{r, ri, p, interference_mw});
+    }
   }
 
-  // This transmission interferes with every reception already in flight.
-  for (const auto& other : active_) {
+  // This transmission interferes with every reception already in flight:
+  // the per-receiver accumulators are maintained incrementally, never
+  // rescanned.
+  for (ActiveTx* other : active_) {
     if (other->end <= now) continue;
-    for (auto& rx : other->receivers) {
+    for (PendingRx& rx : other->receivers) {
       if (rx.receiver == &sender) continue;
       rx.interference_mw +=
-          rx_power(sender, *rx.receiver).milliwatts();
+          tx->cached
+              ? gain_mw_[tx->sender_index * n_ + rx.receiver_index]
+              : rx_power(sender, *rx.receiver).milliwatts();
     }
   }
 
@@ -151,7 +311,8 @@ void Channel::deliver_corrupt(Radio& r, const ActiveTx& tx,
   if (sinr_db < phy_.corrupt_delivery_min_sinr_db) return;
   // The radio locked onto the preamble but the payload is damaged: flip
   // a few bytes and deliver with fcs_ok = false. The MAC's FCS check
-  // drops it; only the "heard garbage" fact is observable.
+  // drops it; only the "heard garbage" fact is observable. This is the
+  // one path that copies the frame bytes (it must mangle them).
   std::vector<std::uint8_t> mangled = tx.frame;
   const std::size_t flips = 1 + reception_rng_.uniform_int(3);
   for (std::size_t i = 0; i < flips && !mangled.empty(); ++i) {
@@ -180,10 +341,26 @@ bool Channel::white_bit(const RxInfo& info) const {
   return false;
 }
 
-void Channel::finish_transmission(const std::shared_ptr<ActiveTx>& tx) {
+void Channel::finish_transmission(ActiveTx* tx) {
+  // End-time-ordered removal: each transmission's own finish event takes
+  // it out of the active set, so CCA samples never pay a prune scan.
+  std::erase(active_, tx);
+
+  // Tombstoned sender (detached mid-flight): the frame died with it.
+  if (tx->sender == nullptr) {
+    release_tx(tx);
+    return;
+  }
+
   const std::size_t frame_bytes = tx->frame.size() + phy_.phy_overhead_bytes;
 
-  for (auto& rx : tx->receivers) {
+  // While the cache is frozen, every pending receiver_index is a live
+  // slot (rebuild_cache remaps in-flight receptions), so the delivery
+  // loop can read the precomputed noise terms instead of re-deriving
+  // them per reception.
+  const bool cached_noise = phy_.use_link_cache && cache_valid_;
+
+  for (const PendingRx& rx : tx->receivers) {
     Radio& r = *rx.receiver;
     // The receiver may have begun transmitting after this packet started
     // (its CSMA lost the race); half-duplex kills the reception.
@@ -200,12 +377,35 @@ void Channel::finish_transmission(const std::shared_ptr<ActiveTx>& tx) {
       }
     }
 
-    const double noise_mw = r.noise_floor().milliwatts();
-    const double sinr_db =
-        rx.rx_power.value() -
-        PowerDbm::from_milliwatts(noise_mw + rx.interference_mw).value();
-    const double prr =
-        modulation_.packet_reception_ratio(sinr_db, frame_bytes);
+    double sinr_db;
+    double prr;
+    if (cached_noise && rx.interference_mw == 0.0) {
+      sinr_db = rx.rx_power.value() - noise_dbm_[rx.receiver_index];
+      // Interference-free PRR is a pure function of (pair gain, frame
+      // size) — served from the per-pair memo when the sender has a
+      // cache row and the row still holds the gain this reception was
+      // computed with (a tx-power change mid-flight breaks that tie).
+      const std::size_t pi =
+          tx->cached ? tx->sender_index * n_ + rx.receiver_index : 0;
+      if (tx->cached && gain_dbm_[pi] == rx.rx_power.value()) {
+        if (prr_bytes_[pi] == frame_bytes) {
+          prr = prr_val_[pi];
+        } else {
+          prr = modulation_.packet_reception_ratio(sinr_db, frame_bytes);
+          prr_bytes_[pi] = static_cast<std::uint32_t>(frame_bytes);
+          prr_val_[pi] = prr;
+        }
+      } else {
+        prr = modulation_.packet_reception_ratio(sinr_db, frame_bytes);
+      }
+    } else {
+      const double noise_mw = cached_noise ? noise_mw_[rx.receiver_index]
+                                           : r.noise_floor().milliwatts();
+      sinr_db =
+          rx.rx_power.value() -
+          PowerDbm::from_milliwatts(noise_mw + rx.interference_mw).value();
+      prr = modulation_.packet_reception_ratio(sinr_db, frame_bytes);
+    }
     if (!reception_rng_.bernoulli(prr)) {
       deliver_corrupt(r, *tx, rx, sinr_db);
       continue;
@@ -232,6 +432,8 @@ void Channel::finish_transmission(const std::shared_ptr<ActiveTx>& tx) {
     info.fcs_ok = true;
     r.deliver(tx->frame, info);
   }
+
+  release_tx(tx);
 }
 
 }  // namespace fourbit::phy

@@ -10,6 +10,20 @@
 // it through — received packets look clean even on a lossy link, which
 // is the physical effect the paper's white bit (and MultiHopLQI's
 // failure mode) hinges on.
+//
+// Two execution paths compute that model:
+//   * slow path — per-pair propagation-loss hash lookups, every radio
+//     scanned per transmission. The reference implementation.
+//   * fast path (PhyConfig::use_link_cache, default) — positions, tx
+//     powers and shadowing are static per trial, so on topology freeze
+//     the channel precomputes a flat N x N rx-power matrix (dBm and
+//     milliwatts) plus per-sender culled neighbor lists: reception
+//     candidates (pairs above noise_floor + reception_cutoff_margin) and
+//     a CCA-audible bitset. start_transmission then iterates O(degree)
+//     and busy_at tests precomputed bits. The cached doubles are the
+//     exact values the slow path computes, and candidates are visited in
+//     the same order, so RNG draw sequences — and therefore all metrics —
+//     are bit-identical between paths (tests/channel_fastpath_test.cpp).
 #pragma once
 
 #include <cstdint>
@@ -52,6 +66,12 @@ class Channel {
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
 
   void attach(Radio& radio);
+
+  /// Removes `radio` from the medium: it hears nothing from now on, and
+  /// any of its own transmissions still in the air are aborted (the
+  /// carrier died mid-frame; nothing is delivered). Safe to call with
+  /// receptions or the radio's own transmission in flight — in-flight
+  /// state is scrubbed/tombstoned, never left dangling.
   void detach(Radio& radio);
 
   // --- Fault injection -------------------------------------------------
@@ -78,6 +98,10 @@ class Channel {
   /// power at the listener exceeds the CCA threshold reads busy.
   [[nodiscard]] bool busy_at(const Radio& listener);
 
+  /// Called by Radio::set_tx_power: re-derives the sender's row of the
+  /// link cache (its cached rx powers embed the old tx power).
+  void on_tx_power_changed(const Radio& radio);
+
   // --- Analytic helpers (no randomness consumed, no interference) -----
 
   /// Thermal-only SNR of `from`'s signal at `to`.
@@ -93,15 +117,32 @@ class Channel {
     return frames_transmitted_;
   }
 
+  // --- Introspection (tests, benchmarks) -------------------------------
+
+  /// True once the fast-path link cache has been built and not
+  /// invalidated since.
+  [[nodiscard]] bool link_cache_frozen() const { return cache_valid_; }
+
+  /// Reception candidates of `sender` under the frozen cache (receivers
+  /// above the cutoff margin, in attach order). Freezes the cache on
+  /// demand. Only meaningful with use_link_cache enabled.
+  [[nodiscard]] std::size_t candidate_count(const Radio& sender);
+
  private:
   struct PendingRx {
     Radio* receiver;
+    std::uint32_t receiver_index;  // cache slot; valid while frozen
     PowerDbm rx_power;
     double interference_mw;  // accumulated concurrent-tx power
   };
 
+  /// One frame in the air. Pooled: acquired in start_transmission,
+  /// released when the finish event fires, buffers recycled to kill the
+  /// per-packet allocation churn.
   struct ActiveTx {
-    Radio* sender;
+    Radio* sender = nullptr;  // nullptr = tombstone (sender detached)
+    std::uint32_t sender_index = 0;
+    bool cached = false;  // sender had a cache slot when this tx started
     sim::Time start;
     sim::Time end;
     std::vector<std::uint8_t> frame;
@@ -109,11 +150,31 @@ class Channel {
   };
 
   [[nodiscard]] PowerDbm rx_power(const Radio& from, const Radio& to);
-  void finish_transmission(const std::shared_ptr<ActiveTx>& tx);
+  void finish_transmission(ActiveTx* tx);
   void deliver_corrupt(Radio& r, const ActiveTx& tx, const PendingRx& rx,
                        double sinr_db);
   [[nodiscard]] bool white_bit(const RxInfo& info) const;
-  void prune_finished();
+
+  // --- fast-path link cache --------------------------------------------
+  void ensure_cache();
+  void rebuild_cache();
+  void rebuild_row(std::size_t s);
+  [[nodiscard]] bool cca_audible(std::size_t sender_idx,
+                                 std::size_t listener_idx) const {
+    return (cca_audible_[sender_idx * cca_words_ + listener_idx / 64] >>
+            (listener_idx % 64)) &
+           1u;
+  }
+  /// True when `radio` currently owns cache slot `radio.channel_index()`
+  /// (false for radios that were detached but kept transmitting).
+  [[nodiscard]] bool has_cache_slot(const Radio& radio) const {
+    return radio.channel_index() < radios_.size() &&
+           radios_[radio.channel_index()] == &radio;
+  }
+
+  // --- ActiveTx pool ----------------------------------------------------
+  [[nodiscard]] ActiveTx* acquire_tx();
+  void release_tx(ActiveTx* tx);
 
   sim::Simulator& sim_;
   PhyConfig phy_;
@@ -123,12 +184,48 @@ class Channel {
   sim::Rng reception_rng_;
   sim::Rng lqi_rng_;
   std::vector<Radio*> radios_;
-  std::vector<std::shared_ptr<ActiveTx>> active_;
+
+  // Transmissions currently in the air, in start order (interference
+  // sums iterate this, so the order is part of the determinism
+  // contract). Entries are removed by their own finish event — in
+  // end-time order, driven by the event queue — so busy_at never pays a
+  // prune scan.
+  std::vector<ActiveTx*> active_;
+  std::vector<std::unique_ptr<ActiveTx>> tx_pool_;  // owns every ActiveTx
+  std::vector<ActiveTx*> tx_free_;                  // recycled objects
+
+  // Link cache (fast path): row-major [sender][receiver] rx power, both
+  // in dBm (thresholds, SINR) and milliwatts (interference sums; cached
+  // so the fast path skips the pow() the slow path pays per term —
+  // cached value == slow-path value bitwise). Rebuilt lazily after
+  // attach/detach; one row re-derived on a tx-power change.
+  bool cache_valid_ = false;
+  std::size_t n_ = 0;          // radios covered by the frozen cache
+  std::size_t cca_words_ = 0;  // 64-bit words per CCA bitset row
+  std::vector<double> gain_dbm_;
+  std::vector<double> gain_mw_;
+  std::vector<double> rx_cutoff_dbm_;  // per-receiver reception cutoff
+  // Per-receiver noise floor in mW, and that floor round-tripped through
+  // from_milliwatts (== the SINR denominator when interference is zero):
+  // spares the delivery loop a pow10 and, usually, a log10 per reception.
+  std::vector<double> noise_mw_;
+  std::vector<double> noise_dbm_;
+  // Per-pair PRR memo for interference-free receptions (the common
+  // case). Thermal SINR is fixed per pair, so PRR depends only on the
+  // frame size; each slot remembers the last size seen. Entries are only
+  // trusted while the pair's gain_dbm_ still equals the rx power the
+  // reception captured (a mid-flight tx-power change re-derives the row,
+  // and in-flight frames keep their old power). Zeroed size = empty.
+  std::vector<std::uint32_t> prr_bytes_;
+  std::vector<double> prr_val_;
+  std::vector<std::vector<std::uint32_t>> candidates_;  // per-sender
+  std::vector<std::uint64_t> cca_audible_;
+
   std::uint64_t frames_transmitted_ = 0;
   TxObserver tx_observer_;
   // Forced per-link loss (fault injection), keyed on the unordered pair.
-  [[nodiscard]] static std::uint32_t link_key(NodeId a, NodeId b);
-  std::unordered_map<std::uint32_t, double> link_faults_;
+  [[nodiscard]] static std::uint64_t link_key(NodeId a, NodeId b);
+  std::unordered_map<std::uint64_t, double> link_faults_;
 };
 
 }  // namespace fourbit::phy

@@ -47,6 +47,14 @@ struct PhyConfig {
   /// RX/TX turnaround before a synchronous ACK goes on air.
   sim::Duration turnaround = sim::Duration::from_us(192);
 
+  /// Channel fast path: on topology freeze, precompute the N x N per-pair
+  /// rx-power matrix and per-sender neighbor lists (reception candidates
+  /// and CCA-audible sets), so start_transmission and busy_at touch only
+  /// reachable neighbors instead of every radio. Produces bit-identical
+  /// results to the slow path (same doubles, same RNG draw order); the
+  /// slow path survives as the reference for the determinism tests.
+  bool use_link_cache = true;
+
   [[nodiscard]] sim::Duration airtime(std::size_t mpdu_bytes) const {
     const double bits =
         static_cast<double>((phy_overhead_bytes + mpdu_bytes) * 8);

@@ -59,8 +59,23 @@ double OqpskModulation::packet_reception_ratio(
   FOURBIT_ASSERT(frame_bytes > 0, "frame must have at least one byte");
   const double ber = bit_error_rate(sinr_db);
   if (ber <= 0.0) return 1.0;
+  const double base = 1.0 - ber;
+  // High SNR: the BER underflows past double precision, the base rounds
+  // to exactly 1.0 and pow(1.0, bits) == 1.0 — skip the pow. This is the
+  // common case for in-range links and bit-identical to computing it.
+  if (base == 1.0) return 1.0;
   const double bits = static_cast<double>(frame_bytes * 8);
-  return std::pow(1.0 - ber, bits);
+  // Low SNR clamp: every sub-threshold candidate shares one BER, so the
+  // pow depends only on the frame size — serve it from the memo.
+  if (sinr_db <= kMinSnrDb) {
+    for (const auto& [bytes, prr] : floor_prr_) {
+      if (bytes == frame_bytes) return prr;
+    }
+    const double prr = std::pow(base, bits);
+    floor_prr_.emplace_back(frame_bytes, prr);
+    return prr;
+  }
+  return std::pow(base, bits);
 }
 
 }  // namespace fourbit::phy

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 namespace fourbit::phy {
@@ -31,6 +32,12 @@ class OqpskModulation {
   static constexpr double kStepDb = 0.05;
 
   std::vector<double> table_;
+  // PRR at the clamped low-SNR end, memoized per frame size: every
+  // out-of-range candidate lands on the same clamped BER, and paying a
+  // pow() per candidate per frame dominated the channel's delivery loop.
+  // The handful of distinct frame sizes a protocol stack uses keeps this
+  // list tiny. Mutable cache of a pure function; results are identical.
+  mutable std::vector<std::pair<std::size_t, double>> floor_prr_;
 };
 
 }  // namespace fourbit::phy

@@ -19,6 +19,11 @@ Radio::Radio(Channel& channel, NodeId id, Position position,
 
 Radio::~Radio() { channel_.detach(*this); }
 
+void Radio::set_tx_power(PowerDbm p) {
+  tx_power_ = p;
+  channel_.on_tx_power_changed(*this);
+}
+
 PowerDbm Radio::noise_floor() const {
   return channel_.phy().noise_floor + hardware_.noise_figure_offset;
 }

@@ -52,7 +52,10 @@ class Radio {
   [[nodiscard]] const HardwareProfile& hardware() const { return hardware_; }
 
   [[nodiscard]] PowerDbm tx_power() const { return tx_power_; }
-  void set_tx_power(PowerDbm p) { tx_power_ = p; }
+
+  /// Changing the power invalidates this node's row of the channel's
+  /// link cache (the cached rx powers embed the sender's tx power).
+  void set_tx_power(PowerDbm p);
 
   /// Configured power plus this unit's manufacturing offset.
   [[nodiscard]] PowerDbm effective_tx_power() const {
@@ -90,6 +93,11 @@ class Radio {
     return transmitting_until_;
   }
 
+  /// Slot of this radio in the channel's frozen link cache. Owned by the
+  /// channel; meaningless while the cache is invalid.
+  void set_channel_index(std::size_t i) { channel_index_ = i; }
+  [[nodiscard]] std::size_t channel_index() const { return channel_index_; }
+
  private:
   Channel& channel_;
   NodeId id_;
@@ -98,6 +106,7 @@ class Radio {
   PowerDbm tx_power_;
   RxHandler rx_handler_;
   sim::Time transmitting_until_;
+  std::size_t channel_index_ = 0;
   bool listening_ = true;
 };
 

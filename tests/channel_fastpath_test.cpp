@@ -1,0 +1,381 @@
+// The channel fast path's determinism contract: with the link cache on
+// (precomputed gain matrix, neighbor culling, pooled ActiveTx objects)
+// every observable — delivery streams, campaign metrics, RNG evolution —
+// must be bit-identical to the slow reference path, across thread
+// counts, under fault injection, and through cache invalidations.
+// Also covers the detach-mid-flight lifetime rules (run under the ASan
+// CI configuration).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "phy/channel.hpp"
+#include "phy/hardware.hpp"
+#include "phy/interference.hpp"
+#include "phy/radio.hpp"
+#include "runner/campaign.hpp"
+#include "runner/experiment.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "topology/topology.hpp"
+
+namespace fourbit {
+namespace {
+
+// ---- channel-level delivery-stream equivalence -------------------------
+
+/// FNV-1a over every delivered byte and the full RxInfo, so any
+/// divergence between paths — one flipped LQI draw, one reordered
+/// receiver — changes the digest.
+struct DeliveryDigest {
+  std::uint64_t h = 1469598103934665603ULL;
+
+  void mix_bytes(const void* p, std::size_t len) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < len; ++i) {
+      h ^= b[i];
+      h *= 1099511628211ULL;
+    }
+  }
+  void mix(std::uint64_t v) { mix_bytes(&v, sizeof v); }
+  void mix(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    mix(bits);
+  }
+  void on_delivery(NodeId to, std::span<const std::uint8_t> frame,
+                   const phy::RxInfo& info) {
+    mix(static_cast<std::uint64_t>(to.value()));
+    mix_bytes(frame.data(), frame.size());
+    mix(info.rssi.value());
+    mix(info.snr_db);
+    mix(static_cast<std::uint64_t>(info.lqi));
+    mix(static_cast<std::uint64_t>(info.white ? 1 : 0));
+    mix(static_cast<std::uint64_t>(info.fcs_ok ? 1 : 0));
+  }
+};
+
+struct Pump {
+  sim::Simulator sim;
+  phy::Channel channel;
+  std::vector<std::unique_ptr<phy::Radio>> radios;
+  DeliveryDigest digest;
+  std::uint64_t deliveries = 0;
+
+  explicit Pump(bool fast, std::size_t n = 30)
+      : channel(sim, make_phy(fast), phy::PropagationConfig{},
+                std::make_unique<phy::NullInterference>(), sim::Rng{99}) {
+    for (std::size_t i = 0; i < n; ++i) {
+      // 30 m grid pitch: every pair is inside the ~268 m reception range,
+      // so culling keeps everyone and the interference paths get dense.
+      radios.push_back(std::make_unique<phy::Radio>(
+          channel, NodeId{static_cast<std::uint16_t>(i + 1)},
+          Position{static_cast<double>(i % 6) * 30.0,
+                   static_cast<double>(i / 6) * 30.0},
+          phy::HardwareProfile{}, PowerDbm{0.0}));
+      phy::Radio* r = radios.back().get();
+      r->set_rx_handler([this, r](std::span<const std::uint8_t> frame,
+                                  const phy::RxInfo& info) {
+        ++deliveries;
+        digest.on_delivery(r->id(), frame, info);
+      });
+    }
+  }
+
+  static phy::PhyConfig make_phy(bool fast) {
+    phy::PhyConfig phy;
+    phy.use_link_cache = fast;
+    return phy;
+  }
+
+  /// Start-time stagger between nodes. The 700 us default overlaps the
+  /// ~1.3 ms airtime of a 40-byte frame, so transmissions interfere;
+  /// two-node tests raise it so the frames land on an idle receiver
+  /// (a half-duplex radio can't hear while it transmits).
+  std::int64_t stagger_us = 700;
+
+  /// Staggered, overlapping transmissions from every node: enough
+  /// concurrency that the interference cross-product and CCA paths all
+  /// execute.
+  void run_rounds(int rounds) {
+    for (int round = 0; round < rounds; ++round) {
+      for (std::size_t i = 0; i < radios.size(); ++i) {
+        phy::Radio* r = radios[i].get();
+        const auto at = sim.now() +
+                        sim::Duration::from_us(
+                            static_cast<std::int64_t>(i) * stagger_us);
+        sim.schedule_at(at, [this, r, round] {
+          (void)r->channel_clear();  // exercise busy_at
+          if (!r->transmitting()) {
+            std::vector<std::uint8_t> frame(40);
+            frame[0] = static_cast<std::uint8_t>(r->id().value());
+            frame[1] = static_cast<std::uint8_t>(round);
+            r->transmit(std::move(frame), nullptr);
+          }
+        });
+      }
+      sim.run();
+    }
+  }
+};
+
+TEST(ChannelFastPathTest, DeliveryStreamBitIdenticalToSlowPath) {
+  Pump fast{true};
+  Pump slow{false};
+  fast.run_rounds(8);
+  slow.run_rounds(8);
+  EXPECT_TRUE(fast.channel.link_cache_frozen());
+  EXPECT_FALSE(slow.channel.link_cache_frozen());
+  EXPECT_GT(fast.deliveries, 0u);
+  EXPECT_EQ(fast.deliveries, slow.deliveries);
+  EXPECT_EQ(fast.digest.h, slow.digest.h);
+  EXPECT_EQ(fast.channel.frames_transmitted(),
+            slow.channel.frames_transmitted());
+}
+
+TEST(ChannelFastPathTest, LinkOutageRespectedByCulledPath) {
+  // A blackout on a culled-path candidate link must drop frames exactly
+  // like the slow path does (culling decides who is *considered*, faults
+  // decide who *receives*), and both paths must consume identical RNG.
+  auto run = [](bool fast, bool outage) {
+    Pump p{fast, 6};
+    p.stagger_us = 2000;  // sequential frames: the baseline must deliver
+    if (outage) {
+      // Blanket outage: every pair is forced dark.
+      for (std::size_t i = 0; i < p.radios.size(); ++i) {
+        for (std::size_t j = i + 1; j < p.radios.size(); ++j) {
+          p.channel.set_link_outage(p.radios[i]->id(), p.radios[j]->id(),
+                                    1.0);
+        }
+      }
+    }
+    p.run_rounds(5);
+    return std::pair{p.deliveries, p.digest.h};
+  };
+  const auto [fast_ok, fast_ok_h] = run(true, false);
+  const auto [slow_ok, slow_ok_h] = run(false, false);
+  const auto [fast_out, fast_out_h] = run(true, true);
+  const auto [slow_out, slow_out_h] = run(false, true);
+  EXPECT_GT(fast_ok, 0u);
+  EXPECT_EQ(fast_ok, slow_ok);
+  EXPECT_EQ(fast_ok_h, slow_ok_h);
+  EXPECT_EQ(fast_out, 0u);  // total blackout delivers nothing
+  EXPECT_EQ(fast_out, slow_out);
+  EXPECT_EQ(fast_out_h, slow_out_h);
+}
+
+TEST(ChannelFastPathTest, ClearLinkOutageRestoresDelivery) {
+  Pump p{true, 2};
+  p.stagger_us = 2000;
+  p.channel.set_link_outage(NodeId{1}, NodeId{2}, 1.0);
+  p.run_rounds(3);
+  EXPECT_EQ(p.deliveries, 0u);
+  p.channel.clear_link_outage(NodeId{1}, NodeId{2});
+  p.run_rounds(3);
+  EXPECT_GT(p.deliveries, 0u);
+}
+
+TEST(ChannelFastPathTest, TxPowerChangeInvalidatesSenderRow) {
+  Pump p{true, 2};
+  p.stagger_us = 2000;
+  p.run_rounds(2);
+  const auto before = p.deliveries;
+  EXPECT_GT(before, 0u);
+  EXPECT_GT(p.channel.candidate_count(*p.radios[0]), 0u);
+
+  // Whisper: drop the sender 90 dB. The frozen cache must re-derive this
+  // row or the receiver would keep hearing ghost packets.
+  p.radios[0]->set_tx_power(PowerDbm{-90.0});
+  EXPECT_TRUE(p.channel.link_cache_frozen());
+  EXPECT_EQ(p.channel.candidate_count(*p.radios[0]), 0u);
+
+  std::vector<std::uint8_t> frame(40, 1);
+  p.radios[0]->transmit(frame, nullptr);
+  p.sim.run();
+  EXPECT_EQ(p.deliveries, before);
+
+  // And back: the row is re-derived again, delivery resumes.
+  p.radios[0]->set_tx_power(PowerDbm{0.0});
+  p.radios[0]->transmit(frame, nullptr);
+  p.sim.run();
+  EXPECT_GT(p.deliveries, before);
+}
+
+TEST(ChannelFastPathTest, AttachAfterFreezeRebuildsCache) {
+  Pump p{true, 2};
+  p.run_rounds(1);
+  EXPECT_TRUE(p.channel.link_cache_frozen());
+
+  std::uint64_t late_rx = 0;
+  phy::Radio late{p.channel, NodeId{77}, Position{1.0, 1.0},
+                  phy::HardwareProfile{}, PowerDbm{0.0}};
+  EXPECT_FALSE(p.channel.link_cache_frozen());
+  late.set_rx_handler([&](std::span<const std::uint8_t>,
+                          const phy::RxInfo&) { ++late_rx; });
+  p.radios[0]->transmit(std::vector<std::uint8_t>(40, 1), nullptr);
+  p.sim.run();
+  EXPECT_GT(late_rx, 0u);
+}
+
+// ---- detach lifetime rules (ASan-sensitive) ----------------------------
+
+TEST(ChannelFastPathTest, DetachedSenderMidFlightIsTombstoned) {
+  for (const bool fast : {true, false}) {
+    sim::Simulator sim;
+    phy::Channel channel{sim, Pump::make_phy(fast), phy::PropagationConfig{},
+                         std::make_unique<phy::NullInterference>(),
+                         sim::Rng{5}};
+    phy::Radio b{channel, NodeId{2}, {5.0, 0.0}, phy::HardwareProfile{},
+                 PowerDbm{0.0}};
+    std::uint64_t received = 0;
+    b.set_rx_handler([&](std::span<const std::uint8_t>,
+                         const phy::RxInfo&) { ++received; });
+    auto a = std::make_unique<phy::Radio>(channel, NodeId{1},
+                                          Position{0.0, 0.0},
+                                          phy::HardwareProfile{},
+                                          PowerDbm{0.0});
+    a->transmit(std::vector<std::uint8_t>(60, 1), nullptr);
+    // Sender dies mid-frame: the carrier stops, the frame is aborted,
+    // and nothing may dereference the dead radio afterwards.
+    a.reset();
+    EXPECT_TRUE(b.channel_clear());  // busy_at must not touch the corpse
+    sim.run();
+    EXPECT_EQ(received, 0u);
+  }
+}
+
+TEST(ChannelFastPathTest, DetachedReceiverMidFlightIsScrubbed) {
+  for (const bool fast : {true, false}) {
+    sim::Simulator sim;
+    phy::Channel channel{sim, Pump::make_phy(fast), phy::PropagationConfig{},
+                         std::make_unique<phy::NullInterference>(),
+                         sim::Rng{5}};
+    phy::Radio a{channel, NodeId{1}, {0.0, 0.0}, phy::HardwareProfile{},
+                 PowerDbm{0.0}};
+    auto b = std::make_unique<phy::Radio>(channel, NodeId{2},
+                                          Position{5.0, 0.0},
+                                          phy::HardwareProfile{},
+                                          PowerDbm{0.0});
+    b->set_rx_handler([](std::span<const std::uint8_t>, const phy::RxInfo&) {
+      FAIL() << "delivery to a destroyed radio";
+    });
+    a.transmit(std::vector<std::uint8_t>(60, 1), nullptr);
+    b.reset();  // receiver dies while the frame is in the air
+    sim.run();  // must not deliver into freed memory
+  }
+}
+
+TEST(ChannelFastPathTest, DetachedButAliveRadioStillTransmits) {
+  // runner::Network uses detach() to make a node deaf without destroying
+  // it; its outgoing frames are still on the air (slow-scan fallback for
+  // senders without a cache row).
+  Pump p{true, 2};
+  p.run_rounds(1);
+  const auto before = p.deliveries;
+  p.channel.detach(*p.radios[1]);  // radio 1 goes deaf...
+  p.radios[1]->transmit(std::vector<std::uint8_t>(40, 7), nullptr);
+  p.sim.run();
+  EXPECT_GT(p.deliveries, before);  // ...but not mute: radio 0 heard it
+  // And the deaf radio's own CCA still works via the fallback.
+  (void)p.radios[1]->channel_clear();
+}
+
+TEST(ChannelFastPathTest, ActiveTxPoolSurvivesChurn) {
+  Pump p{true, 4};
+  p.run_rounds(25);  // hundreds of acquire/release cycles
+  Pump q{false, 4};
+  q.run_rounds(25);
+  EXPECT_EQ(p.deliveries, q.deliveries);
+  EXPECT_EQ(p.digest.h, q.digest.h);
+}
+
+// ---- experiment / campaign equivalence ---------------------------------
+
+topology::Testbed small_testbed(bool fast) {
+  sim::Rng rng{12};
+  topology::Testbed tb;
+  tb.topology = topology::grid(5, 5, 20.0, 2.0, rng);
+  tb.environment.phy.use_link_cache = fast;
+  return tb;
+}
+
+void expect_identical(const runner::ExperimentResult& a,
+                      const runner::ExperimentResult& b) {
+  EXPECT_EQ(a.generated, b.generated);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.data_tx, b.data_tx);
+  EXPECT_EQ(a.beacon_tx, b.beacon_tx);
+  EXPECT_EQ(a.radio_frames, b.radio_frames);
+  EXPECT_EQ(a.retx_drops, b.retx_drops);
+  EXPECT_EQ(a.queue_drops, b.queue_drops);
+  EXPECT_EQ(a.duplicates, b.duplicates);
+  EXPECT_EQ(a.parent_changes, b.parent_changes);
+  EXPECT_EQ(a.cost, b.cost);                      // exact, not Near:
+  EXPECT_EQ(a.delivery_ratio, b.delivery_ratio);  // bit-identical paths
+  EXPECT_EQ(a.mean_depth, b.mean_depth);
+  EXPECT_EQ(a.per_node_delivery, b.per_node_delivery);
+}
+
+runner::ExperimentConfig small_config(bool fast, std::uint64_t seed) {
+  runner::ExperimentConfig cfg;
+  cfg.testbed = small_testbed(fast);
+  cfg.profile = runner::Profile::kFourBit;
+  cfg.duration = sim::Duration::from_minutes(5.0);
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(ChannelFastPathTest, ExperimentMetricsBitIdenticalAcrossPaths) {
+  const auto fast = runner::run_experiment(small_config(true, 3));
+  const auto slow = runner::run_experiment(small_config(false, 3));
+  EXPECT_GT(fast.generated, 0u);
+  EXPECT_GT(fast.delivery_ratio, 0.5);
+  expect_identical(fast, slow);
+}
+
+TEST(ChannelFastPathTest, ExperimentWithFaultsBitIdenticalAcrossPaths) {
+  auto make = [](bool fast) {
+    auto cfg = small_config(fast, 9);
+    cfg.faults.node_crashes = 2;
+    cfg.faults.crash_downtime = sim::Duration::from_seconds(60.0);
+    cfg.faults.link_outages = 2;
+    cfg.faults.outage_duration = sim::Duration::from_seconds(30.0);
+    cfg.faults.window_start = sim::Time::from_us(60'000'000);
+    cfg.faults.window_end = sim::Time::from_us(180'000'000);
+    return cfg;
+  };
+  const auto fast = runner::run_experiment(make(true));
+  const auto slow = runner::run_experiment(make(false));
+  EXPECT_GT(fast.node_crashes, 0u);
+  EXPECT_GT(fast.link_outages, 0u);
+  expect_identical(fast, slow);
+  EXPECT_EQ(fast.node_crashes, slow.node_crashes);
+  EXPECT_EQ(fast.link_outages, slow.link_outages);
+  EXPECT_EQ(fast.delivery_during_outage, slow.delivery_during_outage);
+}
+
+TEST(ChannelFastPathTest, CampaignBitIdenticalAcrossPathsAndThreads) {
+  auto trials = [](bool fast) {
+    return runner::Campaign::seed_sweep(small_config(fast, 21), 3);
+  };
+  runner::Campaign::Options one;
+  one.threads = 1;
+  runner::Campaign::Options four;
+  four.threads = 4;
+
+  const auto fast1 = runner::Campaign::run(trials(true), one);
+  const auto fast4 = runner::Campaign::run(trials(true), four);
+  const auto slow1 = runner::Campaign::run(trials(false), one);
+  const auto slow4 = runner::Campaign::run(trials(false), four);
+  ASSERT_EQ(fast1.size(), 3u);
+  for (std::size_t i = 0; i < fast1.size(); ++i) {
+    expect_identical(fast1[i], fast4[i]);  // threads don't matter
+    expect_identical(fast1[i], slow1[i]);  // the path doesn't matter
+    expect_identical(slow1[i], slow4[i]);
+  }
+}
+
+}  // namespace
+}  // namespace fourbit

@@ -69,6 +69,40 @@ TEST(MacFrameTest, UnknownTypeRejected) {
   EXPECT_FALSE(MacFrame::decode(bytes).has_value());
 }
 
+// ---- MacFrameView (zero-copy decode) --------------------------------------
+
+TEST(MacFrameViewTest, ViewMatchesOwnedDecode) {
+  MacFrame f;
+  f.type = FrameType::kData;
+  f.dsn = 42;
+  f.src = NodeId{3};
+  f.dst = NodeId{9};
+  f.payload = {10, 20, 30};
+  const auto bytes = f.encode();
+  const auto view = MacFrameView::decode(bytes);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->type, f.type);
+  EXPECT_EQ(view->dsn, f.dsn);
+  EXPECT_EQ(view->src, f.src);
+  EXPECT_EQ(view->dst, f.dst);
+  EXPECT_EQ(view->to_owned().payload, f.payload);
+  // The whole point: the payload span aliases the input buffer, no copy.
+  EXPECT_EQ(view->payload.data(), bytes.data() + MacFrame::kDataHeaderBytes);
+  EXPECT_EQ(view->payload.size(), f.payload.size());
+}
+
+TEST(MacFrameViewTest, BadFcsRejected) {
+  MacFrame f;
+  f.type = FrameType::kData;
+  f.src = NodeId{1};
+  f.dst = NodeId{2};
+  f.payload = {5, 6, 7};
+  auto bytes = f.encode();
+  bytes[3] ^= 0xFF;  // corrupt a header byte; FCS no longer matches
+  EXPECT_FALSE(MacFrameView::decode(bytes).has_value());
+  EXPECT_FALSE(MacFrame::decode(bytes).has_value());
+}
+
 // ---- CsmaMac ----------------------------------------------------------------
 
 class MacFixture : public ::testing::Test {
