@@ -17,6 +17,7 @@
 // Every (row, seed) trial across all sweeps runs in one Campaign pool.
 //
 //   usage: ablation_estimator_params [minutes=25] [seeds=3] [--threads N]
+//          [--journal FILE] [--max-trial-ms N] [--retries N]
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
@@ -24,7 +25,9 @@
 #include <vector>
 
 #include "runner/campaign.hpp"
+#include "runner/describe.hpp"
 #include "runner/experiment.hpp"
+#include "runner/supervisor.hpp"
 #include "sim/rng.hpp"
 #include "topology/topology.hpp"
 
@@ -53,7 +56,7 @@ runner::ExperimentConfig make_trial(const Row& row, double minutes, int s) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t threads = runner::consume_threads_flag(argc, argv);
+  const auto cli = runner::consume_campaign_cli(argc, argv);
   const double minutes = argc > 1 ? std::atof(argv[1]) : 25.0;
   const int seeds = argc > 2 ? std::atoi(argv[2]) : 3;
 
@@ -114,10 +117,13 @@ int main(int argc, char** argv) {
   for (const auto& row : rows) {
     for (int s = 0; s < seeds; ++s) trials.push_back(make_trial(row, minutes, s));
   }
-  runner::Campaign::Options options;
-  options.threads = threads;
+  auto options = cli.supervisor_options();
   options.on_trial_done = runner::stderr_progress();
-  const auto results = runner::Campaign::run(trials, options);
+  const auto report = runner::run_supervised(trials, options);
+  if (const auto note = runner::describe(report); !note.empty()) {
+    std::fprintf(stderr, "%s", note.c_str());
+  }
+  const auto& results = report.results;
 
   std::string current_section;
   for (std::size_t i = 0; i < rows.size(); ++i) {

@@ -18,6 +18,12 @@
 // stream from its own seed).
 //
 //   usage: fault_recovery [minutes=25] [seeds=3] [--threads N]
+//          [--journal FILE] [--max-trial-ms N] [--retries N]
+//
+// With --journal, completed trials are checkpointed durably; killing
+// the process mid-campaign and relaunching with the same arguments
+// resumes from the journal and prints a summary bit-identical to an
+// uninterrupted run (the CI resilience job exercises exactly this).
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -26,6 +32,7 @@
 #include "runner/campaign.hpp"
 #include "runner/describe.hpp"
 #include "runner/experiment.hpp"
+#include "runner/supervisor.hpp"
 #include "sim/rng.hpp"
 #include "topology/topology.hpp"
 
@@ -85,7 +92,7 @@ std::vector<Scenario> make_scenarios(double minutes) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t threads = runner::consume_threads_flag(argc, argv);
+  const auto cli = runner::consume_campaign_cli(argc, argv);
   const double minutes = argc > 1 ? std::atof(argv[1]) : 25.0;
   const int seeds = argc > 2 ? std::atoi(argv[2]) : 3;
 
@@ -115,10 +122,13 @@ int main(int argc, char** argv) {
     }
   }
 
-  runner::Campaign::Options pool;
-  pool.threads = threads;
+  auto pool = cli.supervisor_options();
   pool.on_trial_done = runner::stderr_progress();
-  const auto results = runner::Campaign::run(trials, pool);
+  const auto report = runner::run_supervised(trials, pool);
+  if (const auto note = runner::describe(report); !note.empty()) {
+    std::fprintf(stderr, "%s", note.c_str());
+  }
+  const auto& results = report.results;
 
   std::printf("%-36s %-12s %9s %9s %9s %9s %9s\n", "scenario", "profile",
               "dlv", "dlv@out", "dlv@post", "reroute", "refill");

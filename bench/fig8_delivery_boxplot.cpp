@@ -10,12 +10,15 @@
 // each cell's boxplot pools the per-node samples of its seeds.
 //
 //   usage: fig8_delivery_boxplot [minutes=40] [seeds=5] [--threads N]
+//          [--journal FILE] [--max-trial-ms N] [--retries N]
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
 
 #include "runner/campaign.hpp"
+#include "runner/describe.hpp"
 #include "runner/experiment.hpp"
+#include "runner/supervisor.hpp"
 #include "sim/rng.hpp"
 #include "stats/summary.hpp"
 #include "topology/topology.hpp"
@@ -40,7 +43,7 @@ runner::ExperimentConfig make_trial(runner::Profile profile, double power_dbm,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t threads = runner::consume_threads_flag(argc, argv);
+  const auto cli = runner::consume_campaign_cli(argc, argv);
   const double minutes = argc > 1 ? std::atof(argv[1]) : 40.0;
   const int seeds = argc > 2 ? std::atoi(argv[2]) : 5;
 
@@ -61,10 +64,13 @@ int main(int argc, char** argv) {
       }
     }
   }
-  runner::Campaign::Options options;
-  options.threads = threads;
+  auto options = cli.supervisor_options();
   options.on_trial_done = runner::stderr_progress();
-  const auto results = runner::Campaign::run(trials, options);
+  const auto report = runner::run_supervised(trials, options);
+  if (const auto note = runner::describe(report); !note.empty()) {
+    std::fprintf(stderr, "%s", note.c_str());
+  }
+  const auto& results = report.results;
 
   std::printf("%-14s %8s %7s %7s %7s %7s %7s %8s\n", "protocol", "power",
               "min", "Q1", "median", "Q3", "max", "mean");

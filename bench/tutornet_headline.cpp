@@ -10,12 +10,15 @@
 // bit-identical for any --threads value.
 //
 //   usage: tutornet_headline [minutes=60] [seeds=5] [--threads N]
+//          [--journal FILE] [--max-trial-ms N] [--retries N]
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
 
 #include "runner/campaign.hpp"
+#include "runner/describe.hpp"
 #include "runner/experiment.hpp"
+#include "runner/supervisor.hpp"
 #include "sim/rng.hpp"
 #include "topology/topology.hpp"
 
@@ -38,7 +41,7 @@ runner::ExperimentConfig make_trial(runner::Profile profile, double minutes,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t threads = runner::consume_threads_flag(argc, argv);
+  const auto cli = runner::consume_campaign_cli(argc, argv);
   const double minutes = argc > 1 ? std::atof(argv[1]) : 60.0;
   const int seeds = argc > 2 ? std::atoi(argv[2]) : 5;
 
@@ -54,10 +57,13 @@ int main(int argc, char** argv) {
        {runner::Profile::kFourBit, runner::Profile::kMultihopLqi}) {
     for (int s = 0; s < seeds; ++s) trials.push_back(make_trial(p, minutes, s));
   }
-  runner::Campaign::Options options;
-  options.threads = threads;
+  auto options = cli.supervisor_options();
   options.on_trial_done = runner::stderr_progress();
-  const auto results = runner::Campaign::run(trials, options);
+  const auto report = runner::run_supervised(trials, options);
+  if (const auto note = runner::describe(report); !note.empty()) {
+    std::fprintf(stderr, "%s", note.c_str());
+  }
+  const auto& results = report.results;
 
   const auto n = static_cast<std::ptrdiff_t>(seeds);
   const auto fourb = runner::summarize({results.begin(), results.begin() + n});

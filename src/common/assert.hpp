@@ -2,21 +2,85 @@
 //
 // Simulation bugs silently corrupt results, so these stay enabled in
 // Release builds; each check is O(1) and off the per-bit hot path.
+//
+// By default a failed FOURBIT_ASSERT aborts the process — the right
+// behaviour for a single experiment, where continuing would publish
+// corrupt numbers. Campaign supervisors instead install a per-thread
+// *throwing* handler (set_assert_handler / ScopedAssertHandler) so one
+// corrupt trial unwinds into a structured TrialFailure while sibling
+// trials on other threads keep running.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
+#include <string>
 
-namespace fourbit::detail {
+namespace fourbit {
+
+/// Thrown in place of abort() when the throwing assert handler is
+/// installed on the current thread.
+class AssertionError : public std::runtime_error {
+ public:
+  AssertionError(const char* expr, const char* file, int line,
+                 const char* msg)
+      : std::runtime_error(std::string{"assertion failed: "} + expr +
+                           " at " + file + ":" + std::to_string(line) +
+                           " — " + msg) {}
+};
+
+namespace detail {
+
+/// Per-thread assertion handler. Handlers are expected to throw; one
+/// that returns falls through to the default abort.
+using AssertHandler = void (*)(const char* expr, const char* file, int line,
+                               const char* msg);
+
+inline thread_local AssertHandler assert_handler = nullptr;
 
 [[noreturn]] inline void assert_fail(const char* expr, const char* file,
                                      int line, const char* msg) {
+  if (assert_handler != nullptr) {
+    assert_handler(expr, file, line, msg);  // expected to throw
+  }
   std::fprintf(stderr, "fourbit assertion failed: %s\n  at %s:%d\n  %s\n",
                expr, file, line, msg);
   std::abort();
 }
 
-}  // namespace fourbit::detail
+}  // namespace detail
+
+/// Installs `handler` for the current thread (nullptr restores the
+/// default abort behaviour). Returns the previous handler.
+inline detail::AssertHandler set_assert_handler(detail::AssertHandler handler) {
+  detail::AssertHandler previous = detail::assert_handler;
+  detail::assert_handler = handler;
+  return previous;
+}
+
+/// The supervisor's handler: converts a failed assertion into an
+/// AssertionError so the trial unwinds instead of killing the pool.
+[[noreturn]] inline void throwing_assert_handler(const char* expr,
+                                                 const char* file, int line,
+                                                 const char* msg) {
+  throw AssertionError{expr, file, line, msg};
+}
+
+/// RAII: installs an assert handler on this thread for one scope.
+class ScopedAssertHandler {
+ public:
+  explicit ScopedAssertHandler(detail::AssertHandler handler)
+      : previous_(set_assert_handler(handler)) {}
+  ~ScopedAssertHandler() { (void)set_assert_handler(previous_); }
+
+  ScopedAssertHandler(const ScopedAssertHandler&) = delete;
+  ScopedAssertHandler& operator=(const ScopedAssertHandler&) = delete;
+
+ private:
+  detail::AssertHandler previous_;
+};
+
+}  // namespace fourbit
 
 #define FOURBIT_ASSERT(expr, msg)                                       \
   do {                                                                  \

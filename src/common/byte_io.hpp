@@ -5,6 +5,7 @@
 // are testable exactly as they would be on hardware.
 #pragma once
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -30,6 +31,15 @@ class ByteWriter {
     u16(static_cast<std::uint16_t>(v >> 16));
     u16(static_cast<std::uint16_t>(v & 0xFFFF));
   }
+
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v >> 32));
+    u32(static_cast<std::uint32_t>(v & 0xFFFFFFFF));
+  }
+
+  /// Doubles travel as their IEEE-754 bit pattern: the round trip is
+  /// bit-exact, which the trial journal's resume contract relies on.
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
 
   void bytes(std::span<const std::uint8_t> data) {
     out_.insert(out_.end(), data.begin(), data.end());
@@ -68,6 +78,14 @@ class ByteReader {
     const std::uint32_t lo = u16();
     return hi << 16 | lo;
   }
+
+  [[nodiscard]] std::uint64_t u64() {
+    const std::uint64_t hi = u32();
+    const std::uint64_t lo = u32();
+    return hi << 32 | lo;
+  }
+
+  [[nodiscard]] double f64() { return std::bit_cast<double>(u64()); }
 
   [[nodiscard]] std::span<const std::uint8_t> rest() {
     auto r = data_.subspan(pos_);

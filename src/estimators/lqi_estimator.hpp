@@ -62,6 +62,12 @@ class LqiEstimator final : public link::LinkEstimator {
   void clear_pins() override;
   [[nodiscard]] std::optional<double> etx(NodeId n) const override;
   [[nodiscard]] std::vector<NodeId> neighbors() const override;
+  [[nodiscard]] std::vector<NodeId> pinned() const override {
+    return table_.pinned_nodes();
+  }
+  [[nodiscard]] std::size_t table_capacity() const override {
+    return table_.capacity();
+  }
   bool remove(NodeId n) override;
   void set_compare_provider(link::CompareProvider*) override {}
   void reset() override {

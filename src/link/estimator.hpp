@@ -87,6 +87,17 @@ class LinkEstimator {
   /// Nodes currently tracked.
   [[nodiscard]] virtual std::vector<NodeId> neighbors() const = 0;
 
+  // ---- supervision hooks (see sim::InvariantAuditor) --------------------
+
+  /// Nodes whose table entries are currently pinned. Invariant audits
+  /// verify pin discipline (only the current parent may stay pinned).
+  /// Default: none, for stateless estimators and test fakes.
+  [[nodiscard]] virtual std::vector<NodeId> pinned() const { return {}; }
+
+  /// Table capacity the estimator enforces; 0 = unbounded. Invariant
+  /// audits verify neighbors().size() never exceeds it.
+  [[nodiscard]] virtual std::size_t table_capacity() const { return 0; }
+
   /// Network layer gave up on this link; drop it. Returns true when the
   /// table no longer holds `n` (removed, or never present) and false
   /// when the entry is pinned and therefore refuses removal — callers

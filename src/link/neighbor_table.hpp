@@ -125,6 +125,15 @@ class NeighborTable {
   /// bit does not survive a crash).
   void clear() { entries_.clear(); }
 
+  /// Nodes whose entries are currently pinned (supervision/audit hook).
+  [[nodiscard]] std::vector<NodeId> pinned_nodes() const {
+    std::vector<NodeId> out;
+    for (const auto& e : entries_) {
+      if (e.pinned) out.push_back(e.node);
+    }
+    return out;
+  }
+
   [[nodiscard]] std::vector<Entry>& entries() { return entries_; }
   [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
 

@@ -17,8 +17,12 @@
 // Campaign::run).
 #pragma once
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "runner/experiment.hpp"
@@ -26,15 +30,23 @@
 
 namespace fourbit::runner {
 
+struct TrialFailure;  // supervisor.hpp
+
 /// Progress report delivered after each trial completes. Callback
 /// invocations are serialized (never concurrent), but arrive from worker
 /// threads in completion order, which is not trial order.
 struct TrialProgress {
   std::size_t trial_index = 0;  // index into the trial list
   std::size_t completed = 0;    // trials finished so far, incl. this one
+                                // (failures and journal replays count)
   std::size_t total = 0;
+  std::size_t failed = 0;       // terminal trial failures so far
+  std::size_t retried = 0;      // retry attempts consumed so far
   const ExperimentConfig* config = nullptr;
+  /// Null when this trial failed (supervised campaigns only).
   const ExperimentResult* result = nullptr;
+  /// Set when this trial terminally failed (supervised campaigns only).
+  const TrialFailure* failure = nullptr;
 };
 
 class Campaign {
@@ -72,6 +84,24 @@ struct CampaignSummary {
   /// (fault-free trials contribute no samples here).
   stats::Aggregate delivery_during_outage;
   stats::Aggregate time_to_reroute_s;
+
+  // Failure accounting, so partial campaigns degrade gracefully instead
+  // of silently dropping trials. summarize(results) counts every trial
+  // as one clean attempt; summarize(CampaignReport) fills the real
+  // numbers and aggregates completed trials only.
+  std::size_t trials = 0;     // trials asked for
+  std::size_t completed = 0;  // trials with a usable result
+  std::uint64_t attempts = 0;  // run_experiment invocations (incl. retries)
+  std::uint64_t retries = 0;
+  std::uint64_t replayed = 0;  // trials restored from a journal
+  /// Terminal failures indexed by FailureKind (supervisor.hpp):
+  /// assert, exception, timeout, invariant.
+  std::array<std::size_t, 4> failures_by_kind{};
+
+  [[nodiscard]] std::size_t failures_total() const {
+    return failures_by_kind[0] + failures_by_kind[1] + failures_by_kind[2] +
+           failures_by_kind[3];
+  }
 };
 
 [[nodiscard]] CampaignSummary summarize(
@@ -82,12 +112,33 @@ struct CampaignSummary {
 [[nodiscard]] std::vector<double> pooled_per_node_delivery(
     const std::vector<ExperimentResult>& results);
 
-/// Shared bench CLI handling: strips a "--threads N" argument from
-/// argv (anywhere after argv[0]) and returns N, or 0 (= all cores) if
-/// absent. Remaining positional arguments shift down.
+// ---- shared bench CLI handling ---------------------------------------
+//
+// These helpers strip "NAME VALUE" pairs from argv (anywhere after
+// argv[0]); remaining positional arguments shift down. They are bench
+// front-end conveniences: malformed input prints a clear message to
+// stderr and exits nonzero rather than limping on with a garbage value.
+
+/// Strips `name VALUE` and returns VALUE, or nullopt when `name` is
+/// absent. A bare trailing `name` with no value is a usage error (stderr
+/// + exit 2).
+[[nodiscard]] std::optional<std::string> consume_flag(int& argc, char** argv,
+                                                      const char* name);
+
+/// Strips `name N` where N must parse fully as a non-negative decimal
+/// integer (strtoul; junk, negatives and overflow are usage errors).
+[[nodiscard]] std::optional<std::uint64_t> consume_uint_flag(int& argc,
+                                                             char** argv,
+                                                             const char* name);
+
+/// Strips "--threads N" and returns N, or 0 (= all cores) if absent.
 [[nodiscard]] std::size_t consume_threads_flag(int& argc, char** argv);
 
-/// Progress callback that ticks "completed/total" on stderr.
+/// Progress callback that reports on stderr. On a TTY it ticks a
+/// "completed/total" line in place; on a pipe (CI logs) it prints a
+/// newline-terminated line every ~5% with percent + ETA instead of a
+/// \r-garbled mega-line. Failed and retried counts appear once nonzero,
+/// and terminal failures are reported as they happen.
 [[nodiscard]] std::function<void(const TrialProgress&)> stderr_progress();
 
 }  // namespace fourbit::runner

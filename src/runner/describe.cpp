@@ -117,4 +117,45 @@ std::string describe(const ExperimentResult& result) {
   return out;
 }
 
+std::string describe(const TrialFailure& failure) {
+  return format("trial %zu (seed %llu) failed [%s] on attempt %zu: %s\n",
+                failure.trial_index,
+                static_cast<unsigned long long>(failure.seed),
+                std::string{failure_kind_name(failure.kind)}.c_str(),
+                failure.attempt, failure.what.c_str());
+}
+
+std::string describe(const CampaignReport& report) {
+  const std::size_t total = report.results.size();
+  std::size_t completed = 0;
+  for (const auto done : report.completed) completed += done;
+
+  const bool eventful = !report.failures.empty() || report.retries > 0 ||
+                        report.replayed > 0 || report.journal_torn;
+  if (!eventful) return "";
+
+  std::string out;
+  out += format("trials       : %zu of %zu completed, %zu failed\n",
+                completed, total, report.failures.size());
+  out += format("attempts     : %llu (%llu retries, %llu replayed from "
+                "journal%s)\n",
+                static_cast<unsigned long long>(report.attempts),
+                static_cast<unsigned long long>(report.retries),
+                static_cast<unsigned long long>(report.replayed),
+                report.journal_torn ? ", torn tail dropped" : "");
+  if (!report.failures.empty()) {
+    std::size_t by_kind[4] = {};
+    for (const auto& f : report.failures) {
+      ++by_kind[static_cast<std::size_t>(f.kind)];
+    }
+    out += format("failures     : %zu assert, %zu exception, %zu timeout, "
+                  "%zu invariant\n",
+                  by_kind[0], by_kind[1], by_kind[2], by_kind[3]);
+    for (const auto& f : report.failures) {
+      out += "  " + describe(f);
+    }
+  }
+  return out;
+}
+
 }  // namespace fourbit::runner

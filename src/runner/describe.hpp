@@ -5,10 +5,20 @@
 #include <string>
 
 #include "runner/experiment.hpp"
+#include "runner/supervisor.hpp"
 
 namespace fourbit::runner {
 
 [[nodiscard]] std::string describe(const ExperimentConfig& config);
 [[nodiscard]] std::string describe(const ExperimentResult& result);
+
+/// One line: which trial died, how, and after how many attempts.
+[[nodiscard]] std::string describe(const TrialFailure& failure);
+
+/// Failure accounting for a supervised campaign: attempt/retry/replay
+/// counts, failures by kind, and one line per terminal failure. Empty
+/// string when every trial completed on the first attempt with no
+/// journal replay (nothing worth reporting).
+[[nodiscard]] std::string describe(const CampaignReport& report);
 
 }  // namespace fourbit::runner

@@ -1,14 +1,106 @@
 #include "runner/experiment.hpp"
 
+#include <cmath>
+#include <cstdio>
 #include <utility>
 
+#include "sim/invariant.hpp"
 #include "sim/simulator.hpp"
 #include "sim/timer.hpp"
 
 namespace fourbit::runner {
+namespace {
+
+std::string node_tag(Network& network, std::size_t i) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "node %u (index %zu)",
+                network.node(i).id().value(), i);
+  return buf;
+}
+
+/// The invariant catalog audited in debug-mode trials. Checks walk live
+/// state between events, so they observe only settled post-event state.
+void install_invariants(sim::InvariantAuditor& auditor, sim::Simulator& sim,
+                        Network& network) {
+  // The event queue must never hold work scheduled before `now` — a
+  // violation means some component scheduled into the past and the
+  // FIFO-tie contract several MAC interactions rely on is void.
+  auditor.add("event-time-monotonic",
+              [&sim]() -> std::optional<std::string> {
+                const auto next = sim.next_event_time();
+                if (next && *next < sim.now()) {
+                  return "earliest pending event is behind now()";
+                }
+                return std::nullopt;
+              });
+
+  // RAM budgets are the point of the paper's table policy: an estimator
+  // tracking more neighbors than its capacity has corrupted state.
+  auditor.add("neighbor-table-bound",
+              [&network]() -> std::optional<std::string> {
+                for (std::size_t i = 0; i < network.size(); ++i) {
+                  const auto& est = network.node(i).estimator();
+                  const std::size_t cap = est.table_capacity();
+                  const std::size_t size = est.neighbors().size();
+                  if (cap != 0 && size > cap) {
+                    return node_tag(network, i) + " tracks " +
+                           std::to_string(size) + " neighbors, capacity " +
+                           std::to_string(cap);
+                  }
+                }
+                return std::nullopt;
+              });
+
+  // Pin discipline: only the current parent may stay pinned (a pinned
+  // non-parent is a leak that silently shrinks the usable table), and a
+  // crashed node's wiped estimator must hold nothing at all.
+  auditor.add("pin-discipline",
+              [&network]() -> std::optional<std::string> {
+                for (std::size_t i = 0; i < network.size(); ++i) {
+                  auto& node = network.node(i);
+                  const auto pins = node.estimator().pinned();
+                  if (node.crashed()) {
+                    if (!pins.empty() ||
+                        !node.estimator().neighbors().empty()) {
+                      return node_tag(network, i) +
+                             " is crashed but still holds table state";
+                    }
+                    continue;
+                  }
+                  for (const NodeId p : pins) {
+                    if (p != node.routing().parent()) {
+                      return node_tag(network, i) + " leaks a pin on node " +
+                             std::to_string(p.value()) +
+                             " which is not its parent";
+                    }
+                  }
+                }
+                return std::nullopt;
+              });
+
+  // The estimator interface promises ETX >= 1; NaNs or sub-unity values
+  // would silently corrupt every routing decision downstream.
+  auditor.add("etx-bounds", [&network]() -> std::optional<std::string> {
+    for (std::size_t i = 0; i < network.size(); ++i) {
+      const auto& est = network.node(i).estimator();
+      for (const NodeId n : est.neighbors()) {
+        const auto etx = est.etx(n);
+        if (!etx) continue;
+        if (!std::isfinite(*etx) || *etx < 1.0 || *etx > 1e6) {
+          return node_tag(network, i) + " has ETX " + std::to_string(*etx) +
+                 " for node " + std::to_string(n.value());
+        }
+      }
+    }
+    return std::nullopt;
+  });
+}
+
+}  // namespace
 
 ExperimentResult run_experiment(ExperimentConfig config) {
   sim::Simulator sim;
+  if (config.budget.limited()) sim.set_budget(config.budget);
   stats::Metrics metrics;
 
   Network::Options options;
@@ -41,6 +133,12 @@ ExperimentResult run_experiment(ExperimentConfig config) {
     fault_runtime.arm(std::move(fault_plan));
   }
 
+  sim::InvariantAuditor auditor{sim};
+  if (config.audit_invariants) {
+    install_invariants(auditor, sim, network);
+    auditor.start(config.audit_interval);
+  }
+
   network.start(config.boot_stagger, config.traffic);
 
   // Depth sampling starts after boot + initial convergence window so the
@@ -59,6 +157,7 @@ ExperimentResult run_experiment(ExperimentConfig config) {
 
   sim.run_for(config.duration);
   depth_sampler.stop();
+  auditor.stop();
 
   ExperimentResult result;
   result.cost = metrics.cost();

@@ -9,6 +9,7 @@
 #include "runner/faults.hpp"
 #include "runner/network.hpp"
 #include "runner/profile.hpp"
+#include "sim/simulator.hpp"
 #include "stats/energy.hpp"
 #include "stats/metrics.hpp"
 #include "topology/topology.hpp"
@@ -39,6 +40,19 @@ struct ExperimentConfig {
   /// projections in the result.
   bool track_energy = false;
   stats::EnergyConfig energy;
+
+  /// Cooperative watchdog for this trial: the simulator throws
+  /// sim::BudgetExceededError once the event-count or wall-clock limit
+  /// is exhausted (zero = unlimited). Campaign supervision classifies
+  /// that as a timeout instead of letting a wedged trial stall the pool.
+  sim::SimBudget budget;
+
+  /// Debug-mode runtime auditing: periodically verify live-state
+  /// invariants (neighbor-table bounds, pin discipline, ETX ranges,
+  /// event-queue monotonicity) via sim::InvariantAuditor. A violation
+  /// throws sim::InvariantViolationError out of the trial.
+  bool audit_invariants = false;
+  sim::Duration audit_interval = sim::Duration::from_seconds(15.0);
 };
 
 struct ExperimentResult {

@@ -1,0 +1,222 @@
+#include "runner/journal.hpp"
+
+#include <unistd.h>
+
+#include <cstddef>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "common/byte_io.hpp"
+#include "common/crc16.hpp"
+
+namespace fourbit::runner {
+namespace {
+
+constexpr std::uint16_t kMagic = 0x464A;  // "FJ"
+constexpr std::uint8_t kVersion = 1;
+constexpr std::size_t kFrameHeaderBytes = 6;  // magic u16 + length u32
+constexpr std::size_t kCrcBytes = 2;
+
+// Every field of ExperimentResult, in declaration order. Bump kVersion
+// when this layout changes; load() drops records of other versions.
+void encode_result(ByteWriter& w, const ExperimentResult& r) {
+  w.f64(r.cost);
+  w.f64(r.delivery_ratio);
+  w.f64(r.mean_depth);
+  w.u32(static_cast<std::uint32_t>(r.per_node_delivery.size()));
+  for (const double d : r.per_node_delivery) w.f64(d);
+  w.u64(r.generated);
+  w.u64(r.delivered);
+  w.u64(r.data_tx);
+  w.u64(r.beacon_tx);
+  w.u64(r.radio_frames);
+  w.u64(r.retx_drops);
+  w.u64(r.queue_drops);
+  w.u64(r.duplicates);
+  w.u64(r.parent_changes);
+  w.u32(static_cast<std::uint32_t>(r.final_tree.depths.size()));
+  for (const int d : r.final_tree.depths) {
+    w.u32(static_cast<std::uint32_t>(d));
+  }
+  w.f64(r.final_tree.mean_depth);
+  w.u32(static_cast<std::uint32_t>(r.final_tree.routed));
+  w.u32(static_cast<std::uint32_t>(r.final_tree.total));
+  w.u64(r.node_crashes);
+  w.u64(r.node_reboots);
+  w.u64(r.link_outages);
+  w.u64(r.route_losses);
+  w.u64(r.parent_evictions);
+  w.u64(r.pin_refusals);
+  w.f64(r.mean_time_to_reroute_s);
+  w.f64(r.max_time_to_reroute_s);
+  w.f64(r.mean_time_to_first_route_s);
+  w.f64(r.mean_table_refill_s);
+  w.u64(r.generated_during_outage);
+  w.u64(r.generated_post_outage);
+  w.f64(r.delivery_during_outage);
+  w.f64(r.delivery_post_outage);
+  w.f64(r.worst_node_mah);
+  w.f64(r.mean_tx_mah);
+  w.f64(r.projected_lifetime_days);
+}
+
+ExperimentResult decode_result(ByteReader& r) {
+  ExperimentResult out;
+  out.cost = r.f64();
+  out.delivery_ratio = r.f64();
+  out.mean_depth = r.f64();
+  const std::uint32_t deliveries = r.u32();
+  out.per_node_delivery.reserve(deliveries);
+  for (std::uint32_t i = 0; i < deliveries && r.ok(); ++i) {
+    out.per_node_delivery.push_back(r.f64());
+  }
+  out.generated = r.u64();
+  out.delivered = r.u64();
+  out.data_tx = r.u64();
+  out.beacon_tx = r.u64();
+  out.radio_frames = r.u64();
+  out.retx_drops = r.u64();
+  out.queue_drops = r.u64();
+  out.duplicates = r.u64();
+  out.parent_changes = r.u64();
+  const std::uint32_t depths = r.u32();
+  out.final_tree.depths.reserve(depths);
+  for (std::uint32_t i = 0; i < depths && r.ok(); ++i) {
+    out.final_tree.depths.push_back(static_cast<int>(r.u32()));
+  }
+  out.final_tree.mean_depth = r.f64();
+  out.final_tree.routed = r.u32();
+  out.final_tree.total = r.u32();
+  out.node_crashes = r.u64();
+  out.node_reboots = r.u64();
+  out.link_outages = r.u64();
+  out.route_losses = r.u64();
+  out.parent_evictions = r.u64();
+  out.pin_refusals = r.u64();
+  out.mean_time_to_reroute_s = r.f64();
+  out.max_time_to_reroute_s = r.f64();
+  out.mean_time_to_first_route_s = r.f64();
+  out.mean_table_refill_s = r.f64();
+  out.generated_during_outage = r.u64();
+  out.generated_post_outage = r.u64();
+  out.delivery_during_outage = r.f64();
+  out.delivery_post_outage = r.f64();
+  out.worst_node_mah = r.f64();
+  out.mean_tx_mah = r.f64();
+  out.projected_lifetime_days = r.f64();
+  return out;
+}
+
+std::optional<JournalEntry> decode_payload(
+    std::span<const std::uint8_t> payload) {
+  ByteReader reader{payload};
+  if (reader.u8() != kVersion) return std::nullopt;
+  JournalEntry entry;
+  entry.trial_index = reader.u32();
+  entry.seed = reader.u64();
+  entry.result = decode_result(reader);
+  if (!reader.ok() || reader.remaining() != 0) return std::nullopt;
+  return entry;
+}
+
+}  // namespace
+
+TrialJournal::LoadResult TrialJournal::load(const std::string& path) {
+  LoadResult out;
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return out;  // no journal yet: empty
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t chunk[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(chunk, 1, sizeof chunk, file)) > 0) {
+    bytes.insert(bytes.end(), chunk, chunk + n);
+  }
+  std::fclose(file);
+
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    // Any framing or CRC failure from here on means a torn tail (or
+    // corruption); the suffix cannot be trusted, so replay stops.
+    const std::span<const std::uint8_t> rest{bytes.data() + pos,
+                                             bytes.size() - pos};
+    if (rest.size() < kFrameHeaderBytes) {
+      out.torn = true;
+      break;
+    }
+    ByteReader header{rest.first(kFrameHeaderBytes)};
+    if (header.u16() != kMagic) {
+      out.torn = true;
+      break;
+    }
+    const std::uint32_t length = header.u32();
+    if (rest.size() < kFrameHeaderBytes + length + kCrcBytes) {
+      out.torn = true;
+      break;
+    }
+    const auto payload = rest.subspan(kFrameHeaderBytes, length);
+    ByteReader crc_reader{rest.subspan(kFrameHeaderBytes + length, kCrcBytes)};
+    if (crc_reader.u16() != crc16(payload)) {
+      out.torn = true;
+      break;
+    }
+    auto entry = decode_payload(payload);
+    if (!entry) {
+      out.torn = true;
+      break;
+    }
+    out.entries.push_back(std::move(*entry));
+    pos += kFrameHeaderBytes + length + kCrcBytes;
+  }
+  return out;
+}
+
+TrialJournal TrialJournal::open_append(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) {
+    throw std::runtime_error("cannot open trial journal for append: " + path);
+  }
+  return TrialJournal{file};
+}
+
+void TrialJournal::append(std::uint32_t trial_index, std::uint64_t seed,
+                          const ExperimentResult& result) {
+  std::vector<std::uint8_t> payload;
+  ByteWriter writer{payload};
+  writer.u8(kVersion);
+  writer.u32(trial_index);
+  writer.u64(seed);
+  encode_result(writer, result);
+
+  std::vector<std::uint8_t> frame;
+  ByteWriter framer{frame};
+  framer.u16(kMagic);
+  framer.u32(static_cast<std::uint32_t>(payload.size()));
+  framer.bytes(payload);
+  framer.u16(crc16(payload));
+
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size() ||
+      std::fflush(file_) != 0) {
+    throw std::runtime_error("trial journal write failed");
+  }
+  // One fsync per trial: a journaled record must survive SIGKILL the
+  // moment append() returns — that is the whole point of the journal.
+  if (::fsync(::fileno(file_)) != 0) {
+    throw std::runtime_error("trial journal fsync failed");
+  }
+}
+
+TrialJournal& TrialJournal::operator=(TrialJournal&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) std::fclose(file_);
+    file_ = other.file_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+TrialJournal::~TrialJournal() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+}  // namespace fourbit::runner

@@ -1,0 +1,77 @@
+// Crash-safe trial-result journal: append-only, CRC-framed, fsynced.
+//
+// A multi-hour campaign must not lose every finished trial to one
+// process death. Each completed ExperimentResult is appended as one
+// durably-flushed record; a relaunched campaign replays the journal,
+// skips the finished trials, and — because every trial is a pure
+// function of its config — produces results bit-identical to an
+// uninterrupted run (doubles travel as raw IEEE-754 bit patterns).
+//
+// File layout: a plain sequence of records, each
+//     magic    u16   0x464A ("FJ")
+//     length   u32   payload byte count
+//     payload        version u8 | trial_index u32 | seed u64
+//                    | ExperimentResult fields (journal.cpp)
+//     crc      u16   CRC-16/CCITT over the payload
+//
+// append() fflushes and fsyncs before returning, so after a SIGKILL at
+// any instant the file is a clean record prefix plus at most one torn
+// tail, which load() detects via the frame length/CRC and drops (the
+// interrupted trial simply re-runs). Nothing in the file is ever
+// rewritten in place.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "runner/experiment.hpp"
+
+namespace fourbit::runner {
+
+/// One replayed record.
+struct JournalEntry {
+  std::uint32_t trial_index = 0;
+  std::uint64_t seed = 0;
+  ExperimentResult result;
+};
+
+class TrialJournal {
+ public:
+  struct LoadResult {
+    std::vector<JournalEntry> entries;
+    /// A trailing partial or corrupt record was found and dropped — the
+    /// expected shape after a mid-write kill. Replay of the clean
+    /// prefix proceeds normally.
+    bool torn = false;
+  };
+
+  /// Replays every intact record. A missing file is an empty journal.
+  [[nodiscard]] static LoadResult load(const std::string& path);
+
+  /// Opens `path` for appending, creating it if needed. Throws
+  /// std::runtime_error when the file cannot be opened.
+  [[nodiscard]] static TrialJournal open_append(const std::string& path);
+
+  /// Appends one completed trial and makes it durable (fflush + fsync)
+  /// before returning.
+  void append(std::uint32_t trial_index, std::uint64_t seed,
+              const ExperimentResult& result);
+
+  TrialJournal(TrialJournal&& other) noexcept : file_(other.file_) {
+    other.file_ = nullptr;
+  }
+  TrialJournal& operator=(TrialJournal&& other) noexcept;
+  ~TrialJournal();
+
+  TrialJournal(const TrialJournal&) = delete;
+  TrialJournal& operator=(const TrialJournal&) = delete;
+
+ private:
+  explicit TrialJournal(std::FILE* file) : file_(file) {}
+
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace fourbit::runner

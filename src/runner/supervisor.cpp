@@ -1,0 +1,200 @@
+#include "runner/supervisor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "runner/journal.hpp"
+#include "sim/invariant.hpp"
+
+namespace fourbit::runner {
+
+std::string_view failure_kind_name(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kAssert: return "assert";
+    case FailureKind::kException: return "exception";
+    case FailureKind::kTimeout: return "timeout";
+    case FailureKind::kInvariant: return "invariant";
+  }
+  return "unknown";
+}
+
+namespace {
+
+struct AttemptOutcome {
+  ExperimentResult result;
+  std::optional<TrialFailure> failure;
+};
+
+/// One isolated attempt: the throwing assert handler is installed for
+/// this thread, and every escape route out of the trial is mapped onto
+/// the failure taxonomy. Catch order matters — the specific error types
+/// all derive from std::runtime_error.
+AttemptOutcome attempt_trial(
+    const std::function<ExperimentResult(const ExperimentConfig&)>& run_trial,
+    const ExperimentConfig& config, std::size_t index, std::size_t attempt) {
+  AttemptOutcome out;
+  const ScopedAssertHandler isolate{throwing_assert_handler};
+  try {
+    out.result = run_trial ? run_trial(config) : run_experiment(config);
+  } catch (const AssertionError& e) {
+    out.failure = TrialFailure{FailureKind::kAssert, e.what(), index,
+                               config.seed, attempt};
+  } catch (const sim::BudgetExceededError& e) {
+    out.failure = TrialFailure{FailureKind::kTimeout, e.what(), index,
+                               config.seed, attempt};
+  } catch (const sim::InvariantViolationError& e) {
+    out.failure = TrialFailure{FailureKind::kInvariant, e.what(), index,
+                               config.seed, attempt};
+  } catch (const std::exception& e) {
+    out.failure = TrialFailure{FailureKind::kException, e.what(), index,
+                               config.seed, attempt};
+  } catch (...) {
+    out.failure = TrialFailure{FailureKind::kException,
+                               "unknown exception escaped the trial", index,
+                               config.seed, attempt};
+  }
+  return out;
+}
+
+}  // namespace
+
+CampaignReport run_supervised(const std::vector<ExperimentConfig>& trials,
+                              const SupervisorOptions& options) {
+  CampaignReport report;
+  report.results.resize(trials.size());
+  report.completed.assign(trials.size(), 0);
+  if (trials.empty()) return report;
+
+  // Resume: replay journaled results for matching (index, seed) slots.
+  // A record whose seed disagrees with the trial list belongs to some
+  // other campaign and is ignored rather than trusted.
+  std::optional<TrialJournal> journal;
+  if (!options.journal_path.empty()) {
+    auto loaded = TrialJournal::load(options.journal_path);
+    report.journal_torn = loaded.torn;
+    for (auto& entry : loaded.entries) {
+      if (entry.trial_index >= trials.size()) continue;
+      if (entry.seed != trials[entry.trial_index].seed) continue;
+      if (report.completed[entry.trial_index]) continue;
+      report.results[entry.trial_index] = std::move(entry.result);
+      report.completed[entry.trial_index] = 1;
+      ++report.replayed;
+    }
+    journal = TrialJournal::open_append(options.journal_path);
+  }
+
+  std::size_t threads = options.threads != 0
+                            ? options.threads
+                            : std::max(1u, std::thread::hardware_concurrency());
+  threads = std::min(threads, trials.size());
+
+  const std::size_t max_attempts =
+      std::max<std::size_t>(1, options.retry.max_attempts);
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> completed{static_cast<std::size_t>(report.replayed)};
+  std::atomic<std::size_t> failed{0};
+  std::atomic<std::size_t> retried{0};
+  std::atomic<std::uint64_t> attempts{0};
+  std::mutex progress_mutex;  // serializes callbacks and report.failures
+  std::mutex journal_mutex;
+
+  const auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= trials.size()) return;
+      if (report.completed[i]) continue;  // replayed from the journal
+
+      // Merge the campaign-wide watchdog into the trial's own budget
+      // (an explicit per-trial limit wins, field by field).
+      ExperimentConfig config = trials[i];
+      if (config.budget.max_events == 0) {
+        config.budget.max_events = options.trial_budget.max_events;
+      }
+      if (config.budget.max_wall_ms == 0) {
+        config.budget.max_wall_ms = options.trial_budget.max_wall_ms;
+      }
+
+      std::optional<TrialFailure> failure;
+      for (std::size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+        attempts.fetch_add(1, std::memory_order_relaxed);
+        auto outcome = attempt_trial(options.run_trial, config, i, attempt);
+        if (!outcome.failure) {
+          report.results[i] = std::move(outcome.result);
+          report.completed[i] = 1;
+          failure.reset();
+          if (journal) {
+            const std::lock_guard<std::mutex> lock{journal_mutex};
+            journal->append(static_cast<std::uint32_t>(i), config.seed,
+                            report.results[i]);
+          }
+          break;
+        }
+        failure = std::move(outcome.failure);
+        if (attempt < max_attempts && options.retry.should_retry(*failure)) {
+          retried.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        break;
+      }
+
+      const std::size_t done =
+          completed.fetch_add(1, std::memory_order_acq_rel) + 1;
+      {
+        const std::lock_guard<std::mutex> lock{progress_mutex};
+        const TrialFailure* failure_ptr = nullptr;
+        if (failure) {
+          failed.fetch_add(1, std::memory_order_relaxed);
+          report.failures.push_back(std::move(*failure));
+          failure_ptr = &report.failures.back();
+        }
+        if (options.on_trial_done) {
+          options.on_trial_done(TrialProgress{
+              .trial_index = i,
+              .completed = done,
+              .total = trials.size(),
+              .failed = failed.load(std::memory_order_relaxed),
+              .retried = retried.load(std::memory_order_relaxed),
+              .config = &trials[i],
+              .result = report.completed[i] ? &report.results[i] : nullptr,
+              .failure = failure_ptr,
+          });
+        }
+      }
+    }
+  };
+
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+
+  report.attempts = attempts.load();
+  report.retries = retried.load();
+  // Completion order depends on thread scheduling; the report must not.
+  std::sort(report.failures.begin(), report.failures.end(),
+            [](const TrialFailure& a, const TrialFailure& b) {
+              return a.trial_index < b.trial_index;
+            });
+  return report;
+}
+
+CampaignCli consume_campaign_cli(int& argc, char** argv) {
+  CampaignCli cli;
+  cli.threads = consume_threads_flag(argc, argv);
+  cli.journal = consume_flag(argc, argv, "--journal").value_or("");
+  cli.max_trial_ms =
+      consume_uint_flag(argc, argv, "--max-trial-ms").value_or(0);
+  cli.retries = consume_uint_flag(argc, argv, "--retries").value_or(0);
+  return cli;
+}
+
+}  // namespace fourbit::runner

@@ -1,0 +1,138 @@
+// Campaign supervision: per-trial isolation, watchdog timeouts,
+// retries, and crash-safe checkpoint/resume.
+//
+// Campaign::run (campaign.hpp) trusts every trial. That is wrong at
+// fault-matrix scale: one trial that trips FOURBIT_ASSERT, throws, or
+// wedges in the event loop would kill the whole process and discard
+// every completed sibling. run_supervised wraps each trial so that
+//
+//   * a failed assertion (per-thread throwing handler, common/assert.hpp),
+//   * any escaping exception,
+//   * an exhausted sim::SimBudget (event count or wall clock), and
+//   * a sim::InvariantAuditor violation
+//
+// each become a structured TrialFailure in the CampaignReport instead
+// of a dead pool. Failed trials may be retried under a RetryPolicy, and
+// completed results are checkpointed to an append-only CRC-framed
+// journal (journal.hpp) so a killed campaign resumes where it died —
+// bit-identical to an uninterrupted run at any thread count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "runner/campaign.hpp"
+#include "runner/experiment.hpp"
+#include "sim/simulator.hpp"
+
+namespace fourbit::runner {
+
+/// Why a trial died. Order matters: it indexes
+/// CampaignSummary::failures_by_kind.
+enum class FailureKind : std::uint8_t {
+  kAssert = 0,    // FOURBIT_ASSERT tripped inside the trial
+  kException = 1, // any other exception escaped the trial
+  kTimeout = 2,   // sim::SimBudget exhausted (hung / runaway trial)
+  kInvariant = 3, // sim::InvariantAuditor found corrupted live state
+};
+
+[[nodiscard]] std::string_view failure_kind_name(FailureKind kind);
+
+/// One terminal trial failure (after retries, if any).
+struct TrialFailure {
+  FailureKind kind = FailureKind::kException;
+  std::string what;            // the exception's message
+  std::size_t trial_index = 0;
+  std::uint64_t seed = 0;
+  std::size_t attempt = 1;     // 1-based attempt that produced this failure
+};
+
+struct RetryPolicy {
+  /// Total attempts per trial (1 = never retry).
+  std::size_t max_attempts = 1;
+  /// Decides whether a given failure is worth retrying (still capped by
+  /// max_attempts). Default: wall-clock timeouts only — they are the one
+  /// machine-dependent failure; everything else in a trial is a pure
+  /// function of its config and would fail identically again.
+  std::function<bool(const TrialFailure&)> classify;
+
+  [[nodiscard]] bool should_retry(const TrialFailure& failure) const {
+    if (classify) return classify(failure);
+    return failure.kind == FailureKind::kTimeout;
+  }
+};
+
+struct SupervisorOptions {
+  /// Worker threads; 0 = one per hardware core.
+  std::size_t threads = 0;
+  /// Optional per-trial completion callback (see TrialProgress).
+  std::function<void(const TrialProgress&)> on_trial_done;
+  /// Watchdog budget applied to every trial; a config's own nonzero
+  /// limits take precedence field by field. Zero = unlimited.
+  sim::SimBudget trial_budget;
+  RetryPolicy retry;
+  /// Append-only result journal (journal.hpp); empty = no journal.
+  /// Records already present for these trials (matching index and seed)
+  /// are replayed instead of re-run.
+  std::string journal_path;
+  /// Trial executor; defaults to run_experiment. Tests substitute
+  /// throwing / asserting / hanging trials here.
+  std::function<ExperimentResult(const ExperimentConfig&)> run_trial;
+};
+
+/// What a supervised campaign produced. results[i] belongs to trials[i]
+/// and is meaningful iff completed[i].
+struct CampaignReport {
+  std::vector<ExperimentResult> results;
+  std::vector<std::uint8_t> completed;  // 1 = results[i] is valid
+  /// Terminal failures, sorted by trial_index (deterministic across
+  /// thread counts).
+  std::vector<TrialFailure> failures;
+  std::uint64_t attempts = 0;  // trial executions, including retries
+  std::uint64_t retries = 0;
+  std::uint64_t replayed = 0;  // trials restored from the journal
+  /// The journal ended in a torn record (expected after a SIGKILL
+  /// mid-write); the torn trial was re-run.
+  bool journal_torn = false;
+
+  [[nodiscard]] bool all_completed() const { return failures.empty(); }
+};
+
+/// Runs every trial across the pool with full supervision. Failures are
+/// confined to their own slot: sibling trials run to completion and are
+/// bit-identical to an unsupervised campaign at any --threads value.
+[[nodiscard]] CampaignReport run_supervised(
+    const std::vector<ExperimentConfig>& trials,
+    const SupervisorOptions& options);
+
+/// Aggregates completed trials only, with real failure accounting.
+[[nodiscard]] CampaignSummary summarize(const CampaignReport& report);
+
+/// Shared campaign CLI surface for bench mains: --threads N,
+/// --journal FILE, --max-trial-ms N, --retries N.
+struct CampaignCli {
+  std::size_t threads = 0;
+  std::string journal;           // empty = no journal
+  std::uint64_t max_trial_ms = 0;  // per-trial wall-clock budget
+  std::uint64_t retries = 0;       // extra attempts per failed trial
+
+  [[nodiscard]] SupervisorOptions supervisor_options() const {
+    SupervisorOptions options;
+    options.threads = threads;
+    options.journal_path = journal;
+    options.trial_budget.max_wall_ms =
+        static_cast<std::int64_t>(max_trial_ms);
+    options.retry.max_attempts = 1 + static_cast<std::size_t>(retries);
+    return options;
+  }
+};
+
+/// Strips the campaign flags from argv (see CampaignCli).
+[[nodiscard]] CampaignCli consume_campaign_cli(int& argc, char** argv);
+
+}  // namespace fourbit::runner

@@ -1,0 +1,38 @@
+#include "sim/invariant.hpp"
+
+#include "common/assert.hpp"
+
+namespace fourbit::sim {
+
+void InvariantAuditor::start(Duration interval) {
+  FOURBIT_ASSERT(interval.us() > 0, "audit interval must be positive");
+  stop();
+  interval_ = interval;
+  schedule_next();
+}
+
+void InvariantAuditor::stop() {
+  if (pending_.valid()) {
+    sim_.cancel(pending_);
+    pending_ = EventId{};
+  }
+}
+
+void InvariantAuditor::schedule_next() {
+  pending_ = sim_.schedule_in(interval_, [this] {
+    pending_ = EventId{};
+    audit_now();  // throws on violation; next audit then never arms
+    schedule_next();
+  });
+}
+
+void InvariantAuditor::audit_now() {
+  ++audits_run_;
+  for (const auto& [name, check] : checks_) {
+    if (auto violation = check()) {
+      throw InvariantViolationError{name, *violation};
+    }
+  }
+}
+
+}  // namespace fourbit::sim

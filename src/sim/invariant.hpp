@@ -1,0 +1,82 @@
+// Runtime invariant auditor: periodic audits of live simulation state.
+//
+// A simulation bug that corrupts state without tripping a local
+// FOURBIT_ASSERT can survive an entire trial and publish plausible-
+// looking numbers. In debug-mode campaigns the auditor walks a set of
+// registered whole-system checks (neighbor-table bounds, pin
+// discipline, ETX ranges, event-queue monotonicity — see
+// runner::run_experiment) on a fixed simulated-time cadence and
+// converts the first violation into an exception, which the campaign
+// supervisor classifies as a `kInvariant` TrialFailure.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace fourbit::sim {
+
+/// Thrown by InvariantAuditor::audit_now on the first failing check.
+class InvariantViolationError : public std::runtime_error {
+ public:
+  InvariantViolationError(std::string invariant, const std::string& detail)
+      : std::runtime_error("invariant '" + invariant + "' violated: " +
+                           detail),
+        invariant_(std::move(invariant)) {}
+
+  /// Name of the failing check, as passed to add().
+  [[nodiscard]] const std::string& invariant() const { return invariant_; }
+
+ private:
+  std::string invariant_;
+};
+
+class InvariantAuditor {
+ public:
+  /// One check: returns nullopt while the invariant holds, else a
+  /// human-readable description of the violation. Checks must not
+  /// mutate simulation state.
+  using Check = std::function<std::optional<std::string>()>;
+
+  explicit InvariantAuditor(Simulator& sim) : sim_(sim) {}
+  ~InvariantAuditor() { stop(); }
+
+  InvariantAuditor(const InvariantAuditor&) = delete;
+  InvariantAuditor& operator=(const InvariantAuditor&) = delete;
+
+  void add(std::string name, Check check) {
+    checks_.emplace_back(std::move(name), std::move(check));
+  }
+
+  /// Audits every `interval` of simulated time, starting one interval
+  /// from now, until stop() or destruction. A violation throws
+  /// InvariantViolationError out of the event loop (the audit event is
+  /// not rescheduled, so a caller that catches and resumes the run is
+  /// no longer audited).
+  void start(Duration interval);
+  void stop();
+
+  /// Runs every registered check immediately; throws on the first
+  /// violation.
+  void audit_now();
+
+  [[nodiscard]] std::uint64_t audits_run() const { return audits_run_; }
+  [[nodiscard]] std::size_t check_count() const { return checks_.size(); }
+
+ private:
+  void schedule_next();
+
+  Simulator& sim_;
+  std::vector<std::pair<std::string, Check>> checks_;
+  Duration interval_ = Duration::from_us(0);
+  EventId pending_;
+  std::uint64_t audits_run_ = 0;
+};
+
+}  // namespace fourbit::sim

@@ -16,7 +16,35 @@ EventId Simulator::schedule_at(Time at, EventQueue::Callback cb) {
   return queue_.schedule(at, std::move(cb));
 }
 
+void Simulator::set_budget(SimBudget budget) {
+  budget_ = budget;
+  budget_armed_at_ = std::chrono::steady_clock::now();
+}
+
+void Simulator::check_budget() const {
+  if (budget_.max_events != 0 && events_executed_ >= budget_.max_events) {
+    throw BudgetExceededError{
+        BudgetExceededError::Which::kEvents,
+        "trial exceeded its event budget (" +
+            std::to_string(budget_.max_events) + " events)"};
+  }
+  if (budget_.max_wall_ms != 0 &&
+      events_executed_ % kWallCheckPeriod == 0) {
+    const auto elapsed_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - budget_armed_at_)
+            .count();
+    if (elapsed_ms >= budget_.max_wall_ms) {
+      throw BudgetExceededError{
+          BudgetExceededError::Which::kWallClock,
+          "trial exceeded its wall-clock budget (" +
+              std::to_string(budget_.max_wall_ms) + " ms)"};
+    }
+  }
+}
+
 void Simulator::execute_next() {
+  if (budget_.limited()) check_budget();
   auto popped = queue_.pop();
   FOURBIT_ASSERT(popped.time >= now_, "event queue went backwards in time");
   now_ = popped.time;

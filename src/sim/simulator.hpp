@@ -1,12 +1,45 @@
 // The discrete-event simulator: a clock plus an event queue.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
 
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 
 namespace fourbit::sim {
+
+/// Cooperative execution budget for one Simulator (one trial). Zero
+/// means unlimited. A campaign supervisor arms this so a wedged or
+/// runaway trial cancels itself instead of stalling the whole pool.
+struct SimBudget {
+  /// Max events this Simulator may execute over its lifetime.
+  std::uint64_t max_events = 0;
+  /// Max wall-clock milliseconds since set_budget() armed the watchdog.
+  std::int64_t max_wall_ms = 0;
+
+  [[nodiscard]] constexpr bool limited() const {
+    return max_events != 0 || max_wall_ms != 0;
+  }
+};
+
+/// Thrown from inside the event loop when the armed SimBudget is
+/// exhausted; supervisors classify it as a trial timeout.
+class BudgetExceededError : public std::runtime_error {
+ public:
+  enum class Which { kEvents, kWallClock };
+
+  BudgetExceededError(Which which, std::string what)
+      : std::runtime_error(std::move(what)), which_(which) {}
+
+  [[nodiscard]] Which which() const { return which_; }
+
+ private:
+  Which which_;
+};
 
 /// Owns simulated time. Components hold a Simulator& and schedule work
 /// relative to `now()`; the driver calls one of the run_* methods.
@@ -41,18 +74,41 @@ class Simulator {
   /// event completes.
   void stop() { stopped_ = true; }
 
+  /// Arms (or re-arms) the cooperative watchdog: once `budget` is
+  /// exhausted the event loop throws BudgetExceededError between events.
+  /// max_events counts the Simulator's lifetime total, so arm before the
+  /// first run_* call; the wall clock starts here. Events are never cut
+  /// short mid-callback — the check runs at event granularity (wall time
+  /// every kWallCheckPeriod events to keep the clock read off the hot
+  /// path).
+  void set_budget(SimBudget budget);
+
+  [[nodiscard]] const SimBudget& budget() const { return budget_; }
+
   [[nodiscard]] std::uint64_t events_executed() const {
     return events_executed_;
   }
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
 
+  /// Time of the earliest pending event, or nullopt if the queue is
+  /// empty (exposed for invariant audits of queue monotonicity).
+  [[nodiscard]] std::optional<Time> next_event_time() const {
+    if (queue_.empty()) return std::nullopt;
+    return queue_.next_time();
+  }
+
  private:
+  static constexpr std::uint64_t kWallCheckPeriod = 512;
+
   void execute_next();
+  void check_budget() const;
 
   EventQueue queue_;
   Time now_;
   bool stopped_ = false;
   std::uint64_t events_executed_ = 0;
+  SimBudget budget_;
+  std::chrono::steady_clock::time_point budget_armed_at_{};
 };
 
 }  // namespace fourbit::sim
