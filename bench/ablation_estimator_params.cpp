@@ -142,5 +142,12 @@ int main(int argc, char** argv) {
                 summary.delivery_ratio.mean * 100.0,
                 summary.parent_changes.mean / nodes);
   }
+
+  if (cli.json) {
+    std::printf("%s\n", runner::describe_json(report).c_str());
+    for (const auto& failure : report.failures) {
+      std::printf("%s\n", runner::describe_json(failure).c_str());
+    }
+  }
   return 0;
 }

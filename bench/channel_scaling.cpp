@@ -14,6 +14,9 @@
 // baseline and the run exits nonzero if any N regressed below 80% of it
 // — the CI perf-smoke gate. Speedup ratios, not absolute frame rates,
 // are compared: ratios transfer across machines, wall-clock does not.
+// A final pair of cells re-runs the largest N with telemetry at debug
+// level (one flight-recorder write per frame); --check additionally
+// gates that overhead at 10%.
 //
 //   usage: channel_scaling [--nodes 50,200,800] [--seconds S]
 //                          [--out BENCH_channel.json] [--check BASELINE]
@@ -55,9 +58,14 @@ struct RunResult {
 };
 
 /// One benchmark cell: N radios on a 30 m grid, each on a periodic
-/// CCA-then-transmit tick, for `seconds` of simulated time.
-RunResult run_cell(std::size_t n, bool fast, double seconds) {
+/// CCA-then-transmit tick, for `seconds` of simulated time. `level`
+/// dials the telemetry context: kInfo (the default) records no
+/// per-frame events, kDebug pays one flight-recorder ring write per
+/// frame — the telemetry-overhead cells compare the two.
+RunResult run_cell(std::size_t n, bool fast, double seconds,
+                   sim::TraceLevel level = sim::TraceLevel::kInfo) {
   sim::Simulator sim;
+  sim.telemetry().set_level(level);
   phy::PhyConfig phy;
   phy.use_link_cache = fast;
   phy::Channel channel{sim, phy, phy::PropagationConfig{},
@@ -115,7 +123,7 @@ RunResult run_cell(std::size_t n, bool fast, double seconds) {
 }
 
 void write_json(const char* path, const std::vector<RunResult>& results,
-                double seconds) {
+                const std::vector<RunResult>& telemetry, double seconds) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path);
@@ -147,6 +155,20 @@ void write_json(const char* path, const std::vector<RunResult>& results,
     std::fprintf(f, "    {\"nodes\": %zu, \"speedup\": %.3f}%s\n",
                  results[i].nodes, speedup,
                  i + 3 < results.size() ? "," : "");
+  }
+  if (!telemetry.empty()) {
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"telemetry\": [\n");
+    // (untraced, traced-at-kDebug) pairs per N; ratio = traced/untraced
+    // throughput (1.0 = free, 0.9 = 10% overhead).
+    for (std::size_t i = 0; i + 1 < telemetry.size(); i += 2) {
+      const double plain = telemetry[i].frames_per_s();
+      const double ratio =
+          plain > 0.0 ? telemetry[i + 1].frames_per_s() / plain : 0.0;
+      std::fprintf(f, "    {\"nodes\": %zu, \"traced_ratio\": %.3f}%s\n",
+                   telemetry[i].nodes, ratio,
+                   i + 3 < telemetry.size() ? "," : "");
+    }
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -243,8 +265,42 @@ int main(int argc, char** argv) {
     results.push_back(fast);
   }
 
-  write_json(out_path, results, seconds);
+  // Telemetry overhead at the largest N: the fast path once more with
+  // the context at kDebug, where every frame pays a flight-recorder ring
+  // write (kPhyFrame) on top of the usual counter increment. The ratio
+  // of traced to untraced throughput is the enabled-path overhead; the
+  // disabled path is a single branch (see BM_TelemetryDisabled).
+  std::vector<RunResult> telemetry;
+  bool telemetry_match = true;
+  if (!node_counts.empty()) {
+    const std::size_t n = node_counts.back();
+    const RunResult plain = run_cell(n, /*fast=*/true, seconds);
+    const RunResult traced =
+        run_cell(n, /*fast=*/true, seconds, sim::TraceLevel::kDebug);
+    const double ratio = plain.frames_per_s() > 0.0
+                             ? traced.frames_per_s() / plain.frames_per_s()
+                             : 0.0;
+    std::printf("\ntelemetry overhead (fast path, N=%zu, ring write per "
+                "frame at debug level):\n"
+                "  untraced %.1f frames/s, traced %.1f frames/s "
+                "(%.1f%% overhead)\n",
+                n, plain.frames_per_s(), traced.frames_per_s(),
+                (1.0 - ratio) * 100.0);
+    telemetry_match = traced.frames == plain.frames &&
+                      traced.deliveries == plain.deliveries;
+    telemetry.push_back(plain);
+    telemetry.push_back(traced);
+  }
+
+  write_json(out_path, results, telemetry, seconds);
   std::printf("\nwrote %s\n", out_path);
+
+  if (!telemetry_match) {
+    std::fprintf(stderr,
+                 "FAIL: tracing changed frame/delivery counts — telemetry "
+                 "must be observation-only\n");
+    return 1;
+  }
 
   if (!deliveries_match) {
     std::fprintf(stderr,
@@ -268,9 +324,23 @@ int main(int argc, char** argv) {
         ok = ok && pass;
       }
     }
+    // Absolute telemetry gate: a debug-level trace of the phy hot path
+    // must cost no more than ~10% throughput (the design budget for the
+    // enabled path; the disabled path is a branch and unmeasurable
+    // here).
+    for (std::size_t i = 0; i + 1 < telemetry.size(); i += 2) {
+      const double plain = telemetry[i].frames_per_s();
+      const double ratio =
+          plain > 0.0 ? telemetry[i + 1].frames_per_s() / plain : 0.0;
+      const bool pass = ratio >= 0.90;
+      std::printf("check N=%zu: traced/untraced ratio %.3f "
+                  "(floor 0.900) %s\n",
+                  telemetry[i].nodes, ratio, pass ? "OK" : "REGRESSED");
+      ok = ok && pass;
+    }
     if (!ok) {
-      std::fprintf(stderr, "FAIL: fast-path speedup regressed >20%% "
-                           "against %s\n",
+      std::fprintf(stderr, "FAIL: fast-path speedup or telemetry "
+                           "overhead regressed against %s\n",
                    baseline_path);
       return 1;
     }

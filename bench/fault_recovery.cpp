@@ -19,11 +19,17 @@
 //
 //   usage: fault_recovery [minutes=25] [seeds=3] [--threads N]
 //          [--journal FILE] [--max-trial-ms N] [--retries N]
+//          [--trace FILE] [--trace-level L] [--trace-nodes a,b,c]
+//          [--json]
 //
 // With --journal, completed trials are checkpointed durably; killing
 // the process mid-campaign and relaunching with the same arguments
 // resumes from the journal and prints a summary bit-identical to an
 // uninterrupted run (the CI resilience job exercises exactly this).
+// With --trace BASE, every trial streams its telemetry to its own
+// BASE-t<index>-s<seed>.jsonl file. --json appends machine-readable
+// summary lines (fourbit.summary/1) after the human table; the default
+// output is unchanged, so existing diffs of stdout keep working.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -34,6 +40,7 @@
 #include "runner/experiment.hpp"
 #include "runner/supervisor.hpp"
 #include "sim/rng.hpp"
+#include "stats/export.hpp"
 #include "topology/topology.hpp"
 
 using namespace fourbit;
@@ -134,6 +141,7 @@ int main(int argc, char** argv) {
               "dlv", "dlv@out", "dlv@post", "reroute", "refill");
   std::printf("%-36s %-12s %9s %9s %9s %9s %9s\n", "", "", "", "", "",
               "mean s", "mean s");
+  std::vector<std::string> json_lines;  // printed after the table
   std::size_t index = 0;
   for (const auto& scenario : scenarios) {
     for (const auto profile : profiles) {
@@ -143,6 +151,16 @@ int main(int argc, char** argv) {
       index += static_cast<std::size_t>(seeds);
 
       const auto summary = runner::summarize(cell);
+      if (cli.json) {
+        // Per-cell summary, tagged with the sweep coordinates. Keys are
+        // additive on the fourbit.summary/1 "campaign" object.
+        std::string line = runner::describe_json(summary);
+        line.insert(1, "\"label\":\"" + stats::json_escape(scenario.label) +
+                           "\",\"profile\":\"" +
+                           std::string{runner::profile_name(profile)} +
+                           "\",");
+        json_lines.push_back(std::move(line));
+      }
       double post = 0.0, reroute = 0.0, refill = 0.0;
       std::size_t post_n = 0, reroute_n = 0, refill_n = 0;
       for (const auto& r : cell) {
@@ -177,5 +195,13 @@ int main(int argc, char** argv) {
               "within tens of seconds (eviction after repeated retx "
               "failure); MultiHopLQI has no datapath feedback and wedges "
               "on a dead parent until its next beacon-driven switch.\n");
+
+  if (cli.json) {
+    std::printf("%s\n", runner::describe_json(report).c_str());
+    for (const auto& line : json_lines) std::printf("%s\n", line.c_str());
+    for (const auto& failure : report.failures) {
+      std::printf("%s\n", runner::describe_json(failure).c_str());
+    }
+  }
   return 0;
 }

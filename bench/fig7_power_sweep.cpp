@@ -99,5 +99,12 @@ int main(int argc, char** argv) {
     std::printf("  %5.0f dBm: %+.1f%%\n", powers[i],
                 (fourb[i].cost.mean / mhlqi[i].cost.mean - 1.0) * 100.0);
   }
+
+  if (cli.json) {
+    std::printf("%s\n", runner::describe_json(report).c_str());
+    for (const auto& failure : report.failures) {
+      std::printf("%s\n", runner::describe_json(failure).c_str());
+    }
+  }
   return 0;
 }

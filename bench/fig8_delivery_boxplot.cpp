@@ -95,5 +95,12 @@ int main(int argc, char** argv) {
       "\nshape check: 4B rows should be pinned near 100%% with tiny spread\n"
       "at every power; MultiHopLQI rows should show a long low tail that\n"
       "worsens as transmit power falls.\n");
+
+  if (cli.json) {
+    std::printf("%s\n", runner::describe_json(report).c_str());
+    for (const auto& failure : report.failures) {
+      std::printf("%s\n", runner::describe_json(failure).c_str());
+    }
+  }
   return 0;
 }

@@ -176,6 +176,83 @@ void BM_ChannelCcaPoll(benchmark::State& state) {
 }
 BENCHMARK(BM_ChannelCcaPoll)->Arg(0)->Arg(1);
 
+/// One emit() call with telemetry gated off entirely: the cost every
+/// component pays per potential event when nobody is tracing. This is
+/// the "disabled path" the telemetry design budgets at one branch —
+/// compare against BM_TelemetryEnabled for the enabled ring-write cost.
+void BM_TelemetryDisabled(benchmark::State& state) {
+  sim::TelemetryContext telemetry;
+  telemetry.set_level(sim::TraceLevel::kOff);
+  std::uint16_t i = 0;
+  for (auto _ : state) {
+    telemetry.emit(sim::EventKind::kDataDrop, 1, 2, i++, 3);
+    benchmark::DoNotOptimize(telemetry.events_recorded());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TelemetryDisabled);
+
+/// The same emit with the ring write taken (kDebug records everything,
+/// no sink attached): the flight-recorder overhead per recorded event.
+void BM_TelemetryEnabled(benchmark::State& state) {
+  sim::TelemetryContext telemetry;
+  telemetry.set_level(sim::TraceLevel::kDebug);
+  std::uint16_t i = 0;
+  for (auto _ : state) {
+    telemetry.emit(sim::EventKind::kDataDrop, 1, 2, i++, 3);
+    benchmark::DoNotOptimize(telemetry.events_recorded());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TelemetryEnabled);
+
+/// Counter-registry hot path: one pointer increment per event, resolved
+/// once at registration.
+void BM_TelemetryCounterIncrement(benchmark::State& state) {
+  sim::TelemetryContext telemetry;
+  std::uint64_t* counter = telemetry.counter("fwd", "data_tx", 1);
+  for (auto _ : state) {
+    ++*counter;
+    benchmark::DoNotOptimize(*counter);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TelemetryCounterIncrement);
+
+/// The channel broadcast workload with telemetry dialed to kDebug and a
+/// ring write per frame (args: {telemetry level as int}). Together with
+/// the BM_ChannelBroadcast pair above this bounds the end-to-end cost of
+/// tracing the phy hot path; bench/channel_scaling.cpp --check gates it.
+void BM_ChannelBroadcastTraced(benchmark::State& state) {
+  const auto level = static_cast<sim::TraceLevel>(state.range(0));
+  sim::Simulator sim;
+  sim.telemetry().set_level(level);
+  phy::PhyConfig phy;
+  phy::Channel channel{sim, phy, phy::PropagationConfig{},
+                       std::make_unique<phy::NullInterference>(),
+                       sim::Rng{1}};
+  std::vector<std::unique_ptr<phy::Radio>> radios;
+  for (std::size_t i = 0; i < 50; ++i) {
+    radios.push_back(std::make_unique<phy::Radio>(
+        channel, NodeId{static_cast<std::uint16_t>(i + 1)},
+        Position{static_cast<double>(i % 16) * 30.0,
+                 static_cast<double>(i / 16) * 30.0},
+        phy::HardwareProfile{}, PowerDbm{0.0}));
+  }
+  const std::vector<std::uint8_t> frame(40, 0xAB);
+  std::size_t sender = 0;
+  for (auto _ : state) {
+    radios[sender]->transmit(frame, nullptr);
+    sim.run();
+    sender = (sender + 1) % radios.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChannelBroadcastTraced)
+    ->Arg(static_cast<int>(sim::TraceLevel::kOff))
+    ->Arg(static_cast<int>(sim::TraceLevel::kInfo))
+    ->Arg(static_cast<int>(sim::TraceLevel::kDebug));
+
 void BM_SimulatorTimerChurn(benchmark::State& state) {
   for (auto _ : state) {
     sim::Simulator sim;

@@ -82,5 +82,12 @@ int main(int argc, char** argv) {
               (fourb.cost.mean / mhlqi.cost.mean - 1.0) * 100.0);
   std::printf("  4B depth vs MultiHopLQI: %+.1f%%  (paper -9.7%%)\n",
               (fourb.mean_depth.mean / mhlqi.mean_depth.mean - 1.0) * 100.0);
+
+  if (cli.json) {
+    std::printf("%s\n", runner::describe_json(report).c_str());
+    for (const auto& failure : report.failures) {
+      std::printf("%s\n", runner::describe_json(failure).c_str());
+    }
+  }
   return 0;
 }

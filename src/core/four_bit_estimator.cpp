@@ -4,7 +4,7 @@
 
 #include "common/assert.hpp"
 #include "common/byte_io.hpp"
-#include "sim/trace.hpp"
+#include "sim/telemetry.hpp"
 
 namespace fourbit::core {
 
@@ -41,6 +41,10 @@ std::optional<std::vector<std::uint8_t>> FourBitEstimator::unwrap_beacon(
   if (try_admit(from, phy, payload)) {
     Table::Entry* entry = table_.insert(from, LinkState{config_});
     FOURBIT_ASSERT(entry != nullptr, "admission promised a free slot");
+    if (telemetry_ != nullptr) {
+      telemetry_->emit(sim::EventKind::kTableInsert, self_, from.value(),
+                       seq);
+    }
     // Seed the beacon window with this first beacon, and bootstrap the
     // link estimate optimistically from it: the paper's estimator uses
     // "incoming beacon estimates as bootstrapping values for the link
@@ -62,22 +66,36 @@ bool FourBitEstimator::try_admit(NodeId from, const link::PacketPhyInfo& phy,
                                  std::span<const std::uint8_t> payload) {
   if (!table_.full()) return true;
 
+  const auto evict = [this](NodeId from_node, sim::EvictReason reason) {
+    const auto victim = table_.evict_random_unpinned(rng_);
+    if (victim && telemetry_ != nullptr) {
+      telemetry_->emit(sim::EventKind::kTableEvict, self_, victim->value(),
+                       from_node.value(),
+                       static_cast<std::uint16_t>(reason));
+    }
+    return victim.has_value();
+  };
+
   switch (config_.insertion) {
     case InsertionPolicy::kWhiteCompare:
       // The paper's rule, which SUPPLEMENTS the standard (Woo et al.)
       // replacement policy: a white-bit packet whose sender's route wins
       // the compare-bit query flushes a random unpinned entry right away;
       // other senders still get the baseline probabilistic chance.
-      if (phy.white && compare_ != nullptr &&
-          compare_->compare_bit(from, payload)) {
-        return table_.evict_random_unpinned(rng_);
+      if (phy.white && compare_ != nullptr) {
+        const bool wins = compare_->compare_bit(from, payload);
+        if (telemetry_ != nullptr) {
+          telemetry_->emit(sim::EventKind::kTableCompare, self_,
+                           from.value(), wins ? 1 : 0);
+        }
+        if (wins) return evict(from, sim::EvictReason::kWhiteCompare);
       }
       if (!rng_.bernoulli(config_.probabilistic_insert_p)) return false;
-      return table_.evict_random_unpinned(rng_);
+      return evict(from, sim::EvictReason::kProbabilistic);
 
     case InsertionPolicy::kProbabilistic:
       if (!rng_.bernoulli(config_.probabilistic_insert_p)) return false;
-      return table_.evict_random_unpinned(rng_);
+      return evict(from, sim::EvictReason::kProbabilistic);
 
     case InsertionPolicy::kNever:
       return false;
@@ -134,12 +152,21 @@ void FourBitEstimator::note_beacon(Table::Entry& entry, std::uint8_t seq,
     const double quality = st.beacon_prr.value();
     const double etx_sample =
         quality <= 0.0 ? config_.max_etx_sample : 1.0 / quality;
-    feed_etx_sample(st, etx_sample);
+    feed_etx_sample(entry.node, st, etx_sample, /*from_data=*/false);
   }
 }
 
-void FourBitEstimator::feed_etx_sample(LinkState& st, double sample) {
+void FourBitEstimator::feed_etx_sample(NodeId peer, LinkState& st,
+                                       double sample, bool from_data) {
+  const double old_etx = st.etx.has_value() ? st.etx.value() : 0.0;
   st.etx.update(std::clamp(sample, 1.0, config_.max_etx_sample));
+  if (telemetry_ != nullptr) {
+    telemetry_->emit(
+        sim::EventKind::kEtxUpdate, self_, peer.value(),
+        static_cast<std::uint16_t>(from_data ? sim::EtxStream::kData
+                                             : sim::EtxStream::kBeacon),
+        0, old_etx, st.etx.value());
+  }
 }
 
 void FourBitEstimator::on_unicast_result(NodeId to, bool acked) {
@@ -165,15 +192,26 @@ void FourBitEstimator::on_unicast_result(NodeId to, bool acked) {
       // running failure streak (which may span windows).
       sample = static_cast<double>(st.failures_since_success);
     }
-    feed_etx_sample(st, sample);
+    feed_etx_sample(to, st, sample, /*from_data=*/true);
     st.window_tx = 0;
     st.window_acked = 0;
   }
 }
 
-bool FourBitEstimator::pin(NodeId n) { return table_.pin(n); }
+bool FourBitEstimator::pin(NodeId n) {
+  const bool pinned = table_.pin(n);
+  if (pinned && telemetry_ != nullptr) {
+    telemetry_->emit(sim::EventKind::kTablePin, self_, n.value());
+  }
+  return pinned;
+}
 
-void FourBitEstimator::unpin(NodeId n) { table_.unpin(n); }
+void FourBitEstimator::unpin(NodeId n) {
+  if (telemetry_ != nullptr && table_.find(n) != nullptr) {
+    telemetry_->emit(sim::EventKind::kTableUnpin, self_, n.value());
+  }
+  table_.unpin(n);
+}
 
 void FourBitEstimator::clear_pins() { table_.clear_pins(); }
 
@@ -202,12 +240,20 @@ bool FourBitEstimator::remove(NodeId n) {
   const Table::Entry* entry = table_.find(n);
   if (entry == nullptr) return true;  // already gone: nothing stale left
   if (entry->pinned) {
-    sim::Trace::log(sim::TraceLevel::kError, sim::Time{}, "4b",
-                    "remove refused: entry is pinned");
+    if (telemetry_ != nullptr) {
+      telemetry_->emit(
+          sim::EventKind::kTableEvict, self_, n.value(), 0,
+          static_cast<std::uint16_t>(sim::EvictReason::kRefusedPinned));
+    }
     return false;
   }
   const bool removed = table_.remove(n);
   FOURBIT_ASSERT(removed, "unpinned entry must be removable");
+  if (telemetry_ != nullptr) {
+    telemetry_->emit(
+        sim::EventKind::kTableEvict, self_, n.value(), 0,
+        static_cast<std::uint16_t>(sim::EvictReason::kNetworkRemove));
+  }
   return true;
 }
 

@@ -61,6 +61,10 @@ class FourBitEstimator final : public link::LinkEstimator {
   void set_compare_provider(link::CompareProvider* provider) override {
     compare_ = provider;
   }
+  void set_telemetry(sim::TelemetryContext* telemetry, NodeId self) override {
+    telemetry_ = telemetry;
+    self_ = self.value();
+  }
   void reset() override;
 
   // ---- introspection (tests, benches) ----
@@ -98,7 +102,10 @@ class FourBitEstimator final : public link::LinkEstimator {
 
   void note_beacon(Table::Entry& entry, std::uint8_t seq,
                    const link::PacketPhyInfo& phy);
-  void feed_etx_sample(LinkState& st, double sample);
+  /// Feeds one sample into the outer EWMA; `from_data` says which stream
+  /// produced it (unicast ack window vs beacon window) for telemetry.
+  void feed_etx_sample(NodeId peer, LinkState& st, double sample,
+                       bool from_data);
   [[nodiscard]] bool try_admit(NodeId from, const link::PacketPhyInfo& phy,
                                std::span<const std::uint8_t> payload);
 
@@ -106,6 +113,8 @@ class FourBitEstimator final : public link::LinkEstimator {
   sim::Rng rng_;
   Table table_;
   link::CompareProvider* compare_ = nullptr;
+  sim::TelemetryContext* telemetry_ = nullptr;
+  std::uint16_t self_ = 0xFFFF;
   std::uint8_t beacon_seq_ = 0;
   std::uint64_t seq_resets_ = 0;
 };

@@ -4,7 +4,7 @@
 
 #include "common/assert.hpp"
 #include "common/byte_io.hpp"
-#include "sim/trace.hpp"
+#include "sim/telemetry.hpp"
 
 namespace fourbit::estimators {
 namespace {
@@ -117,19 +117,30 @@ bool BroadcastEtxEstimator::try_admit(
     NodeId from, const link::PacketPhyInfo& phy,
     std::span<const std::uint8_t> payload) {
   if (!table_.full()) return true;
+
+  const auto evict = [this](sim::EvictReason reason) {
+    const auto victim = table_.evict_random_unpinned(rng_);
+    if (victim && telemetry_ != nullptr) {
+      telemetry_->emit(sim::EventKind::kTableEvict, self_.value(),
+                       victim->value(), 0,
+                       static_cast<std::uint16_t>(reason));
+    }
+    return victim.has_value();
+  };
+
   switch (config_.insertion) {
     case core::InsertionPolicy::kWhiteCompare:
       // White/compare is a fast path SUPPLEMENTING the baseline
       // probabilistic replacement (see FourBitEstimator::try_admit).
       if (phy.white && compare_ != nullptr &&
           compare_->compare_bit(from, payload)) {
-        return table_.evict_random_unpinned(rng_);
+        return evict(sim::EvictReason::kWhiteCompare);
       }
       if (!rng_.bernoulli(config_.probabilistic_insert_p)) return false;
-      return table_.evict_random_unpinned(rng_);
+      return evict(sim::EvictReason::kProbabilistic);
     case core::InsertionPolicy::kProbabilistic:
       if (!rng_.bernoulli(config_.probabilistic_insert_p)) return false;
-      return table_.evict_random_unpinned(rng_);
+      return evict(sim::EvictReason::kProbabilistic);
     case core::InsertionPolicy::kNever:
       return false;
   }
@@ -176,8 +187,11 @@ bool BroadcastEtxEstimator::remove(NodeId n) {
   const Table::Entry* entry = table_.find(n);
   if (entry == nullptr) return true;
   if (entry->pinned) {
-    sim::Trace::log(sim::TraceLevel::kError, sim::Time{}, "betx",
-                    "remove refused: entry is pinned");
+    if (telemetry_ != nullptr) {
+      telemetry_->emit(
+          sim::EventKind::kTableEvict, self_.value(), n.value(), 0,
+          static_cast<std::uint16_t>(sim::EvictReason::kRefusedPinned));
+    }
     return false;
   }
   return table_.remove(n);

@@ -78,6 +78,9 @@ class BroadcastEtxEstimator final : public link::LinkEstimator {
   void set_compare_provider(link::CompareProvider* provider) override {
     compare_ = provider;
   }
+  void set_telemetry(sim::TelemetryContext* telemetry, NodeId) override {
+    telemetry_ = telemetry;
+  }
   void reset() override {
     table_.clear();
     beacon_seq_ = 0;
@@ -113,6 +116,7 @@ class BroadcastEtxEstimator final : public link::LinkEstimator {
   sim::Rng rng_;
   Table table_;
   link::CompareProvider* compare_ = nullptr;
+  sim::TelemetryContext* telemetry_ = nullptr;
   std::uint8_t beacon_seq_ = 0;
   std::size_t footer_rotation_ = 0;
 };

@@ -4,7 +4,7 @@
 #include <cmath>
 
 #include "common/byte_io.hpp"
-#include "sim/trace.hpp"
+#include "sim/telemetry.hpp"
 
 namespace fourbit::estimators {
 
@@ -43,14 +43,19 @@ void LqiEstimator::note_lqi(NodeId from, int lqi) {
     if (table_.full()) {
       // PHY information is free, so eviction favors keeping the
       // best-looking links: drop the worst smoothed LQI.
-      const bool evicted = table_.evict_worst_unpinned(
+      const auto victim = table_.evict_worst_unpinned(
           [](const Table::Entry& worst, const Table::Entry& e) {
             const double a =
                 worst.data.lqi.has_value() ? worst.data.lqi.value() : 1e9;
             const double b = e.data.lqi.has_value() ? e.data.lqi.value() : 1e9;
             return b < a;  // e is worse than current worst
           });
-      if (!evicted) return;
+      if (!victim) return;
+      if (telemetry_ != nullptr) {
+        telemetry_->emit(
+            sim::EventKind::kTableEvict, self_, victim->value(), 0,
+            static_cast<std::uint16_t>(sim::EvictReason::kProbabilistic));
+      }
     }
     entry = table_.insert(from, LinkState{config_});
     if (entry == nullptr) return;
@@ -91,8 +96,11 @@ bool LqiEstimator::remove(NodeId n) {
   const Table::Entry* entry = table_.find(n);
   if (entry == nullptr) return true;
   if (entry->pinned) {
-    sim::Trace::log(sim::TraceLevel::kError, sim::Time{}, "lqi",
-                    "remove refused: entry is pinned");
+    if (telemetry_ != nullptr) {
+      telemetry_->emit(
+          sim::EventKind::kTableEvict, self_, n.value(), 0,
+          static_cast<std::uint16_t>(sim::EvictReason::kRefusedPinned));
+    }
     return false;
   }
   return table_.remove(n);

@@ -70,6 +70,10 @@ class LqiEstimator final : public link::LinkEstimator {
   }
   bool remove(NodeId n) override;
   void set_compare_provider(link::CompareProvider*) override {}
+  void set_telemetry(sim::TelemetryContext* telemetry, NodeId self) override {
+    telemetry_ = telemetry;
+    self_ = self.value();
+  }
   void reset() override {
     table_.clear();
     beacon_seq_ = 0;
@@ -94,6 +98,8 @@ class LqiEstimator final : public link::LinkEstimator {
   LqiEstimatorConfig config_;
   sim::Rng rng_;
   Table table_;
+  sim::TelemetryContext* telemetry_ = nullptr;
+  std::uint16_t self_ = 0xFFFF;
   std::uint8_t beacon_seq_ = 0;
 };
 

@@ -19,6 +19,10 @@
 #include "common/ids.hpp"
 #include "link/packet_info.hpp"
 
+namespace fourbit::sim {
+class TelemetryContext;
+}
+
 namespace fourbit::link {
 
 /// Network-layer half of the compare bit. The estimator asks; the network
@@ -106,6 +110,18 @@ class LinkEstimator {
 
   /// Wires in the network layer's compare-bit provider (may be null).
   virtual void set_compare_provider(CompareProvider* provider) = 0;
+
+  // ---- telemetry --------------------------------------------------------
+
+  /// Wires in the owning Simulator's telemetry context and this node's
+  /// id, so the estimator can emit typed table/ETX events. Estimators
+  /// deliberately hold no Simulator reference (layering), which is why
+  /// the context arrives by injection. Default: ignore (stateless
+  /// estimators, test fakes).
+  virtual void set_telemetry(sim::TelemetryContext* telemetry, NodeId self) {
+    (void)telemetry;
+    (void)self;
+  }
 
   // ---- fault model ------------------------------------------------------
 

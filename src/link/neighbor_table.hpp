@@ -60,26 +60,29 @@ class NeighborTable {
   }
 
   /// Evicts a uniformly random unpinned entry (the paper's replacement
-  /// rule for white+compare insertions). Returns false if every entry is
+  /// rule for white+compare insertions). Returns the victim's id — so
+  /// telemetry can attribute the eviction — or nullopt if every entry is
   /// pinned.
-  bool evict_random_unpinned(sim::Rng& rng) {
+  std::optional<NodeId> evict_random_unpinned(sim::Rng& rng) {
     std::vector<std::size_t> candidates;
     candidates.reserve(entries_.size());
     for (std::size_t i = 0; i < entries_.size(); ++i) {
       if (!entries_[i].pinned) candidates.push_back(i);
     }
-    if (candidates.empty()) return false;
+    if (candidates.empty()) return std::nullopt;
     const std::size_t victim =
         candidates[rng.uniform_int(candidates.size())];
+    const NodeId evicted = entries_[victim].node;
     entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(victim));
-    return true;
+    return evicted;
   }
 
   /// Evicts the unpinned entry for which `worse(a, b)` ranks it last —
   /// i.e. the entry e maximizing the ordering (used by baseline policies
-  /// that evict the worst link). Returns false if every entry is pinned.
+  /// that evict the worst link). Returns the victim's id, or nullopt if
+  /// every entry is pinned.
   template <typename WorseThan>
-  bool evict_worst_unpinned(WorseThan worse) {
+  std::optional<NodeId> evict_worst_unpinned(WorseThan worse) {
     std::size_t victim = entries_.size();
     for (std::size_t i = 0; i < entries_.size(); ++i) {
       if (entries_[i].pinned) continue;
@@ -88,9 +91,10 @@ class NeighborTable {
         victim = i;
       }
     }
-    if (victim == entries_.size()) return false;
+    if (victim == entries_.size()) return std::nullopt;
+    const NodeId evicted = entries_[victim].node;
     entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(victim));
-    return true;
+    return evicted;
   }
 
   /// Removes `n` if present and unpinned. Returns true if removed.

@@ -20,6 +20,7 @@ CollectionNode::CollectionNode(sim::Simulator& sim, mac::Mac& mac,
       forwarding_(sim, mac.id(), routing_, *estimator_, config, metrics,
                   rng.fork("forwarding")) {
   FOURBIT_ASSERT(estimator_ != nullptr, "node needs a link estimator");
+  estimator_->set_telemetry(&sim.telemetry(), mac.id());
 
   mac_.set_rx_handler([this](NodeId src, std::uint8_t dsn,
                              std::span<const std::uint8_t> payload,
@@ -50,6 +51,7 @@ CollectionNode::CollectionNode(sim::Simulator& sim, mac::Mac& mac,
     frame.push_back(kDispatchBeacon);
     frame.insert(frame.end(), wrapped.begin(), wrapped.end());
     if (metrics_ != nullptr) metrics_->on_beacon_tx(id());
+    sim_.telemetry().emit(sim::EventKind::kBeaconTx, id().value());
     mac_.send(kBroadcastId, frame, nullptr);
   });
 
@@ -102,6 +104,10 @@ void CollectionNode::on_mac_rx(NodeId src, std::uint8_t /*dsn*/,
 
   switch (dispatch) {
     case kDispatchBeacon: {
+      // One beacon-rx event regardless of which estimator is running (they
+      // each parse their own layer-2.5 header).
+      sim_.telemetry().emit(sim::EventKind::kBeaconRx, id().value(),
+                            src.value());
       const auto routing_payload =
           estimator_->unwrap_beacon(src, body, phy_info);
       if (routing_payload.has_value()) {

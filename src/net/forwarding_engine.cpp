@@ -1,10 +1,8 @@
 #include "net/forwarding_engine.hpp"
 
-#include <cstdio>
 #include <utility>
 
 #include "common/assert.hpp"
-#include "sim/trace.hpp"
 
 namespace fourbit::net {
 
@@ -21,7 +19,10 @@ ForwardingEngine::ForwardingEngine(sim::Simulator& sim, NodeId self,
       metrics_(metrics),
       rng_(rng),
       dup_cache_(config.dup_cache_capacity),
-      service_timer_(sim, [this] { service(); }) {}
+      service_timer_(sim, [this] { service(); }),
+      ctr_data_tx_(sim.telemetry().counter("fwd", "data_tx", self.value())),
+      ctr_data_ack_(sim.telemetry().counter("fwd", "data_ack", self.value())),
+      ctr_drops_(sim.telemetry().counter("fwd", "drops", self.value())) {}
 
 bool ForwardingEngine::send(std::span<const std::uint8_t> app_payload) {
   const std::uint16_t seq = next_seq_++;
@@ -42,7 +43,7 @@ bool ForwardingEngine::send(std::span<const std::uint8_t> app_payload) {
     DataHeader h;
     h.origin = self_;
     h.seq = seq;
-    trace_drop("queue-full(origin)", h);
+    emit_drop(sim::DropReason::kQueueFullOrigin, h);
     return false;
   }
 
@@ -90,13 +91,13 @@ void ForwardingEngine::on_data(NodeId from,
   if (static_cast<int>(h.thl) + 1 > config_.max_thl) {
     routing_.on_loop_detected();
     if (metrics_ != nullptr) metrics_->on_queue_drop(self_);
-    trace_drop("thl-exceeded", h);
+    emit_drop(sim::DropReason::kThlExceeded, h);
     return;
   }
 
   if (queue_.size() >= config_.queue_capacity) {
     if (metrics_ != nullptr) metrics_->on_queue_drop(self_);
-    trace_drop("queue-full(forward)", h);
+    emit_drop(sim::DropReason::kQueueFullForward, h);
     return;
   }
 
@@ -132,6 +133,11 @@ void ForwardingEngine::transmit_head() {
   in_flight_ = true;
   in_flight_dst_ = routing_.parent();
   if (metrics_ != nullptr) metrics_->on_data_tx(self_);
+  ++*ctr_data_tx_;
+  sim_.telemetry().emit(q.transmissions > 1 ? sim::EventKind::kDataRetx
+                                            : sim::EventKind::kDataTx,
+                        self_.value(), in_flight_dst_.value(), q.header.seq,
+                        static_cast<std::uint16_t>(q.transmissions));
 
   data_sender_(in_flight_dst_, q.header.encode(q.payload),
                [this](bool acked) { on_tx_result(acked); });
@@ -149,6 +155,9 @@ void ForwardingEngine::on_tx_result(bool acked) {
 
   Queued& q = queue_.front();
   if (acked) {
+    ++*ctr_data_ack_;
+    sim_.telemetry().emit(sim::EventKind::kDataAck, self_.value(),
+                          parent.value(), q.header.seq);
     routing_.on_delivery_success(parent);
     queue_.pop_front();
     const double lo = config_.tx_pacing_min.seconds();
@@ -161,7 +170,7 @@ void ForwardingEngine::on_tx_result(bool acked) {
     const DataHeader dropped = q.header;
     queue_.pop_front();
     if (metrics_ != nullptr) metrics_->on_retx_drop(self_);
-    trace_drop("retx-exhausted", dropped);
+    emit_drop(sim::DropReason::kRetxExhausted, dropped);
     routing_.on_delivery_failure(parent);
     schedule_service(config_.retx_delay);
     return;
@@ -171,15 +180,12 @@ void ForwardingEngine::on_tx_result(bool acked) {
   schedule_service(config_.retx_delay);
 }
 
-void ForwardingEngine::trace_drop(const char* reason,
-                                  const DataHeader& header) {
-  if (!sim::Trace::enabled(sim::TraceLevel::kInfo)) return;
-  char buf[96];
-  std::snprintf(buf, sizeof buf, "drop %s at=%u origin=%u seq=%u", reason,
-                static_cast<unsigned>(self_.value()),
-                static_cast<unsigned>(header.origin.value()),
-                static_cast<unsigned>(header.seq));
-  sim::Trace::log(sim::TraceLevel::kInfo, sim_.now(), "fwd", buf);
+void ForwardingEngine::emit_drop(sim::DropReason reason,
+                                 const DataHeader& header) {
+  ++*ctr_drops_;
+  sim_.telemetry().emit(sim::EventKind::kDataDrop, self_.value(),
+                        header.origin.value(), header.seq,
+                        static_cast<std::uint16_t>(reason));
 }
 
 void ForwardingEngine::crash() {

@@ -107,7 +107,7 @@ class ForwardingEngine {
   void transmit_head();
   void on_tx_result(bool acked);
   void schedule_service(sim::Duration delay);
-  void trace_drop(const char* reason, const DataHeader& header);
+  void emit_drop(sim::DropReason reason, const DataHeader& header);
 
   sim::Simulator& sim_;
   NodeId self_;
@@ -126,6 +126,11 @@ class ForwardingEngine {
   std::uint16_t next_seq_ = 0;
   DupCache dup_cache_;
   sim::Timer service_timer_;
+
+  // Per-node registry slots (resolved once; hot paths just increment).
+  std::uint64_t* ctr_data_tx_ = nullptr;
+  std::uint64_t* ctr_data_ack_ = nullptr;
+  std::uint64_t* ctr_drops_ = nullptr;
 };
 
 }  // namespace fourbit::net

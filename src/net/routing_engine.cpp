@@ -1,10 +1,8 @@
 #include "net/routing_engine.hpp"
 
 #include <algorithm>
-#include <cstdio>
 
 #include "common/assert.hpp"
-#include "sim/trace.hpp"
 
 namespace fourbit::net {
 
@@ -227,6 +225,7 @@ void RoutingEngine::recompute_route() {
 
   if (switch_parent) {
     const bool actually_changed = best != parent_;
+    const NodeId old_parent = parent_;
     if (config_.pin_parent && parent_ != kInvalidNodeId) {
       estimator_.unpin(parent_);
     }
@@ -236,6 +235,11 @@ void RoutingEngine::recompute_route() {
     if (actually_changed) {
       ++parent_changes_;
       parent_failures_ = 0;  // the failure streak belonged to the old link
+      sim_.telemetry().emit(
+          sim::EventKind::kRouteChange, self_.value(), parent_.value(),
+          old_parent.value(),
+          static_cast<std::uint16_t>(sim::RouteChangeReason::kBetterParent),
+          best_cost);
       reset_beacon_interval();
     }
     return;
@@ -272,13 +276,10 @@ void RoutingEngine::evict_parent() {
   const NodeId dead = parent_;
   FOURBIT_ASSERT(dead != kInvalidNodeId, "evicting without a parent");
   ++parent_evictions_;
-  if (sim::Trace::enabled(sim::TraceLevel::kInfo)) {
-    char buf[64];
-    std::snprintf(buf, sizeof buf, "node %u evicts dead parent %u",
-                  static_cast<unsigned>(self_.value()),
-                  static_cast<unsigned>(dead.value()));
-    sim::Trace::log(sim::TraceLevel::kInfo, sim_.now(), "route", buf);
-  }
+  sim_.telemetry().emit(
+      sim::EventKind::kRouteChange, self_.value(), kInvalidNodeId.value(),
+      dead.value(),
+      static_cast<std::uint16_t>(sim::RouteChangeReason::kParentEvicted));
   // The pin bit refuses the first removal — that refusal is the recorded
   // event the pin/eviction interplay tests look for — then the unpin
   // makes the retry succeed.

@@ -16,7 +16,8 @@ Channel::Channel(sim::Simulator& sim, PhyConfig phy, PropagationConfig prop,
       propagation_(prop, rng.fork("propagation")),
       interference_(std::move(interference)),
       reception_rng_(rng.fork("reception")),
-      lqi_rng_(rng.fork("lqi")) {
+      lqi_rng_(rng.fork("lqi")),
+      ctr_frames_tx_(sim.telemetry().counter("phy", "frames_tx")) {
   FOURBIT_ASSERT(interference_ != nullptr, "interference model required");
 }
 
@@ -217,6 +218,10 @@ void Channel::start_transmission(Radio& sender,
   const sim::Time end = now + airtime;
   sender.set_transmitting_until(end);
   ++frames_transmitted_;
+  ++*ctr_frames_tx_;
+  // kDebug: per-frame events only ring/export when explicitly asked for.
+  sim_.telemetry().emit(sim::EventKind::kPhyFrame, sender.id().value(),
+                        0xFFFF, static_cast<std::uint16_t>(frame.size()));
   if (tx_observer_) {
     tx_observer_(sender.id(), airtime, sender.effective_tx_power());
   }

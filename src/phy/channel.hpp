@@ -222,6 +222,7 @@ class Channel {
   std::vector<std::uint64_t> cca_audible_;
 
   std::uint64_t frames_transmitted_ = 0;
+  std::uint64_t* ctr_frames_tx_ = nullptr;  // telemetry registry slot
   TxObserver tx_observer_;
   // Forced per-link loss (fault injection), keyed on the unordered pair.
   [[nodiscard]] static std::uint64_t link_key(NodeId a, NodeId b);

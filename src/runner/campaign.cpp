@@ -201,6 +201,16 @@ std::optional<std::uint64_t> consume_uint_flag(int& argc, char** argv,
   return static_cast<std::uint64_t>(parsed);
 }
 
+bool consume_bool_flag(int& argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) != 0) continue;
+    for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+    argc -= 1;
+    return true;
+  }
+  return false;
+}
+
 std::size_t consume_threads_flag(int& argc, char** argv) {
   return static_cast<std::size_t>(
       consume_uint_flag(argc, argv, "--threads").value_or(0));

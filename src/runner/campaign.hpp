@@ -12,9 +12,10 @@
 // constructs its OWN Simulator, Metrics, Rng tree and Network from its
 // config alone; run_experiment shares no mutable state between trials.
 // The only cross-thread state in the pool is the next-trial counter, the
-// disjoint result slots, and the progress mutex. `sim::Trace` is
-// process-global but read-only while trials run (configure it before
-// Campaign::run).
+// disjoint result slots, and the progress mutex. Telemetry is per-trial
+// state too: every Simulator owns its own sim::TelemetryContext, and
+// traced campaigns write one file per trial (supervisor.hpp), so tracing
+// never couples workers.
 #pragma once
 
 #include <array>
@@ -130,6 +131,10 @@ struct CampaignSummary {
 [[nodiscard]] std::optional<std::uint64_t> consume_uint_flag(int& argc,
                                                              char** argv,
                                                              const char* name);
+
+/// Strips a bare `name` (no value); returns true when it was present.
+[[nodiscard]] bool consume_bool_flag(int& argc, char** argv,
+                                     const char* name);
 
 /// Strips "--threads N" and returns N, or 0 (= all cores) if absent.
 [[nodiscard]] std::size_t consume_threads_flag(int& argc, char** argv);

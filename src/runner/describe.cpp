@@ -3,6 +3,8 @@
 #include <cstdarg>
 #include <cstdio>
 
+#include "stats/export.hpp"
+
 namespace fourbit::runner {
 namespace {
 
@@ -118,11 +120,19 @@ std::string describe(const ExperimentResult& result) {
 }
 
 std::string describe(const TrialFailure& failure) {
-  return format("trial %zu (seed %llu) failed [%s] on attempt %zu: %s\n",
-                failure.trial_index,
-                static_cast<unsigned long long>(failure.seed),
-                std::string{failure_kind_name(failure.kind)}.c_str(),
-                failure.attempt, failure.what.c_str());
+  std::string out =
+      format("trial %zu (seed %llu) failed [%s] on attempt %zu: %s",
+             failure.trial_index,
+             static_cast<unsigned long long>(failure.seed),
+             std::string{failure_kind_name(failure.kind)}.c_str(),
+             failure.attempt, failure.what.c_str());
+  if (!failure.flight.empty()) {
+    out += format(" (flight recorder: %zu events, last at t=%.3fs)",
+                  failure.flight.size(),
+                  failure.flight.back().at.seconds());
+  }
+  out += "\n";
+  return out;
 }
 
 std::string describe(const CampaignReport& report) {
@@ -156,6 +166,106 @@ std::string describe(const CampaignReport& report) {
     }
   }
   return out;
+}
+
+namespace {
+
+/// `"name":{"n":...,"mean":...,...}` for one aggregate (no braces around
+/// the pair itself; callers join with commas).
+std::string aggregate_json(const char* name, const stats::Aggregate& a) {
+  return format("\"%s\":{\"n\":%zu,\"mean\":%.17g,\"stddev\":%.17g,"
+                "\"ci95_half\":%.17g,\"min\":%.17g,\"median\":%.17g,"
+                "\"max\":%.17g}",
+                name, a.n, a.mean, a.stddev, a.ci95_half, a.quartiles.min,
+                a.quartiles.median, a.quartiles.max);
+}
+
+}  // namespace
+
+std::string describe_json(const ExperimentResult& result) {
+  std::string out = "{\"schema\":\"";
+  out += stats::kSummarySchema;
+  out += "\",\"type\":\"result\"";
+  out += format(",\"cost\":%.17g,\"delivery_ratio\":%.17g,"
+                "\"mean_depth\":%.17g",
+                result.cost, result.delivery_ratio, result.mean_depth);
+  out += format(",\"generated\":%llu,\"delivered\":%llu,\"data_tx\":%llu,"
+                "\"beacon_tx\":%llu,\"radio_frames\":%llu",
+                static_cast<unsigned long long>(result.generated),
+                static_cast<unsigned long long>(result.delivered),
+                static_cast<unsigned long long>(result.data_tx),
+                static_cast<unsigned long long>(result.beacon_tx),
+                static_cast<unsigned long long>(result.radio_frames));
+  out += format(",\"retx_drops\":%llu,\"queue_drops\":%llu,"
+                "\"duplicates\":%llu,\"parent_changes\":%llu",
+                static_cast<unsigned long long>(result.retx_drops),
+                static_cast<unsigned long long>(result.queue_drops),
+                static_cast<unsigned long long>(result.duplicates),
+                static_cast<unsigned long long>(result.parent_changes));
+  if (result.node_crashes > 0 || result.link_outages > 0) {
+    out += format(",\"node_crashes\":%llu,\"node_reboots\":%llu,"
+                  "\"link_outages\":%llu,\"route_losses\":%llu,"
+                  "\"mean_time_to_reroute_s\":%.17g,"
+                  "\"delivery_during_outage\":%.17g,"
+                  "\"delivery_post_outage\":%.17g",
+                  static_cast<unsigned long long>(result.node_crashes),
+                  static_cast<unsigned long long>(result.node_reboots),
+                  static_cast<unsigned long long>(result.link_outages),
+                  static_cast<unsigned long long>(result.route_losses),
+                  result.mean_time_to_reroute_s,
+                  result.delivery_during_outage,
+                  result.delivery_post_outage);
+  }
+  out += "}";
+  return out;
+}
+
+std::string describe_json(const TrialFailure& failure) {
+  std::string out = "{\"schema\":\"";
+  out += stats::kSummarySchema;
+  out += "\",\"type\":\"failure\"";
+  out += format(",\"trial\":%zu,\"seed\":%llu,\"kind\":\"%s\","
+                "\"attempt\":%zu,\"what\":\"%s\",\"flight_events\":%zu}",
+                failure.trial_index,
+                static_cast<unsigned long long>(failure.seed),
+                std::string{failure_kind_name(failure.kind)}.c_str(),
+                failure.attempt,
+                stats::json_escape(failure.what).c_str(),
+                failure.flight.size());
+  return out;
+}
+
+std::string describe_json(const CampaignSummary& summary) {
+  std::string out = "{\"schema\":\"";
+  out += stats::kSummarySchema;
+  out += "\",\"type\":\"campaign\"";
+  out += format(",\"trials\":%zu,\"completed\":%zu,\"attempts\":%llu,"
+                "\"retries\":%llu,\"replayed\":%llu",
+                summary.trials, summary.completed,
+                static_cast<unsigned long long>(summary.attempts),
+                static_cast<unsigned long long>(summary.retries),
+                static_cast<unsigned long long>(summary.replayed));
+  out += format(",\"failures\":{\"assert\":%zu,\"exception\":%zu,"
+                "\"timeout\":%zu,\"invariant\":%zu}",
+                summary.failures_by_kind[0], summary.failures_by_kind[1],
+                summary.failures_by_kind[2], summary.failures_by_kind[3]);
+  out += "," + aggregate_json("cost", summary.cost);
+  out += "," + aggregate_json("delivery_ratio", summary.delivery_ratio);
+  out += "," + aggregate_json("mean_depth", summary.mean_depth);
+  out += "," + aggregate_json("parent_changes", summary.parent_changes);
+  if (summary.delivery_during_outage.n > 0 ||
+      summary.time_to_reroute_s.n > 0) {
+    out += "," + aggregate_json("delivery_during_outage",
+                                summary.delivery_during_outage);
+    out += "," + aggregate_json("time_to_reroute_s",
+                                summary.time_to_reroute_s);
+  }
+  out += "}";
+  return out;
+}
+
+std::string describe_json(const CampaignReport& report) {
+  return describe_json(summarize(report));
 }
 
 }  // namespace fourbit::runner

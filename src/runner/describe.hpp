@@ -21,4 +21,14 @@ namespace fourbit::runner {
 /// journal replay (nothing worth reporting).
 [[nodiscard]] std::string describe(const CampaignReport& report);
 
+// Machine-readable counterparts for bench --json output: one line of
+// schema-versioned JSON ("fourbit.summary/1", stats/export.hpp), no
+// trailing newline. Each carries a "type" discriminator so a consumer
+// can mix them in one stream.
+
+[[nodiscard]] std::string describe_json(const ExperimentResult& result);
+[[nodiscard]] std::string describe_json(const TrialFailure& failure);
+[[nodiscard]] std::string describe_json(const CampaignSummary& summary);
+[[nodiscard]] std::string describe_json(const CampaignReport& report);
+
 }  // namespace fourbit::runner

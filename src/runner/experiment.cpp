@@ -2,11 +2,13 @@
 
 #include <cmath>
 #include <cstdio>
+#include <memory>
 #include <utility>
 
 #include "sim/invariant.hpp"
 #include "sim/simulator.hpp"
 #include "sim/timer.hpp"
+#include "stats/export.hpp"
 
 namespace fourbit::runner {
 namespace {
@@ -99,8 +101,20 @@ void install_invariants(sim::InvariantAuditor& auditor, sim::Simulator& sim,
 }  // namespace
 
 ExperimentResult run_experiment(ExperimentConfig config) {
+  // Declared before the Simulator so it outlives the sim during stack
+  // unwinding: the telemetry context must never hold a dangling sink.
+  std::unique_ptr<stats::JsonlExporter> exporter;
+
   sim::Simulator sim;
   if (config.budget.limited()) sim.set_budget(config.budget);
+  sim.telemetry().set_level(config.trace_level);
+  if (!config.trace_path.empty()) {
+    exporter = std::make_unique<stats::JsonlExporter>(
+        config.trace_path,
+        stats::JsonlExporter::Header{config.seed, config.trace_trial});
+    sim.telemetry().set_node_filter(config.trace_nodes);
+    sim.telemetry().set_sink(exporter.get());
+  }
   stats::Metrics metrics;
 
   Network::Options options;
@@ -158,6 +172,12 @@ ExperimentResult run_experiment(ExperimentConfig config) {
   sim.run_for(config.duration);
   depth_sampler.stop();
   auditor.stop();
+
+  if (exporter != nullptr) {
+    exporter->write_counters(sim.telemetry());
+    exporter->finish();
+    sim.telemetry().set_sink(nullptr);
+  }
 
   ExperimentResult result;
   result.cost = metrics.cost();

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "app/traffic.hpp"
@@ -53,6 +54,18 @@ struct ExperimentConfig {
   /// throws sim::InvariantViolationError out of the trial.
   bool audit_invariants = false;
   sim::Duration audit_interval = sim::Duration::from_seconds(15.0);
+
+  /// Telemetry. The level always applies (it gates the ring-buffer
+  /// flight recorder as well as export); trace_path, when non-empty,
+  /// additionally streams every passing event to that file as JSONL
+  /// (stats::JsonlExporter). trace_nodes restricts the exported stream
+  /// to events touching those node ids (empty = all); the flight
+  /// recorder is never filtered.
+  sim::TraceLevel trace_level = sim::TraceLevel::kInfo;
+  std::string trace_path;
+  std::vector<std::uint16_t> trace_nodes;
+  /// Campaign trial index recorded in the trace header (-1 = standalone).
+  std::int64_t trace_trial = -1;
 };
 
 struct ExperimentResult {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <mutex>
 #include <thread>
 #include <utility>
@@ -38,6 +40,11 @@ AttemptOutcome attempt_trial(
     const ExperimentConfig& config, std::size_t index, std::size_t attempt) {
   AttemptOutcome out;
   const ScopedAssertHandler isolate{throwing_assert_handler};
+  // The simulator is destroyed during unwinding, before any handler
+  // below runs; its destructor publishes the flight recorder to this
+  // thread's slot, which we collect after the catch. Clear it first so
+  // a clean prior trial's events can't leak into this one's failure.
+  sim::TelemetryContext::clear_last_flight();
   try {
     out.result = run_trial ? run_trial(config) : run_experiment(config);
   } catch (const AssertionError& e) {
@@ -56,6 +63,9 @@ AttemptOutcome attempt_trial(
     out.failure = TrialFailure{FailureKind::kException,
                                "unknown exception escaped the trial", index,
                                config.seed, attempt};
+  }
+  if (out.failure.has_value()) {
+    out.failure->flight = sim::TelemetryContext::take_last_flight();
   }
   return out;
 }
@@ -117,6 +127,17 @@ CampaignReport run_supervised(const std::vector<ExperimentConfig>& trials,
       }
       if (config.budget.max_wall_ms == 0) {
         config.budget.max_wall_ms = options.trial_budget.max_wall_ms;
+      }
+
+      // Campaign-wide telemetry: each trial writes its own file (named
+      // by index and seed) so workers never share a stream and output
+      // is identical at any thread count. A config's own path wins.
+      config.trace_level = options.trace_level;
+      if (config.trace_path.empty() && !options.trace_path_base.empty()) {
+        config.trace_path =
+            trial_trace_path(options.trace_path_base, i, config.seed);
+        config.trace_trial = static_cast<std::int64_t>(i);
+        config.trace_nodes = options.trace_nodes;
       }
 
       std::optional<TrialFailure> failure;
@@ -187,6 +208,18 @@ CampaignReport run_supervised(const std::vector<ExperimentConfig>& trials,
   return report;
 }
 
+std::string trial_trace_path(const std::string& base, std::size_t index,
+                             std::uint64_t seed) {
+  std::string stem = base;
+  constexpr std::string_view kExt = ".jsonl";
+  if (stem.size() >= kExt.size() &&
+      stem.compare(stem.size() - kExt.size(), kExt.size(), kExt) == 0) {
+    stem.resize(stem.size() - kExt.size());
+  }
+  return stem + "-t" + std::to_string(index) + "-s" + std::to_string(seed) +
+         ".jsonl";
+}
+
 CampaignCli consume_campaign_cli(int& argc, char** argv) {
   CampaignCli cli;
   cli.threads = consume_threads_flag(argc, argv);
@@ -194,6 +227,44 @@ CampaignCli consume_campaign_cli(int& argc, char** argv) {
   cli.max_trial_ms =
       consume_uint_flag(argc, argv, "--max-trial-ms").value_or(0);
   cli.retries = consume_uint_flag(argc, argv, "--retries").value_or(0);
+  cli.trace = consume_flag(argc, argv, "--trace").value_or("");
+  if (const auto level = consume_flag(argc, argv, "--trace-level")) {
+    if (*level == "off") {
+      cli.trace_level = sim::TraceLevel::kOff;
+    } else if (*level == "error") {
+      cli.trace_level = sim::TraceLevel::kError;
+    } else if (*level == "info") {
+      cli.trace_level = sim::TraceLevel::kInfo;
+    } else if (*level == "debug") {
+      cli.trace_level = sim::TraceLevel::kDebug;
+    } else {
+      std::fprintf(stderr,
+                   "--trace-level: expected off|error|info|debug, got '%s'\n",
+                   level->c_str());
+      std::exit(2);
+    }
+  }
+  if (const auto nodes = consume_flag(argc, argv, "--trace-nodes")) {
+    std::size_t pos = 0;
+    while (pos <= nodes->size()) {
+      const std::size_t comma = nodes->find(',', pos);
+      const std::string tok = nodes->substr(
+          pos, comma == std::string::npos ? std::string::npos : comma - pos);
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(tok.c_str(), &end, 10);
+      if (tok.empty() || end == nullptr || *end != '\0' || v > 0xFFFF) {
+        std::fprintf(stderr,
+                     "--trace-nodes: expected comma-separated node ids, "
+                     "got '%s'\n",
+                     nodes->c_str());
+        std::exit(2);
+      }
+      cli.trace_nodes.push_back(static_cast<std::uint16_t>(v));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+  cli.json = consume_bool_flag(argc, argv, "--json");
   return cli;
 }
 

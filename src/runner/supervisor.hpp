@@ -29,6 +29,7 @@
 #include "runner/campaign.hpp"
 #include "runner/experiment.hpp"
 #include "sim/simulator.hpp"
+#include "sim/telemetry.hpp"
 
 namespace fourbit::runner {
 
@@ -50,6 +51,10 @@ struct TrialFailure {
   std::size_t trial_index = 0;
   std::uint64_t seed = 0;
   std::size_t attempt = 1;     // 1-based attempt that produced this failure
+  /// The simulator's flight recorder at the moment of death (oldest
+  /// first, up to sim::TelemetryContext::kFlightCapacity events) — what
+  /// the sim was doing right before it failed, even with no trace file.
+  std::vector<sim::TelemetryEvent> flight;
 };
 
 struct RetryPolicy {
@@ -83,7 +88,22 @@ struct SupervisorOptions {
   /// Trial executor; defaults to run_experiment. Tests substitute
   /// throwing / asserting / hanging trials here.
   std::function<ExperimentResult(const ExperimentConfig&)> run_trial;
+
+  /// Telemetry applied to every trial. When trace_path_base is
+  /// non-empty, each trial streams its events to its own file named by
+  /// trial_trace_path(base, index, seed) — per-trial files, so parallel
+  /// workers never interleave and output is byte-identical at any
+  /// --threads value. A config's own non-empty trace_path wins.
+  std::string trace_path_base;
+  sim::TraceLevel trace_level = sim::TraceLevel::kInfo;
+  std::vector<std::uint16_t> trace_nodes;
 };
+
+/// Per-trial trace file name: "<stem>-t<index>-s<seed>.jsonl" where
+/// stem is `base` with any trailing ".jsonl" stripped.
+[[nodiscard]] std::string trial_trace_path(const std::string& base,
+                                           std::size_t index,
+                                           std::uint64_t seed);
 
 /// What a supervised campaign produced. results[i] belongs to trials[i]
 /// and is meaningful iff completed[i].
@@ -114,12 +134,17 @@ struct CampaignReport {
 [[nodiscard]] CampaignSummary summarize(const CampaignReport& report);
 
 /// Shared campaign CLI surface for bench mains: --threads N,
-/// --journal FILE, --max-trial-ms N, --retries N.
+/// --journal FILE, --max-trial-ms N, --retries N, --trace FILE,
+/// --trace-level off|error|info|debug, --trace-nodes a,b,c, --json.
 struct CampaignCli {
   std::size_t threads = 0;
   std::string journal;           // empty = no journal
   std::uint64_t max_trial_ms = 0;  // per-trial wall-clock budget
   std::uint64_t retries = 0;       // extra attempts per failed trial
+  std::string trace;               // per-trial JSONL base; empty = off
+  sim::TraceLevel trace_level = sim::TraceLevel::kInfo;
+  std::vector<std::uint16_t> trace_nodes;  // empty = all nodes
+  bool json = false;  // also emit machine-readable summary JSON
 
   [[nodiscard]] SupervisorOptions supervisor_options() const {
     SupervisorOptions options;
@@ -128,6 +153,9 @@ struct CampaignCli {
     options.trial_budget.max_wall_ms =
         static_cast<std::int64_t>(max_trial_ms);
     options.retry.max_attempts = 1 + static_cast<std::size_t>(retries);
+    options.trace_path_base = trace;
+    options.trace_level = trace_level;
+    options.trace_nodes = trace_nodes;
     return options;
   }
 };

@@ -1,19 +1,12 @@
 #include "sim/fault.hpp"
 
-#include <cstdio>
-
 #include "common/assert.hpp"
-#include "sim/trace.hpp"
 
 namespace fourbit::sim {
 namespace {
 
-void trace_fault(Time now, const char* format, std::uint32_t a,
-                 std::uint32_t b) {
-  if (!Trace::enabled(TraceLevel::kInfo)) return;
-  char buffer[96];
-  std::snprintf(buffer, sizeof buffer, format, a, b);
-  Trace::log(TraceLevel::kInfo, now, "fault", buffer);
+constexpr std::uint16_t fault_arg2(FaultKind kind) {
+  return static_cast<std::uint16_t>(kind);
 }
 
 }  // namespace
@@ -28,13 +21,15 @@ void FaultInjector::arm() {
 }
 
 void FaultInjector::crash_with_reboot(NodeId node, Duration downtime) {
-  trace_fault(sim_.now(), "crash node=%u downtime_us=%u", node.value(),
-              static_cast<std::uint32_t>(downtime.us()));
+  sim_.telemetry().emit(EventKind::kFaultStart, node.value(), 0xFFFF, 0,
+                        fault_arg2(FaultKind::kNodeCrash),
+                        downtime.seconds());
   ++crashes_;
   if (hooks_.crash_node) hooks_.crash_node(node);
   if (downtime.us() <= 0) return;  // permanent failure
   sim_.schedule_in(downtime, [this, node] {
-    trace_fault(sim_.now(), "reboot node=%u", node.value(), 0);
+    sim_.telemetry().emit(EventKind::kFaultEnd, node.value(), 0xFFFF, 0,
+                          fault_arg2(FaultKind::kNodeCrash));
     ++reboots_;
     if (hooks_.reboot_node) hooks_.reboot_node(node);
   });
@@ -46,15 +41,17 @@ void FaultInjector::fire(const FaultEvent& event) {
       crash_with_reboot(event.node, event.duration);
       break;
     case FaultKind::kLinkOutage:
-      trace_fault(sim_.now(), "link down %u<->%u", event.node.value(),
-                  event.peer.value());
+      sim_.telemetry().emit(EventKind::kFaultStart, event.node.value(),
+                            event.peer.value(), 0,
+                            fault_arg2(FaultKind::kLinkOutage), event.loss);
       ++outages_;
       if (hooks_.link_down) hooks_.link_down(event.node, event.peer,
                                              event.loss);
       if (event.duration.us() > 0) {
         sim_.schedule_in(event.duration, [this, &event] {
-          trace_fault(sim_.now(), "link up %u<->%u", event.node.value(),
-                      event.peer.value());
+          sim_.telemetry().emit(EventKind::kFaultEnd, event.node.value(),
+                                event.peer.value(), 0,
+                                fault_arg2(FaultKind::kLinkOutage));
           if (hooks_.link_up) hooks_.link_up(event.node, event.peer);
         });
       }
@@ -62,8 +59,9 @@ void FaultInjector::fire(const FaultEvent& event) {
     case FaultKind::kRootRegionCrash: {
       std::vector<NodeId> victims;
       if (hooks_.root_region) victims = hooks_.root_region(event.max_victims);
-      trace_fault(sim_.now(), "root-region crash: %u victims",
-                  static_cast<std::uint32_t>(victims.size()), 0);
+      sim_.telemetry().emit(EventKind::kFaultStart, 0xFFFF, 0xFFFF,
+                            static_cast<std::uint16_t>(victims.size()),
+                            fault_arg2(FaultKind::kRootRegionCrash));
       for (const NodeId victim : victims) {
         crash_with_reboot(victim, event.duration);
       }

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "sim/event_queue.hpp"
+#include "sim/telemetry.hpp"
 #include "sim/time.hpp"
 
 namespace fourbit::sim {
@@ -45,12 +46,19 @@ class BudgetExceededError : public std::runtime_error {
 /// relative to `now()`; the driver calls one of the run_* methods.
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator() { telemetry_.bind_clock(&now_); }
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   [[nodiscard]] Time now() const { return now_; }
+
+  /// Per-trial telemetry (typed events, counters, flight recorder).
+  /// Components emit through this instead of any global logger.
+  [[nodiscard]] TelemetryContext& telemetry() { return telemetry_; }
+  [[nodiscard]] const TelemetryContext& telemetry() const {
+    return telemetry_;
+  }
 
   /// Schedules `cb` after `delay` (must be >= 0).
   EventId schedule_in(Duration delay, EventQueue::Callback cb);
@@ -105,6 +113,7 @@ class Simulator {
 
   EventQueue queue_;
   Time now_;
+  TelemetryContext telemetry_;  // after now_: the bound clock must exist
   bool stopped_ = false;
   std::uint64_t events_executed_ = 0;
   SimBudget budget_;

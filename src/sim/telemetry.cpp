@@ -1,0 +1,111 @@
+#include "sim/telemetry.hpp"
+
+#include <utility>
+
+namespace fourbit::sim {
+namespace {
+
+// Where a dying trial's flight recording lands. Each worker thread runs
+// one trial at a time, so a thread-local slot is race-free by
+// construction: the context destructor (stack unwinding on the trial
+// thread) writes it, and the supervisor's catch block (same thread)
+// reads it immediately after.
+thread_local std::vector<TelemetryEvent> t_last_flight;
+
+std::string registry_key(std::string_view component, std::string_view name,
+                         std::uint16_t node) {
+  std::string key;
+  key.reserve(component.size() + name.size() + 8);
+  key.append(component);
+  key.push_back('\0');
+  key.append(name);
+  key.push_back('\0');
+  key.append(std::to_string(node));
+  return key;
+}
+
+}  // namespace
+
+std::string_view trace_level_name(TraceLevel level) {
+  switch (level) {
+    case TraceLevel::kOff: return "off";
+    case TraceLevel::kError: return "error";
+    case TraceLevel::kInfo: return "info";
+    case TraceLevel::kDebug: return "debug";
+  }
+  return "?";
+}
+
+std::string_view event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kBeaconTx: return "beacon-tx";
+    case EventKind::kBeaconRx: return "beacon-rx";
+    case EventKind::kDataTx: return "data-tx";
+    case EventKind::kDataAck: return "data-ack";
+    case EventKind::kDataRetx: return "data-retx";
+    case EventKind::kDataDrop: return "data-drop";
+    case EventKind::kTableInsert: return "table-insert";
+    case EventKind::kTableEvict: return "table-evict";
+    case EventKind::kTablePin: return "table-pin";
+    case EventKind::kTableUnpin: return "table-unpin";
+    case EventKind::kTableCompare: return "table-compare";
+    case EventKind::kEtxUpdate: return "etx-update";
+    case EventKind::kRouteChange: return "route-change";
+    case EventKind::kFaultStart: return "fault-start";
+    case EventKind::kFaultEnd: return "fault-end";
+    case EventKind::kPhyFrame: return "phy-frame";
+  }
+  return "?";
+}
+
+TelemetryContext::~TelemetryContext() {
+  // Publish the recording even on clean shutdown; clear_last_flight() at
+  // the top of each supervised attempt keeps recordings from leaking
+  // across trials.
+  t_last_flight = flight();
+}
+
+std::vector<TelemetryEvent> TelemetryContext::flight() const {
+  const std::uint64_t count =
+      head_ < kFlightCapacity ? head_ : std::uint64_t{kFlightCapacity};
+  std::vector<TelemetryEvent> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = head_ - count; i < head_; ++i) {
+    out.push_back(flight_[i & (kFlightCapacity - 1)]);
+  }
+  return out;
+}
+
+std::vector<TelemetryEvent> TelemetryContext::take_last_flight() {
+  return std::exchange(t_last_flight, {});
+}
+
+void TelemetryContext::clear_last_flight() { t_last_flight.clear(); }
+
+std::uint64_t* TelemetryContext::counter(std::string_view component,
+                                         std::string_view name,
+                                         std::uint16_t node) {
+  const auto key = registry_key(component, name, node);
+  if (const auto it = counter_index_.find(key);
+      it != counter_index_.end()) {
+    return &counters_[it->second].value;
+  }
+  counter_index_.emplace(key, counters_.size());
+  counters_.push_back(
+      CounterRow{std::string{component}, std::string{name}, node, 0});
+  return &counters_.back().value;
+}
+
+double* TelemetryContext::gauge(std::string_view component,
+                                std::string_view name, std::uint16_t node) {
+  const auto key = registry_key(component, name, node);
+  if (const auto it = gauge_index_.find(key); it != gauge_index_.end()) {
+    return &gauges_[it->second].value;
+  }
+  gauge_index_.emplace(key, gauges_.size());
+  gauges_.push_back(
+      GaugeRow{std::string{component}, std::string{name}, node, 0.0});
+  return &gauges_.back().value;
+}
+
+}  // namespace fourbit::sim

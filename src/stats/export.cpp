@@ -1,0 +1,96 @@
+#include "stats/export.hpp"
+
+#include <cinttypes>
+#include <stdexcept>
+
+namespace fourbit::stats {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string event_to_json(const sim::TelemetryEvent& event) {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\"type\":\"event\",\"t\":%.6f,\"kind\":\"%s\",\"node\":%u,"
+      "\"peer\":%u,\"arg\":%u,\"arg2\":%u,\"v0\":%.17g,\"v1\":%.17g}",
+      event.at.seconds(),
+      std::string{sim::event_kind_name(event.kind)}.c_str(), event.node,
+      event.peer, event.arg, event.arg2, event.v0, event.v1);
+  return buf;
+}
+
+JsonlExporter::JsonlExporter(const std::string& path, Header header) {
+  file_ = std::fopen(path.c_str(), "w");
+  if (file_ == nullptr) {
+    throw std::runtime_error("JsonlExporter: cannot open trace file: " +
+                             path);
+  }
+  std::fprintf(file_, "{\"schema\":\"%.*s\",\"type\":\"header\"",
+               static_cast<int>(kTelemetrySchema.size()),
+               kTelemetrySchema.data());
+  std::fprintf(file_, ",\"seed\":%" PRIu64,
+               static_cast<std::uint64_t>(header.seed));
+  if (header.trial >= 0) {
+    std::fprintf(file_, ",\"trial\":%" PRId64, header.trial);
+  }
+  std::fprintf(file_, "}\n");
+}
+
+JsonlExporter::~JsonlExporter() { finish(); }
+
+void JsonlExporter::on_event(const sim::TelemetryEvent& event) {
+  if (file_ == nullptr) return;
+  const auto line = event_to_json(event);
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+  ++events_;
+}
+
+void JsonlExporter::write_counters(const sim::TelemetryContext& telemetry) {
+  if (file_ == nullptr) return;
+  for (const auto& row : telemetry.counters()) {
+    std::fprintf(file_,
+                 "{\"type\":\"counter\",\"component\":\"%s\",\"name\":"
+                 "\"%s\",\"node\":%u,\"value\":%" PRIu64 "}\n",
+                 json_escape(row.component).c_str(),
+                 json_escape(row.name).c_str(), row.node, row.value);
+  }
+  for (const auto& row : telemetry.gauges()) {
+    std::fprintf(file_,
+                 "{\"type\":\"gauge\",\"component\":\"%s\",\"name\":"
+                 "\"%s\",\"node\":%u,\"value\":%.17g}\n",
+                 json_escape(row.component).c_str(),
+                 json_escape(row.name).c_str(), row.node, row.value);
+  }
+}
+
+void JsonlExporter::finish() {
+  if (file_ == nullptr) return;
+  std::fprintf(file_, "{\"type\":\"end\",\"events\":%" PRIu64 "}\n", events_);
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+}  // namespace fourbit::stats

@@ -1,0 +1,79 @@
+// Schema-versioned JSONL export of telemetry and summaries.
+//
+// One JSON object per line; the first line of every trace file is a
+// header carrying the schema tag, so a consumer can refuse files it
+// does not understand. Two schemas live here:
+//
+//   fourbit.telemetry/1 — per-trial trace files: header, then one line
+//     per telemetry event, then counter/gauge snapshot lines, then an
+//     "end" footer with the event count (a missing footer means the
+//     trial died mid-run — the file is still valid JSONL up to the
+//     truncation point).
+//   fourbit.summary/1 — campaign summaries (runner::describe_json and
+//     Metrics::describe_json emit it), so benches can print
+//     machine-readable results next to the human tables.
+//
+// The schema suffix is a compatibility contract: additive fields keep
+// the version; renaming/removing a field or changing a meaning bumps it.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "sim/telemetry.hpp"
+
+namespace fourbit::stats {
+
+inline constexpr std::string_view kTelemetrySchema = "fourbit.telemetry/1";
+inline constexpr std::string_view kSummarySchema = "fourbit.summary/1";
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes,
+/// backslashes, control characters).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// One event as a single JSONL line (no trailing newline). Field values
+/// are lossless: node/peer/arg/arg2 as raw integers (0xFFFF/0xFFFE are
+/// the "broadcast"/"none" sentinels), time as seconds with microsecond
+/// precision, doubles with round-trip precision.
+[[nodiscard]] std::string event_to_json(const sim::TelemetryEvent& event);
+
+/// Writes one trial's trace as JSONL. Construct with the per-trial path
+/// (the supervisor derives it from (index, seed), so parallel trials
+/// never share a file), attach as the TelemetryContext sink, and call
+/// write_counters() + finish() when the trial completes. The destructor
+/// finishes implicitly so a trial that dies by exception still leaves a
+/// parseable file.
+class JsonlExporter final : public sim::TelemetrySink {
+ public:
+  struct Header {
+    std::uint64_t seed = 0;
+    /// Campaign trial index; negative = standalone run (omitted).
+    std::int64_t trial = -1;
+  };
+
+  /// Throws std::runtime_error if `path` cannot be opened for writing.
+  JsonlExporter(const std::string& path, Header header);
+  ~JsonlExporter() override;
+
+  JsonlExporter(const JsonlExporter&) = delete;
+  JsonlExporter& operator=(const JsonlExporter&) = delete;
+
+  void on_event(const sim::TelemetryEvent& event) override;
+
+  /// Snapshots the registry: one "counter" / "gauge" line per row, in
+  /// registration order (deterministic per trial).
+  void write_counters(const sim::TelemetryContext& telemetry);
+
+  /// Writes the "end" footer and closes the file. Idempotent.
+  void finish();
+
+  [[nodiscard]] std::uint64_t events_written() const { return events_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::uint64_t events_ = 0;
+};
+
+}  // namespace fourbit::stats

@@ -1,6 +1,9 @@
 #include "stats/metrics.hpp"
 
 #include <algorithm>
+#include <cstdio>
+
+#include "stats/export.hpp"
 
 namespace fourbit::stats {
 
@@ -200,6 +203,44 @@ double Metrics::delivery_post_outage() const {
   if (generated_by_phase_[2] == 0) return 0.0;
   return static_cast<double>(delivered_by_phase_[2]) /
          static_cast<double>(generated_by_phase_[2]);
+}
+
+std::string Metrics::describe() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "generated %llu, delivered %llu (%.2f%%), cost %.2f tx/pkt\n"
+      "data tx %llu, beacons %llu, drops %llu retx / %llu queue, "
+      "%llu duplicates\n",
+      static_cast<unsigned long long>(generated_total()),
+      static_cast<unsigned long long>(delivered_unique_total()),
+      delivery_ratio() * 100.0, cost(),
+      static_cast<unsigned long long>(data_tx_total_),
+      static_cast<unsigned long long>(beacon_tx_total_),
+      static_cast<unsigned long long>(retx_drops_),
+      static_cast<unsigned long long>(queue_drops_),
+      static_cast<unsigned long long>(duplicate_rx_));
+  return buf;
+}
+
+std::string Metrics::describe_json() const {
+  char buf[640];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\"schema\":\"%s\",\"type\":\"metrics\",\"generated\":%llu,"
+      "\"delivered\":%llu,\"delivery_ratio\":%.17g,\"cost\":%.17g,"
+      "\"mean_depth\":%.17g,\"data_tx\":%llu,\"beacon_tx\":%llu,"
+      "\"retx_drops\":%llu,\"queue_drops\":%llu,\"duplicates\":%llu}",
+      std::string{kSummarySchema}.c_str(),
+      static_cast<unsigned long long>(generated_total()),
+      static_cast<unsigned long long>(delivered_unique_total()),
+      delivery_ratio(), cost(), average_depth(),
+      static_cast<unsigned long long>(data_tx_total_),
+      static_cast<unsigned long long>(beacon_tx_total_),
+      static_cast<unsigned long long>(retx_drops_),
+      static_cast<unsigned long long>(queue_drops_),
+      static_cast<unsigned long long>(duplicate_rx_));
+  return buf;
 }
 
 }  // namespace fourbit::stats

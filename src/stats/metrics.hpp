@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -133,6 +134,15 @@ class Metrics {
   /// outage windows (0 when nothing was generated in that phase).
   [[nodiscard]] double delivery_during_outage() const;
   [[nodiscard]] double delivery_post_outage() const;
+
+  // ---- reporting -------------------------------------------------------
+
+  /// Human-readable snapshot of the headline counters (multi-line).
+  [[nodiscard]] std::string describe() const;
+
+  /// One line of schema-versioned JSON ("fourbit.summary/1",
+  /// stats/export.hpp), type "metrics"; no trailing newline.
+  [[nodiscard]] std::string describe_json() const;
 
  private:
   struct PerOrigin {

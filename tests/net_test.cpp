@@ -19,7 +19,6 @@
 #include "net/packets.hpp"
 #include "net/routing_engine.hpp"
 #include "sim/simulator.hpp"
-#include "sim/trace.hpp"
 #include "stats/metrics.hpp"
 
 namespace fourbit::net {
@@ -497,17 +496,23 @@ TEST_F(ForwardingFixture, RetransmitsUntilBudgetThenDrops) {
   EXPECT_EQ(forwarding_.queue_depth(), 0u);
 }
 
+namespace {
+
+/// Captures kDataDrop events off the simulator's telemetry stream.
+struct DropCapture final : sim::TelemetrySink {
+  std::vector<sim::TelemetryEvent> drops;
+  void on_event(const sim::TelemetryEvent& event) override {
+    if (event.kind == sim::EventKind::kDataDrop) drops.push_back(event);
+  }
+};
+
+}  // namespace
+
 TEST_F(ForwardingFixture, QueueAndRetxDropsAreTraced) {
-  // Every dropped data packet must leave a trace event (the fault
+  // Every dropped data packet must leave a telemetry event (the fault
   // benches read these to attribute loss), tagged with reason + origin.
-  const auto prior_level = sim::Trace::level();
-  sim::Trace::set_level(sim::TraceLevel::kInfo);
-  std::vector<std::string> drops;
-  sim::Trace::set_sink([&](sim::TraceLevel, sim::Time,
-                           std::string_view component,
-                           std::string_view message) {
-    if (component == "fwd") drops.emplace_back(message);
-  });
+  DropCapture capture;
+  sim_.telemetry().set_sink(&capture);
 
   // Exhaust one packet's retransmission budget...
   (void)forwarding_.send(std::vector<std::uint8_t>{1});
@@ -521,16 +526,14 @@ TEST_F(ForwardingFixture, QueueAndRetxDropsAreTraced) {
     (void)forwarding_.send(std::vector<std::uint8_t>{1});
   }
 
-  sim::Trace::clear_sink();
-  sim::Trace::set_level(prior_level);
+  sim_.telemetry().set_sink(nullptr);
 
   bool saw_retx = false;
   bool saw_queue = false;
-  for (const auto& message : drops) {
-    if (message.find("retx-exhausted") != std::string::npos) saw_retx = true;
-    if (message.find("queue-full(origin)") != std::string::npos) {
-      saw_queue = true;
-    }
+  for (const auto& event : capture.drops) {
+    const auto reason = static_cast<sim::DropReason>(event.arg2);
+    if (reason == sim::DropReason::kRetxExhausted) saw_retx = true;
+    if (reason == sim::DropReason::kQueueFullOrigin) saw_queue = true;
   }
   EXPECT_TRUE(saw_retx) << "retx-budget drop was not traced";
   EXPECT_TRUE(saw_queue) << "queue-overflow drop was not traced";

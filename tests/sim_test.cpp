@@ -10,7 +10,6 @@
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
 #include "sim/timer.hpp"
-#include "sim/trace.hpp"
 
 namespace fourbit::sim {
 namespace {
@@ -234,23 +233,42 @@ TEST(TimerTest, RestartReplacesPending) {
   EXPECT_EQ(fired, 1);
 }
 
-// ---- Trace -----------------------------------------------------------------
+// ---- Telemetry (kernel-side surface; the full subsystem is covered by
+// tests/telemetry_test.cpp) ------------------------------------------------
 
-TEST(TraceTest, LevelGating) {
-  Trace::set_level(TraceLevel::kOff);
-  EXPECT_FALSE(Trace::enabled(TraceLevel::kError));
-  EXPECT_FALSE(Trace::enabled(TraceLevel::kDebug));
-  Trace::set_level(TraceLevel::kInfo);
-  EXPECT_TRUE(Trace::enabled(TraceLevel::kError));
-  EXPECT_TRUE(Trace::enabled(TraceLevel::kInfo));
-  EXPECT_FALSE(Trace::enabled(TraceLevel::kDebug));
-  Trace::set_level(TraceLevel::kDebug);
-  EXPECT_TRUE(Trace::enabled(TraceLevel::kDebug));
-  // Logging below the level is a no-op; logging at the level writes to
-  // stderr (not captured here — just must not crash).
-  Trace::log(TraceLevel::kDebug, Time::from_us(1500), "test", "message");
-  Trace::set_level(TraceLevel::kOff);
-  Trace::log(TraceLevel::kError, Time::from_us(1), "test", "suppressed");
+TEST(TelemetryTest, LevelGating) {
+  Simulator sim;
+  auto& telemetry = sim.telemetry();
+  telemetry.set_level(TraceLevel::kOff);
+  EXPECT_FALSE(telemetry.enabled(TraceLevel::kError));
+  EXPECT_FALSE(telemetry.enabled(TraceLevel::kDebug));
+  telemetry.set_level(TraceLevel::kInfo);
+  EXPECT_TRUE(telemetry.enabled(TraceLevel::kError));
+  EXPECT_TRUE(telemetry.enabled(TraceLevel::kInfo));
+  EXPECT_FALSE(telemetry.enabled(TraceLevel::kDebug));
+  telemetry.set_level(TraceLevel::kDebug);
+  EXPECT_TRUE(telemetry.enabled(TraceLevel::kDebug));
+
+  // A debug-level event is suppressed entirely below kDebug: no ring
+  // write, no count.
+  telemetry.set_level(TraceLevel::kInfo);
+  telemetry.emit(EventKind::kBeaconTx, 1);
+  EXPECT_EQ(telemetry.events_recorded(), 0u);
+  telemetry.emit(EventKind::kDataDrop, 1, 2);
+  EXPECT_EQ(telemetry.events_recorded(), 1u);
+}
+
+TEST(TelemetryTest, EventsAreStampedWithSimClock) {
+  Simulator sim;
+  sim.telemetry().set_level(TraceLevel::kDebug);
+  sim.schedule_at(Time::from_us(1500),
+                  [&] { sim.telemetry().emit(EventKind::kBeaconTx, 7); });
+  sim.run_for(Duration::from_ms(10));
+  const auto events = sim.telemetry().flight();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].at, Time::from_us(1500));
+  EXPECT_EQ(events[0].kind, EventKind::kBeaconTx);
+  EXPECT_EQ(events[0].node, 7u);
 }
 
 // ---- Rng -------------------------------------------------------------------

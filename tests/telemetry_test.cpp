@@ -1,0 +1,446 @@
+// Tests of the telemetry subsystem: the flight-recorder ring buffer,
+// level gating, the counter/gauge registry, node filtering, JSONL export
+// (schema lock + round trip), per-trial trace files under the campaign
+// supervisor, and flight-recorder attachment to trial failures.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runner/campaign.hpp"
+#include "runner/describe.hpp"
+#include "runner/experiment.hpp"
+#include "runner/supervisor.hpp"
+#include "sim/invariant.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/telemetry.hpp"
+#include "stats/export.hpp"
+#include "topology/topology.hpp"
+
+namespace fourbit::sim {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::path{::testing::TempDir()} / name).string();
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in{path};
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+// ---- flight recorder ---------------------------------------------------
+
+TEST(FlightRecorderTest, RingKeepsTheLastCapacityEvents) {
+  TelemetryContext telemetry;
+  const std::size_t total = 3 * TelemetryContext::kFlightCapacity / 2 + 5;
+  for (std::size_t i = 0; i < total; ++i) {
+    telemetry.emit(EventKind::kDataDrop, 1, 2,
+                   static_cast<std::uint16_t>(i));
+  }
+  EXPECT_EQ(telemetry.events_recorded(), total);
+
+  const auto events = telemetry.flight();
+  ASSERT_EQ(events.size(), TelemetryContext::kFlightCapacity);
+  // Oldest first, ending at the most recent emit.
+  EXPECT_EQ(events.front().arg,
+            static_cast<std::uint16_t>(total -
+                                       TelemetryContext::kFlightCapacity));
+  EXPECT_EQ(events.back().arg, static_cast<std::uint16_t>(total - 1));
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].arg, events[i - 1].arg + 1);
+  }
+}
+
+TEST(FlightRecorderTest, PartialFillReturnsOnlyRecordedEvents) {
+  TelemetryContext telemetry;
+  telemetry.emit(EventKind::kEtxUpdate, 3, 4, 0, 0, 1.0, 2.5);
+  telemetry.emit(EventKind::kRouteChange, 3, 5, 4);
+  const auto events = telemetry.flight();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, EventKind::kEtxUpdate);
+  EXPECT_DOUBLE_EQ(events[0].v1, 2.5);
+  EXPECT_EQ(events[1].kind, EventKind::kRouteChange);
+  EXPECT_EQ(events[1].peer, 5u);
+}
+
+TEST(FlightRecorderTest, DestructorPublishesToThreadLocalSlot) {
+  TelemetryContext::clear_last_flight();
+  {
+    TelemetryContext telemetry;
+    telemetry.emit(EventKind::kFaultStart, 9);
+    telemetry.emit(EventKind::kFaultEnd, 9);
+  }
+  const auto flight = TelemetryContext::take_last_flight();
+  ASSERT_EQ(flight.size(), 2u);
+  EXPECT_EQ(flight[0].kind, EventKind::kFaultStart);
+  EXPECT_EQ(flight[1].kind, EventKind::kFaultEnd);
+  // take_last_flight is destructive: the slot is now empty.
+  EXPECT_TRUE(TelemetryContext::take_last_flight().empty());
+}
+
+TEST(FlightRecorderTest, LevelGatesTheRingToo) {
+  TelemetryContext telemetry;
+  telemetry.set_level(TraceLevel::kOff);
+  telemetry.emit(EventKind::kDataDrop, 1);
+  EXPECT_EQ(telemetry.events_recorded(), 0u);
+  telemetry.set_level(TraceLevel::kDebug);
+  telemetry.emit(EventKind::kBeaconTx, 1);
+  EXPECT_EQ(telemetry.events_recorded(), 1u);
+}
+
+// ---- counter / gauge registry ------------------------------------------
+
+TEST(RegistryTest, SameKeyReturnsSameSlot) {
+  TelemetryContext telemetry;
+  std::uint64_t* a = telemetry.counter("fwd", "drops", 3);
+  std::uint64_t* b = telemetry.counter("fwd", "drops", 3);
+  EXPECT_EQ(a, b);
+  std::uint64_t* other_node = telemetry.counter("fwd", "drops", 4);
+  EXPECT_NE(a, other_node);
+  std::uint64_t* other_name = telemetry.counter("fwd", "data_tx", 3);
+  EXPECT_NE(a, other_name);
+
+  *a += 7;
+  EXPECT_EQ(*b, 7u);
+}
+
+TEST(RegistryTest, RowsKeepRegistrationOrder) {
+  TelemetryContext telemetry;
+  (void)telemetry.counter("phy", "frames_tx");
+  (void)telemetry.counter("fwd", "data_tx", 1);
+  (void)telemetry.counter("fwd", "data_tx", 2);
+  *telemetry.gauge("route", "etx", 1) = 3.5;
+
+  const auto& counters = telemetry.counters();
+  ASSERT_EQ(counters.size(), 3u);
+  EXPECT_EQ(counters[0].component, "phy");
+  EXPECT_EQ(counters[0].node, 0xFFFF);
+  EXPECT_EQ(counters[1].node, 1u);
+  EXPECT_EQ(counters[2].node, 2u);
+  ASSERT_EQ(telemetry.gauges().size(), 1u);
+  EXPECT_DOUBLE_EQ(telemetry.gauges()[0].value, 3.5);
+}
+
+TEST(RegistryTest, HandlesSurviveFurtherRegistrations) {
+  TelemetryContext telemetry;
+  std::uint64_t* first = telemetry.counter("c", "n", 0);
+  for (std::uint16_t i = 1; i < 200; ++i) {
+    (void)telemetry.counter("c", "n", i);
+  }
+  *first = 42;  // must not have been invalidated by growth
+  EXPECT_EQ(telemetry.counters().front().value, 42u);
+}
+
+// ---- sinks and filtering -----------------------------------------------
+
+struct CaptureSink final : TelemetrySink {
+  std::vector<TelemetryEvent> events;
+  void on_event(const TelemetryEvent& event) override {
+    events.push_back(event);
+  }
+};
+
+TEST(SinkTest, NodeFilterAppliesToSinkButNotFlightRecorder) {
+  TelemetryContext telemetry;
+  CaptureSink sink;
+  telemetry.set_sink(&sink);
+  telemetry.set_node_filter({5});
+
+  telemetry.emit(EventKind::kDataDrop, 5, 1);   // node matches
+  telemetry.emit(EventKind::kDataDrop, 1, 5);   // peer matches
+  telemetry.emit(EventKind::kDataDrop, 2, 3);   // neither
+  telemetry.set_sink(nullptr);
+
+  ASSERT_EQ(sink.events.size(), 2u);
+  EXPECT_EQ(sink.events[0].node, 5u);
+  EXPECT_EQ(sink.events[1].peer, 5u);
+  // The flight recorder saw everything.
+  EXPECT_EQ(telemetry.flight().size(), 3u);
+}
+
+TEST(SinkTest, SimulatorStampsEventsWithItsClock) {
+  Simulator sim;
+  CaptureSink sink;
+  sim.telemetry().set_sink(&sink);
+  sim.schedule_at(Time::from_us(250'000),
+                  [&] { sim.telemetry().emit(EventKind::kTablePin, 1, 2); });
+  sim.run_for(Duration::from_seconds(1.0));
+  sim.telemetry().set_sink(nullptr);
+  ASSERT_EQ(sink.events.size(), 1u);
+  EXPECT_EQ(sink.events[0].at, Time::from_us(250'000));
+}
+
+// ---- JSONL export ------------------------------------------------------
+
+// Schema lock: this string IS the fourbit.telemetry/1 event format.
+// Renaming or removing a field must bump the schema version
+// (stats/export.hpp) and update this test deliberately.
+TEST(JsonlTest, EventJsonIsStable) {
+  TelemetryEvent event;
+  event.at = Time::from_us(1'500'000);
+  event.kind = EventKind::kEtxUpdate;
+  event.node = 3;
+  event.peer = 7;
+  event.arg = 1;
+  event.arg2 = 0;
+  event.v0 = 1.5;
+  event.v1 = 2.25;
+  EXPECT_EQ(stats::event_to_json(event),
+            "{\"type\":\"event\",\"t\":1.500000,\"kind\":\"etx-update\","
+            "\"node\":3,\"peer\":7,\"arg\":1,\"arg2\":0,\"v0\":1.5,"
+            "\"v1\":2.25}");
+}
+
+TEST(JsonlTest, JsonEscapeHandlesSpecials) {
+  EXPECT_EQ(stats::json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(stats::json_escape(std::string{'\x01'}), "\\u0001");
+  EXPECT_EQ(stats::json_escape("plain"), "plain");
+}
+
+TEST(JsonlTest, ExporterWritesHeaderEventsCountersFooter) {
+  const std::string path = temp_path("exporter.jsonl");
+  TelemetryContext telemetry;
+  *telemetry.counter("fwd", "drops", 2) = 11;
+  {
+    stats::JsonlExporter exporter{path, {.seed = 77, .trial = 4}};
+    telemetry.set_sink(&exporter);
+    telemetry.emit(EventKind::kTableInsert, 1, 2);
+    telemetry.emit(EventKind::kTableEvict, 1, 2, 0, 0);
+    telemetry.set_sink(nullptr);
+    EXPECT_EQ(exporter.events_written(), 2u);
+    exporter.write_counters(telemetry);
+    exporter.finish();
+  }
+
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 5u);
+  EXPECT_EQ(lines[0],
+            "{\"schema\":\"fourbit.telemetry/1\",\"type\":\"header\","
+            "\"seed\":77,\"trial\":4}");
+  EXPECT_NE(lines[1].find("\"kind\":\"table-insert\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"kind\":\"table-evict\""), std::string::npos);
+  EXPECT_EQ(lines[3],
+            "{\"type\":\"counter\",\"component\":\"fwd\",\"name\":"
+            "\"drops\",\"node\":2,\"value\":11}");
+  EXPECT_EQ(lines[4], "{\"type\":\"end\",\"events\":2}");
+  std::filesystem::remove(path);
+}
+
+TEST(JsonlTest, StandaloneHeaderOmitsTrial) {
+  const std::string path = temp_path("standalone.jsonl");
+  {
+    stats::JsonlExporter exporter{path, {.seed = 5, .trial = -1}};
+  }
+  const auto lines = read_lines(path);
+  ASSERT_GE(lines.size(), 1u);
+  EXPECT_EQ(lines[0],
+            "{\"schema\":\"fourbit.telemetry/1\",\"type\":\"header\","
+            "\"seed\":5}");
+  std::filesystem::remove(path);
+}
+
+TEST(JsonlTest, ExporterThrowsOnUnopenablePath) {
+  EXPECT_THROW(
+      (stats::JsonlExporter{"/nonexistent-dir-xyz/trace.jsonl", {}}),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fourbit::sim
+
+namespace fourbit::runner {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::path{::testing::TempDir()} / name).string();
+}
+
+/// A small, fast trial: a truncated Mirage testbed for a short run.
+ExperimentConfig small_trial(std::uint64_t seed) {
+  sim::Rng rng{seed};
+  ExperimentConfig cfg;
+  cfg.testbed = topology::mirage(rng);
+  cfg.testbed.topology.nodes.resize(16);
+  cfg.duration = sim::Duration::from_minutes(2.0);
+  cfg.seed = seed;
+  return cfg;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// ---- per-trial trace files ---------------------------------------------
+
+TEST(TracePathTest, NamesFilesByTrialIndexAndSeed) {
+  EXPECT_EQ(trial_trace_path("run.jsonl", 3, 42), "run-t3-s42.jsonl");
+  EXPECT_EQ(trial_trace_path("out/traces", 0, 9100),
+            "out/traces-t0-s9100.jsonl");
+}
+
+TEST(TraceCampaignTest, StandaloneTraceFileIsWritten) {
+  const std::string path = temp_path("single-trial.jsonl");
+  auto cfg = small_trial(11);
+  cfg.trace_path = path;
+  const auto result = run_experiment(cfg);
+  EXPECT_GT(result.generated, 0u);
+
+  const auto content = read_file(path);
+  ASSERT_FALSE(content.empty());
+  EXPECT_NE(content.find("\"schema\":\"fourbit.telemetry/1\""),
+            std::string::npos);
+  EXPECT_NE(content.find("\"type\":\"end\""), std::string::npos);
+  // Default level is kInfo: state changes are present...
+  EXPECT_NE(content.find("\"kind\":\"table-insert\""), std::string::npos);
+  EXPECT_NE(content.find("\"kind\":\"route-change\""), std::string::npos);
+  // ...but per-frame debug plumbing is not.
+  EXPECT_EQ(content.find("\"kind\":\"beacon-tx\""), std::string::npos);
+  // Counters were snapshotted.
+  EXPECT_NE(content.find("\"type\":\"counter\""), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+// The acceptance contract: a traced campaign writes one file per trial,
+// and those files are byte-identical at any thread count.
+TEST(TraceCampaignTest, PerTrialFilesAreThreadCountInvariant) {
+  const auto trials = Campaign::seed_sweep(small_trial(60), 4);
+  const std::string base = temp_path("campaign-trace.jsonl");
+
+  const auto run_with_threads = [&](std::size_t threads) {
+    SupervisorOptions options;
+    options.threads = threads;
+    options.trace_path_base = base;
+    const auto report = run_supervised(trials, options);
+    EXPECT_TRUE(report.all_completed());
+    std::vector<std::string> files;
+    for (std::size_t i = 0; i < trials.size(); ++i) {
+      const auto path = trial_trace_path(base, i, trials[i].seed);
+      files.push_back(read_file(path));
+      std::filesystem::remove(path);
+    }
+    return files;
+  };
+
+  const auto serial = run_with_threads(1);
+  const auto parallel = run_with_threads(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_FALSE(serial[i].empty()) << "trial " << i << " wrote no trace";
+    EXPECT_EQ(serial[i], parallel[i])
+        << "trial " << i << " trace differs across thread counts";
+    // Each file carries its own trial index in the header.
+    EXPECT_NE(serial[i].find("\"trial\":" + std::to_string(i)),
+              std::string::npos);
+  }
+}
+
+TEST(TraceCampaignTest, TracingDoesNotChangeResults) {
+  const auto trials = Campaign::seed_sweep(small_trial(70), 2);
+  SupervisorOptions plain;
+  plain.threads = 1;
+  const auto baseline = run_supervised(trials, plain);
+
+  SupervisorOptions traced;
+  traced.threads = 1;
+  traced.trace_path_base = temp_path("noeffect.jsonl");
+  const auto report = run_supervised(trials, traced);
+
+  ASSERT_TRUE(baseline.all_completed());
+  ASSERT_TRUE(report.all_completed());
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    EXPECT_EQ(baseline.results[i].cost, report.results[i].cost);
+    EXPECT_EQ(baseline.results[i].delivered, report.results[i].delivered);
+    EXPECT_EQ(baseline.results[i].parent_changes,
+              report.results[i].parent_changes);
+    std::filesystem::remove(
+        trial_trace_path(traced.trace_path_base, i, trials[i].seed));
+  }
+}
+
+// ---- flight recorder attachment to failures ----------------------------
+
+// The acceptance contract: a trial that dies on an invariant violation
+// produces a TrialFailure carrying the sim's recent telemetry.
+TEST(FlightOnFailureTest, InvariantFailureCarriesFlightRecording) {
+  const auto trials = Campaign::seed_sweep(small_trial(80), 2);
+  SupervisorOptions options;
+  options.threads = 2;
+  options.run_trial = [&](const ExperimentConfig& cfg) -> ExperimentResult {
+    if (cfg.seed != trials[1].seed) return run_experiment(cfg);
+    // A trial whose auditor trips mid-run: the simulator (and its
+    // telemetry context) is destroyed by stack unwinding before the
+    // supervisor's catch block sees the exception.
+    sim::Simulator sim;
+    sim.telemetry().emit(sim::EventKind::kFaultStart, 4, 0xFFFF, 0, 0);
+    sim.telemetry().emit(sim::EventKind::kDataDrop, 4, 2, 9, 3);
+    sim::InvariantAuditor auditor{sim};
+    auditor.add("forced", [&]() -> std::optional<std::string> {
+      return "forced violation";
+    });
+    auditor.start(sim::Duration::from_seconds(1.0));
+    sim.run_for(sim::Duration::from_seconds(5.0));
+    return {};
+  };
+
+  const auto report = run_supervised(trials, options);
+  ASSERT_EQ(report.failures.size(), 1u);
+  const auto& failure = report.failures[0];
+  EXPECT_EQ(failure.kind, FailureKind::kInvariant);
+  ASSERT_GE(failure.flight.size(), 2u);
+  EXPECT_EQ(failure.flight[0].kind, sim::EventKind::kFaultStart);
+  EXPECT_EQ(failure.flight[1].kind, sim::EventKind::kDataDrop);
+  EXPECT_EQ(failure.flight[1].arg2,
+            static_cast<std::uint16_t>(sim::DropReason::kRetxExhausted));
+
+  // The human and JSON reports both mention the recording.
+  EXPECT_NE(describe(failure).find("flight recorder"), std::string::npos);
+  EXPECT_NE(describe_json(failure).find("\"flight_events\":"),
+            std::string::npos);
+
+  // The healthy sibling completed and carries no stale flight data.
+  EXPECT_TRUE(report.completed[0]);
+}
+
+TEST(FlightOnFailureTest, CleanTrialsLeaveNoStaleFlight) {
+  const auto trials = Campaign::seed_sweep(small_trial(90), 1);
+  SupervisorOptions options;
+  options.threads = 1;
+  const auto report = run_supervised(trials, options);
+  EXPECT_TRUE(report.all_completed());
+  EXPECT_TRUE(report.failures.empty());
+}
+
+// ---- summary JSON ------------------------------------------------------
+
+TEST(SummaryJsonTest, CampaignSummaryCarriesSchemaAndCounts) {
+  const auto trials = Campaign::seed_sweep(small_trial(95), 2);
+  SupervisorOptions options;
+  options.threads = 1;
+  const auto report = run_supervised(trials, options);
+  const auto json = describe_json(report);
+  EXPECT_EQ(json.find("{\"schema\":\"fourbit.summary/1\","
+                      "\"type\":\"campaign\""),
+            0u);
+  EXPECT_NE(json.find("\"trials\":2,\"completed\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"cost\":{\"n\":2,"), std::string::npos);
+
+  const auto result_json = describe_json(report.results[0]);
+  EXPECT_EQ(result_json.find("{\"schema\":\"fourbit.summary/1\","
+                             "\"type\":\"result\""),
+            0u);
+}
+
+}  // namespace
+}  // namespace fourbit::runner
