@@ -1,17 +1,26 @@
-// Channel scaling benchmark: packets/sec through the shared medium at
-// N = 50 / 200 / 800 radios, fast path (link cache + culling + pooled
-// frames) vs the slow reference path.
+// Channel scaling benchmark: packets/sec through the shared medium,
+// fast path (link cache + culling + pooled frames) vs the slow
+// reference path at N = 50 / 200 / 800 radios, plus sparse spatial
+// cells (use_spatial_index) at city-scale N = 2000 / 10000 — the
+// populations the dense N x N matrices cannot reach.
 //
 // The workload is the channel's steady-state job in a collection run:
 // every radio wakes on its own period, samples CCA (busy_at), and puts a
 // 40-byte frame on the air if idle — enough concurrency that the
 // interference cross-product runs, and every delivery exercises the
-// SINR/PRR/LQI pipeline. Both paths must deliver the SAME number of
-// frames (bit-identical model); the benchmark fails loudly if not.
+// SINR/PRR/LQI pipeline. Paths must deliver the SAME number of frames
+// (bit-identical model); the benchmark fails loudly if not. Sparse
+// cells use a sqrt(N) x sqrt(N) grid at 100 m pitch (city-scale
+// density); at N <= 2000 each sparse cell is followed by its dense twin
+// and the frame/delivery counts are compared. Peak RSS is sampled right
+// after each sparse cell — before the dense twin can raise the
+// process high-water mark — and --max-rss-per-node-kb turns the
+// per-node figure into a hard ceiling (the O(N·degree) memory gate).
 //
 // Output is BENCH_channel.json. With --check BASELINE, the measured
-// fast/slow speedup at each N is compared against the checked-in
-// baseline and the run exits nonzero if any N regressed below 80% of it
+// fast/slow speedup at each N (and the sparse/fast throughput ratio at
+// each sparse N with a dense twin) is compared against the checked-in
+// baseline and the run exits nonzero if any regressed below 80% of it
 // — the CI perf-smoke gate. Speedup ratios, not absolute frame rates,
 // are compared: ratios transfer across machines, wall-clock does not.
 // A final pair of cells re-runs the largest N with telemetry at debug
@@ -19,8 +28,11 @@
 // gates that overhead at 10%.
 //
 //   usage: channel_scaling [--nodes 50,200,800] [--seconds S]
+//                          [--sparse-nodes 2000,10000]
+//                          [--sparse-seconds S] [--max-rss-per-node-kb K]
 //                          [--out BENCH_channel.json] [--check BASELINE]
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,6 +42,8 @@
 #include <string>
 #include <utility>
 #include <vector>
+
+#include <sys/resource.h>
 
 #include "phy/channel.hpp"
 #include "phy/hardware.hpp"
@@ -44,46 +58,76 @@ namespace {
 
 constexpr std::size_t kFrameBytes = 40;
 constexpr double kPeriodSeconds = 0.05;  // per-radio transmit period
+constexpr double kDensePitchM = 30.0;    // every pair in reception range
+constexpr double kSparsePitchM = 100.0;  // city-scale density
+// Sparse cells model a duty-cycled deployment: at 10k nodes the dense
+// cells' 50 ms period would put hundreds of frames in the air at once
+// (every receiver drowns; the interference cross-product, which is
+// O(active² · degree), dwarfs the channel work being measured).
+constexpr double kSparsePeriodSeconds = 0.5;
+
+enum class Mode { kSlow, kFast, kSparse };
+
+const char* mode_name(Mode m) {
+  switch (m) {
+    case Mode::kSlow: return "slow";
+    case Mode::kFast: return "fast";
+    case Mode::kSparse: return "sparse";
+  }
+  return "?";
+}
+
+/// Process peak RSS in KB (ru_maxrss unit on Linux). A high-water mark:
+/// sparse cells sample it before any dense twin runs.
+double peak_rss_kb() {
+  rusage u{};
+  getrusage(RUSAGE_SELF, &u);
+  return static_cast<double>(u.ru_maxrss);
+}
 
 struct RunResult {
   std::size_t nodes = 0;
-  bool fast = false;
+  Mode mode = Mode::kSlow;
   std::uint64_t frames = 0;
   std::uint64_t deliveries = 0;
   double wall_s = 0.0;
+  double rss_kb_per_node = 0.0;  // sampled for sparse cells only
 
   [[nodiscard]] double frames_per_s() const {
     return wall_s > 0.0 ? static_cast<double>(frames) / wall_s : 0.0;
   }
 };
 
-/// One benchmark cell: N radios on a 30 m grid, each on a periodic
-/// CCA-then-transmit tick, for `seconds` of simulated time. `level`
-/// dials the telemetry context: kInfo (the default) records no
-/// per-frame events, kDebug pays one flight-recorder ring write per
-/// frame — the telemetry-overhead cells compare the two.
-RunResult run_cell(std::size_t n, bool fast, double seconds,
-                   sim::TraceLevel level = sim::TraceLevel::kInfo) {
+/// One benchmark cell: N radios on a `cols`-wide grid of the given
+/// pitch, each on a periodic CCA-then-transmit tick, for `seconds` of
+/// simulated time. `level` dials the telemetry context: kInfo (the
+/// default) records no per-frame events, kDebug pays one
+/// flight-recorder ring write per frame — the telemetry-overhead cells
+/// compare the two.
+RunResult run_cell(std::size_t n, Mode mode, double seconds,
+                   sim::TraceLevel level = sim::TraceLevel::kInfo,
+                   std::size_t cols = 16, double pitch_m = kDensePitchM,
+                   double period_s = kPeriodSeconds) {
   sim::Simulator sim;
   sim.telemetry().set_level(level);
   phy::PhyConfig phy;
-  phy.use_link_cache = fast;
+  phy.use_link_cache = mode != Mode::kSlow;
+  phy.use_spatial_index = mode == Mode::kSparse;
   phy::Channel channel{sim, phy, phy::PropagationConfig{},
                        std::make_unique<phy::NullInterference>(),
                        sim::Rng{4242}};
 
   RunResult out;
   out.nodes = n;
-  out.fast = fast;
+  out.mode = mode;
 
   std::vector<std::unique_ptr<phy::Radio>> radios;
   radios.reserve(n);
-  const std::size_t cols = 16;  // dense rows: plenty of in-range pairs
   for (std::size_t i = 0; i < n; ++i) {
     radios.push_back(std::make_unique<phy::Radio>(
         channel, NodeId{static_cast<std::uint16_t>(i + 1)},
-        Position{static_cast<double>(i % cols) * 30.0,
-                 static_cast<double>(i / cols) * 30.0},
+        Position{static_cast<double>(i % cols) * pitch_m,
+                 static_cast<double>(i / cols) * pitch_m},
         phy::HardwareProfile{}, PowerDbm{0.0}));
     radios.back()->set_rx_handler(
         [&out](std::span<const std::uint8_t>, const phy::RxInfo&) {
@@ -93,7 +137,7 @@ RunResult run_cell(std::size_t n, bool fast, double seconds,
 
   const auto end = sim::Time::from_us(
       static_cast<std::int64_t>(seconds * 1e6));
-  const auto period = sim::Duration::from_seconds(kPeriodSeconds);
+  const auto period = sim::Duration::from_seconds(period_s);
 
   // Self-rescheduling per-radio tick; phases spread over one period so
   // transmissions interleave instead of colliding en masse.
@@ -109,7 +153,7 @@ RunResult run_cell(std::size_t n, bool fast, double seconds,
   };
   for (std::size_t i = 0; i < n; ++i) {
     const auto phase = sim::Duration::from_us(static_cast<std::int64_t>(
-        kPeriodSeconds * 1e6 * static_cast<double>(i) /
+        period_s * 1e6 * static_cast<double>(i) /
         static_cast<double>(n)));
     sim.schedule_at(sim::Time{} + phase, [&tick, i] { tick(i); });
   }
@@ -122,7 +166,22 @@ RunResult run_cell(std::size_t n, bool fast, double seconds,
   return out;
 }
 
+/// A sparse cell paired with its optional dense twin (run only at
+/// N <= 2000, where the N x N matrices still fit).
+struct SparseCell {
+  RunResult sparse;
+  RunResult fast;
+  bool has_fast = false;
+
+  [[nodiscard]] double ratio() const {
+    return has_fast && fast.frames_per_s() > 0.0
+               ? sparse.frames_per_s() / fast.frames_per_s()
+               : 0.0;
+  }
+};
+
 void write_json(const char* path, const std::vector<RunResult>& results,
+                const std::vector<SparseCell>& sparse,
                 const std::vector<RunResult>& telemetry, double seconds) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
@@ -134,16 +193,22 @@ void write_json(const char* path, const std::vector<RunResult>& results,
   std::fprintf(f, "  \"frame_bytes\": %zu,\n", kFrameBytes);
   std::fprintf(f, "  \"sim_seconds\": %.1f,\n", seconds);
   std::fprintf(f, "  \"results\": [\n");
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const RunResult& r = results[i];
+  std::vector<RunResult> all = results;
+  for (const SparseCell& c : sparse) {
+    all.push_back(c.sparse);
+    if (c.has_fast) all.push_back(c.fast);
+  }
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const RunResult& r = all[i];
     std::fprintf(f,
                  "    {\"nodes\": %zu, \"mode\": \"%s\", \"frames\": %llu, "
                  "\"deliveries\": %llu, \"wall_s\": %.4f, "
-                 "\"frames_per_s\": %.1f}%s\n",
-                 r.nodes, r.fast ? "fast" : "slow",
+                 "\"frames_per_s\": %.1f, \"rss_kb_per_node\": %.1f}%s\n",
+                 r.nodes, mode_name(r.mode),
                  static_cast<unsigned long long>(r.frames),
                  static_cast<unsigned long long>(r.deliveries), r.wall_s,
-                 r.frames_per_s(), i + 1 < results.size() ? "," : "");
+                 r.frames_per_s(), r.rss_kb_per_node,
+                 i + 1 < all.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"speedups\": [\n");
@@ -155,6 +220,23 @@ void write_json(const char* path, const std::vector<RunResult>& results,
     std::fprintf(f, "    {\"nodes\": %zu, \"speedup\": %.3f}%s\n",
                  results[i].nodes, speedup,
                  i + 3 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"sparse\": [\n");
+  for (std::size_t i = 0; i < sparse.size(); ++i) {
+    const SparseCell& c = sparse[i];
+    if (c.has_fast) {
+      std::fprintf(f,
+                   "    {\"nodes\": %zu, \"sparse_fast_ratio\": %.3f, "
+                   "\"rss_kb_per_node\": %.1f}%s\n",
+                   c.sparse.nodes, c.ratio(), c.sparse.rss_kb_per_node,
+                   i + 1 < sparse.size() ? "," : "");
+    } else {
+      std::fprintf(f,
+                   "    {\"nodes\": %zu, \"rss_kb_per_node\": %.1f}%s\n",
+                   c.sparse.nodes, c.sparse.rss_kb_per_node,
+                   i + 1 < sparse.size() ? "," : "");
+    }
   }
   if (!telemetry.empty()) {
     std::fprintf(f, "  ],\n");
@@ -174,24 +256,30 @@ void write_json(const char* path, const std::vector<RunResult>& results,
   std::fclose(f);
 }
 
-/// Pulls {nodes, speedup} pairs out of a file written by write_json (or
-/// a hand-maintained baseline in the same line format). Not a JSON
-/// parser: it scans for the exact line shape this tool emits.
-std::vector<std::pair<std::size_t, double>> read_speedups(const char* path) {
+/// Pulls {nodes, value} pairs for lines carrying `key` out of a file
+/// written by write_json (or a hand-maintained baseline in the same
+/// line format). Not a JSON parser: it scans for the exact line shape
+/// this tool emits.
+std::vector<std::pair<std::size_t, double>> read_metric(const char* path,
+                                                        const char* key) {
   std::FILE* f = std::fopen(path, "r");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot read baseline %s\n", path);
     std::exit(1);
   }
+  char pattern[128];
+  std::snprintf(pattern, sizeof pattern, "\"%s\"", key);
+  char format[128];
+  std::snprintf(format, sizeof format, " {\"nodes\": %%zu, \"%s\": %%lf",
+                key);
   std::vector<std::pair<std::size_t, double>> out;
   char line[256];
   while (std::fgets(line, sizeof line, f) != nullptr) {
-    if (std::strstr(line, "\"speedup\"") == nullptr) continue;
+    if (std::strstr(line, pattern) == nullptr) continue;
     std::size_t nodes = 0;
-    double speedup = 0.0;
-    if (std::sscanf(line, " {\"nodes\": %zu, \"speedup\": %lf", &nodes,
-                    &speedup) == 2) {
-      out.emplace_back(nodes, speedup);
+    double value = 0.0;
+    if (std::sscanf(line, format, &nodes, &value) == 2) {
+      out.emplace_back(nodes, value);
     }
   }
   std::fclose(f);
@@ -202,7 +290,10 @@ std::vector<std::pair<std::size_t, double>> read_speedups(const char* path) {
 
 int main(int argc, char** argv) {
   std::vector<std::size_t> node_counts{50, 200, 800};
+  std::vector<std::size_t> sparse_counts{2000, 10000};
   double seconds = 10.0;
+  double sparse_seconds = 2.0;
+  double max_rss_kb_per_node = 0.0;  // 0 = report only, no gate
   const char* out_path = "BENCH_channel.json";
   const char* baseline_path = nullptr;
 
@@ -215,15 +306,24 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (arg == "--nodes") {
-      node_counts.clear();
+    auto parse_list = [&](std::vector<std::size_t>& counts) {
+      counts.clear();
       std::string list = next();
       for (char* tok = std::strtok(list.data(), ","); tok != nullptr;
            tok = std::strtok(nullptr, ",")) {
-        node_counts.push_back(static_cast<std::size_t>(std::atoll(tok)));
+        counts.push_back(static_cast<std::size_t>(std::atoll(tok)));
       }
+    };
+    if (arg == "--nodes") {
+      parse_list(node_counts);
+    } else if (arg == "--sparse-nodes") {
+      parse_list(sparse_counts);
     } else if (arg == "--seconds") {
       seconds = std::atof(next());
+    } else if (arg == "--sparse-seconds") {
+      sparse_seconds = std::atof(next());
+    } else if (arg == "--max-rss-per-node-kb") {
+      max_rss_kb_per_node = std::atof(next());
     } else if (arg == "--out") {
       out_path = next();
     } else if (arg == "--check") {
@@ -231,7 +331,9 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: channel_scaling [--nodes 50,200,800] "
-                   "[--seconds S] [--out FILE] [--check BASELINE]\n");
+                   "[--seconds S] [--sparse-nodes 2000,10000] "
+                   "[--sparse-seconds S] [--max-rss-per-node-kb K] "
+                   "[--out FILE] [--check BASELINE]\n");
       return 2;
     }
   }
@@ -244,11 +346,11 @@ int main(int argc, char** argv) {
   std::vector<RunResult> results;
   bool deliveries_match = true;
   for (const std::size_t n : node_counts) {
-    const RunResult slow = run_cell(n, /*fast=*/false, seconds);
-    const RunResult fast = run_cell(n, /*fast=*/true, seconds);
+    const RunResult slow = run_cell(n, Mode::kSlow, seconds);
+    const RunResult fast = run_cell(n, Mode::kFast, seconds);
     for (const RunResult& r : {slow, fast}) {
       std::printf("%6zu %6s %10llu %12llu %10.3f %12.1f\n", r.nodes,
-                  r.fast ? "fast" : "slow",
+                  mode_name(r.mode),
                   static_cast<unsigned long long>(r.frames),
                   static_cast<unsigned long long>(r.deliveries), r.wall_s,
                   r.frames_per_s());
@@ -265,6 +367,57 @@ int main(int argc, char** argv) {
     results.push_back(fast);
   }
 
+  // Sparse spatial cells: sqrt(N) x sqrt(N) grid at city-scale pitch.
+  // The sparse run goes first and its peak RSS is sampled immediately —
+  // ru_maxrss is a process high-water mark, so the dense twin (whose
+  // N x N matrices dwarf the sparse rows) must not run before the
+  // sample. At N <= 2000 the twin then checks frame/delivery equality
+  // and yields the sparse/fast throughput ratio for the baseline gate.
+  std::vector<SparseCell> sparse_cells;
+  bool rss_ok = true;
+  for (const std::size_t n : sparse_counts) {
+    const auto side = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(n))));
+    SparseCell cell;
+    cell.sparse = run_cell(n, Mode::kSparse, sparse_seconds,
+                           sim::TraceLevel::kInfo, side, kSparsePitchM,
+                           kSparsePeriodSeconds);
+    cell.sparse.rss_kb_per_node = peak_rss_kb() / static_cast<double>(n);
+    std::printf("%6zu %6s %10llu %12llu %10.3f %12.1f  (peak rss "
+                "%.1f KB/node)\n",
+                n, mode_name(Mode::kSparse),
+                static_cast<unsigned long long>(cell.sparse.frames),
+                static_cast<unsigned long long>(cell.sparse.deliveries),
+                cell.sparse.wall_s, cell.sparse.frames_per_s(),
+                cell.sparse.rss_kb_per_node);
+    if (max_rss_kb_per_node > 0.0 &&
+        cell.sparse.rss_kb_per_node > max_rss_kb_per_node) {
+      std::fprintf(stderr,
+                   "FAIL: sparse N=%zu peak RSS %.1f KB/node exceeds the "
+                   "%.1f KB/node ceiling\n",
+                   n, cell.sparse.rss_kb_per_node, max_rss_kb_per_node);
+      rss_ok = false;
+    }
+    if (n <= 2000) {
+      cell.fast = run_cell(n, Mode::kFast, sparse_seconds,
+                           sim::TraceLevel::kInfo, side, kSparsePitchM,
+                           kSparsePeriodSeconds);
+      cell.has_fast = true;
+      std::printf("%6zu %6s %10llu %12llu %10.3f %12.1f\n", n,
+                  mode_name(Mode::kFast),
+                  static_cast<unsigned long long>(cell.fast.frames),
+                  static_cast<unsigned long long>(cell.fast.deliveries),
+                  cell.fast.wall_s, cell.fast.frames_per_s());
+      std::printf("%6s %6s %45.2fx  (sparse/fast)\n", "", "",
+                  cell.ratio());
+      if (cell.fast.deliveries != cell.sparse.deliveries ||
+          cell.fast.frames != cell.sparse.frames) {
+        deliveries_match = false;
+      }
+    }
+    sparse_cells.push_back(std::move(cell));
+  }
+
   // Telemetry overhead at the largest N: the fast path once more with
   // the context at kDebug, where every frame pays a flight-recorder ring
   // write (kPhyFrame) on top of the usual counter increment. The ratio
@@ -274,9 +427,9 @@ int main(int argc, char** argv) {
   bool telemetry_match = true;
   if (!node_counts.empty()) {
     const std::size_t n = node_counts.back();
-    const RunResult plain = run_cell(n, /*fast=*/true, seconds);
+    const RunResult plain = run_cell(n, Mode::kFast, seconds);
     const RunResult traced =
-        run_cell(n, /*fast=*/true, seconds, sim::TraceLevel::kDebug);
+        run_cell(n, Mode::kFast, seconds, sim::TraceLevel::kDebug);
     const double ratio = plain.frames_per_s() > 0.0
                              ? traced.frames_per_s() / plain.frames_per_s()
                              : 0.0;
@@ -292,8 +445,10 @@ int main(int argc, char** argv) {
     telemetry.push_back(traced);
   }
 
-  write_json(out_path, results, telemetry, seconds);
+  write_json(out_path, results, sparse_cells, telemetry, seconds);
   std::printf("\nwrote %s\n", out_path);
+
+  if (!rss_ok) return 1;
 
   if (!telemetry_match) {
     std::fprintf(stderr,
@@ -310,18 +465,24 @@ int main(int argc, char** argv) {
   }
 
   if (baseline_path != nullptr) {
-    const auto baseline = read_speedups(baseline_path);
-    const auto measured = read_speedups(out_path);
     bool ok = true;
-    for (const auto& [nodes, base] : baseline) {
-      for (const auto& [mnodes, got] : measured) {
-        if (mnodes != nodes) continue;
-        const double floor = 0.8 * base;
-        const bool pass = got >= floor;
-        std::printf("check N=%zu: speedup %.2fx vs baseline %.2fx "
-                    "(floor %.2fx) %s\n",
-                    nodes, got, base, floor, pass ? "OK" : "REGRESSED");
-        ok = ok && pass;
+    // Each ratio kind gates independently, and only at the N values the
+    // current invocation actually ran (CI's sparse-only pass measures no
+    // fast/slow speedups, so those baseline entries are skipped there).
+    for (const char* key : {"speedup", "sparse_fast_ratio"}) {
+      const auto baseline = read_metric(baseline_path, key);
+      const auto measured = read_metric(out_path, key);
+      for (const auto& [nodes, base] : baseline) {
+        for (const auto& [mnodes, got] : measured) {
+          if (mnodes != nodes) continue;
+          const double floor = 0.8 * base;
+          const bool pass = got >= floor;
+          std::printf("check N=%zu: %s %.2fx vs baseline %.2fx "
+                      "(floor %.2fx) %s\n",
+                      nodes, key, got, base, floor,
+                      pass ? "OK" : "REGRESSED");
+          ok = ok && pass;
+        }
       }
     }
     // Absolute telemetry gate: a debug-level trace of the phy hot path

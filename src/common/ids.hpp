@@ -1,6 +1,7 @@
 // Node identifiers and related constants shared by every layer.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <limits>
@@ -28,11 +29,18 @@ class NodeId {
 };
 
 /// Address that addresses every node in radio range (802.15.4 0xFFFF).
+/// Telemetry reuses the same value as its whole-simulation sentinel.
 inline constexpr NodeId kBroadcastId{0xFFFF};
 
 /// Reserved "no node" sentinel used by routing tables before a parent is
 /// known. Distinct from the broadcast address.
 inline constexpr NodeId kInvalidNodeId{0xFFFE};
+
+/// Largest node population any topology may address: ids 0..65533 are
+/// assignable, 0xFFFE/0xFFFF are reserved (above). Generators and
+/// Channel::attach fail fast at this ceiling instead of letting a
+/// size_t-to-uint16 cast silently wrap node ids.
+inline constexpr std::size_t kMaxNodeCount = 0xFFFE;
 
 [[nodiscard]] constexpr bool is_unicast(NodeId id) {
   return id != kBroadcastId && id != kInvalidNodeId;

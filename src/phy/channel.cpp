@@ -1,6 +1,7 @@
 #include "phy/channel.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "common/assert.hpp"
@@ -17,18 +18,48 @@ Channel::Channel(sim::Simulator& sim, PhyConfig phy, PropagationConfig prop,
       interference_(std::move(interference)),
       reception_rng_(rng.fork("reception")),
       lqi_rng_(rng.fork("lqi")),
-      ctr_frames_tx_(sim.telemetry().counter("phy", "frames_tx")) {
+      ctr_frames_tx_(sim.telemetry().counter("phy", "frames_tx")),
+      ctr_cache_rebuilds_(sim.telemetry().counter("phy", "cache_rebuilds")) {
   FOURBIT_ASSERT(interference_ != nullptr, "interference model required");
 }
 
 void Channel::attach(Radio& radio) {
+  FOURBIT_ASSERT(is_unicast(radio.id()),
+                 "NodeId 0xFFFE/0xFFFF are reserved (invalid/broadcast "
+                 "sentinels): the topology overflowed the 16-bit id space");
+  if (!free_slots_.empty()) {
+    const std::size_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    radios_[slot] = &radio;
+    radio.set_channel_index(slot);
+    // Reusing a tombstoned slot keeps every other slot's rows intact:
+    // with a frozen cache only the touched entries need repair, so
+    // fault-plan churn (crash/reboot = detach + re-attach) never pays a
+    // full rebuild.
+    if (cache_valid_) repair_reused_slot(slot);
+    return;
+  }
+  radio.set_channel_index(radios_.size());
   radios_.push_back(&radio);
+  // Growing past the all-time slot peak resizes every per-slot array;
+  // only then is a full (lazy) rebuild required.
   cache_valid_ = false;
 }
 
 void Channel::detach(Radio& radio) {
-  std::erase(radios_, &radio);
-  cache_valid_ = false;
+  const std::size_t slot = radio.channel_index();
+  if (slot < radios_.size() && radios_[slot] == &radio) {
+    // Tombstone, don't erase: every other radio keeps its slot, so a
+    // frozen cache stays frozen. Hot loops skip null slots — the same
+    // visit order the compacted scan would have had.
+    radios_[slot] = nullptr;
+    free_slots_.push_back(slot);
+    if (cache_valid_ && sparse_mode_ && slot < slot_cell_.size() &&
+        slot_cell_[slot] != kNoCell) {
+      std::erase(cells_[slot_cell_[slot]], static_cast<std::uint32_t>(slot));
+      slot_cell_[slot] = kNoCell;
+    }
+  }
   for (ActiveTx* tx : active_) {
     // Tombstone the departing radio's own in-flight transmission: the
     // carrier is gone, so the frame is aborted and must never be
@@ -63,6 +94,12 @@ PowerDbm Channel::rx_power(const Radio& from, const Radio& to) {
   return from.effective_tx_power() - loss;
 }
 
+PowerDbm Channel::rx_power_uncached(const Radio& from, const Radio& to) const {
+  const Decibels loss = propagation_.loss_uncached(
+      from.id(), from.position(), to.id(), to.position());
+  return from.effective_tx_power() - loss;
+}
+
 double Channel::snr_db(const Radio& from, const Radio& to) {
   return (rx_power(from, to) - to.noise_floor()).value();
 }
@@ -80,15 +117,15 @@ void Channel::ensure_cache() {
 }
 
 void Channel::rebuild_cache() {
+  ++*ctr_cache_rebuilds_;
   n_ = radios_.size();
-  for (std::size_t i = 0; i < n_; ++i) radios_[i]->set_channel_index(i);
+  sparse_mode_ = phy_.use_spatial_index;
 
-  gain_dbm_.assign(n_ * n_, -1e9);
-  gain_mw_.assign(n_ * n_, 0.0);
-  rx_cutoff_dbm_.resize(n_);
-  noise_mw_.resize(n_);
-  noise_dbm_.resize(n_);
+  rx_cutoff_dbm_.assign(n_, 0.0);
+  noise_mw_.assign(n_, 0.0);
+  noise_dbm_.assign(n_, 0.0);
   for (std::size_t r = 0; r < n_; ++r) {
+    if (radios_[r] == nullptr) continue;
     rx_cutoff_dbm_[r] =
         (radios_[r]->noise_floor() + phy_.reception_cutoff_margin).value();
     // The exact doubles the slow delivery loop computes (noise_mw + 0.0
@@ -96,15 +133,37 @@ void Channel::rebuild_cache() {
     noise_mw_[r] = radios_[r]->noise_floor().milliwatts();
     noise_dbm_[r] = PowerDbm::from_milliwatts(noise_mw_[r]).value();
   }
-  candidates_.assign(n_, {});
-  cca_words_ = (n_ + 63) / 64;
-  cca_audible_.assign(n_ * cca_words_, 0);
-  prr_bytes_.assign(n_ * n_, 0);
-  prr_val_.assign(n_ * n_, 0.0);
-  for (std::size_t s = 0; s < n_; ++s) rebuild_row(s);
 
-  // Re-point transmissions already in the air at their new cache slots
-  // (a radio attached or detached mid-flight shifts every index).
+  if (sparse_mode_) {
+    // The dense matrices stay empty: O(N·degree), not O(N²).
+    gain_dbm_ = {};
+    gain_mw_ = {};
+    prr_bytes_ = {};
+    prr_val_ = {};
+    candidates_ = {};
+    cca_audible_ = {};
+    cca_words_ = 0;
+    build_grid();
+    sparse_rows_.assign(n_, {});
+    for (std::size_t s = 0; s < n_; ++s) {
+      if (radios_[s] != nullptr) rebuild_sparse_row(s);
+    }
+  } else {
+    sparse_rows_ = {};
+    cells_ = {};
+    slot_cell_ = {};
+    gain_dbm_.assign(n_ * n_, -1e9);
+    gain_mw_.assign(n_ * n_, 0.0);
+    candidates_.assign(n_, {});
+    cca_words_ = (n_ + 63) / 64;
+    cca_audible_.assign(n_ * cca_words_, 0);
+    prr_bytes_.assign(n_ * n_, 0);
+    prr_val_.assign(n_ * n_, 0.0);
+    for (std::size_t s = 0; s < n_; ++s) rebuild_row(s);
+  }
+
+  // Re-point transmissions already in the air at the rebuilt cache (a
+  // sender may have gained or lost its slot since the tx started).
   for (ActiveTx* tx : active_) {
     tx->cached = tx->sender != nullptr && has_cache_slot(*tx->sender);
     if (tx->cached) {
@@ -120,20 +179,22 @@ void Channel::rebuild_cache() {
 }
 
 void Channel::rebuild_row(std::size_t s) {
-  Radio& sender = *radios_[s];
-  double* row_dbm = &gain_dbm_[s * n_];
-  double* row_mw = &gain_mw_[s * n_];
+  Radio* sender_p = radios_[s];
+  auto& cands = candidates_[s];
   std::uint64_t* cca_row = &cca_audible_[s * cca_words_];
   std::fill(cca_row, cca_row + cca_words_, 0);
   // New gains invalidate the row's memoized PRRs.
   std::fill(&prr_bytes_[s * n_], &prr_bytes_[s * n_] + n_, 0);
-  auto& cands = candidates_[s];
   cands.clear();
+  if (sender_p == nullptr) return;  // tombstoned slot: empty row
+  Radio& sender = *sender_p;
+  double* row_dbm = &gain_dbm_[s * n_];
+  double* row_mw = &gain_mw_[s * n_];
   for (std::size_t r = 0; r < n_; ++r) {
-    if (r == s) continue;
+    if (r == s || radios_[r] == nullptr) continue;
     // Exactly the slow path's arithmetic: cached doubles must equal what
     // rx_power() would compute, or the paths diverge bitwise.
-    const PowerDbm p = rx_power(sender, *radios_[r]);
+    const PowerDbm p = rx_power_uncached(sender, *radios_[r]);
     row_dbm[r] = p.value();
     row_mw[r] = p.milliwatts();
     if (p.value() >= rx_cutoff_dbm_[r]) {
@@ -145,16 +206,285 @@ void Channel::rebuild_row(std::size_t s) {
   }
 }
 
+// --- sparse spatial index ---------------------------------------------
+
+double Channel::receive_floor_radius(double max_tx_dbm) const {
+  double floor_dbm = 1e300;
+  for (const Radio* r : radios_) {
+    if (r == nullptr) continue;
+    floor_dbm = std::min(
+        floor_dbm, (r->noise_floor() + phy_.reception_cutoff_margin).value());
+  }
+  // The radius must also cover every CCA-audible pair, not just
+  // reception candidates.
+  floor_dbm = std::min(floor_dbm, phy_.cca_threshold.value());
+
+  const PropagationConfig& pc = propagation_.config();
+  const double headroom =
+      phy_.spatial_headroom_sigmas *
+      std::sqrt(pc.shadowing_sigma_db * pc.shadowing_sigma_db +
+                pc.asymmetry_sigma_db * pc.asymmetry_sigma_db);
+  // Strongest transmitter, weakest floor, headroom sigmas of favorable
+  // shadowing: beyond this distance deterministic path loss alone keeps
+  // every pair below every culling threshold.
+  const double excess = (max_tx_dbm - floor_dbm + headroom) -
+                        pc.reference_loss.value();
+  if (excess <= 0.0) return 0.5;
+  return std::max(0.5, std::pow(10.0, excess / (10.0 * pc.exponent)));
+}
+
+void Channel::build_grid() {
+  double min_x = 1e300, min_y = 1e300, max_x = -1e300, max_y = -1e300;
+  double max_tx = -1e300;
+  std::size_t live = 0;
+  for (const Radio* r : radios_) {
+    if (r == nullptr) continue;
+    ++live;
+    min_x = std::min(min_x, r->position().x);
+    min_y = std::min(min_y, r->position().y);
+    max_x = std::max(max_x, r->position().x);
+    max_y = std::max(max_y, r->position().y);
+    max_tx = std::max(max_tx, r->effective_tx_power().value());
+  }
+  cells_.clear();
+  slot_cell_.assign(n_, kNoCell);
+  if (live == 0) {
+    radius_m_ = 0.5;
+    cell_size_m_ = 1.0;
+    origin_x_ = origin_y_ = 0.0;
+    grid_cols_ = grid_rows_ = 0;
+    max_tx_dbm_ = -1e300;
+    return;
+  }
+
+  max_tx_dbm_ = max_tx;
+  radius_m_ = receive_floor_radius(max_tx);
+  cell_size_m_ = std::max(radius_m_, 1e-3);
+  origin_x_ = min_x;
+  origin_y_ = min_y;
+  auto dims = [&]() {
+    grid_cols_ = static_cast<std::size_t>((max_x - min_x) / cell_size_m_) + 1;
+    grid_rows_ = static_cast<std::size_t>((max_y - min_y) / cell_size_m_) + 1;
+  };
+  dims();
+  // A few nodes scattered over a huge extent must not allocate a huge
+  // grid: coarsen cells until the grid is O(live). Cells only ever grow
+  // past the radius, so the 3x3 neighborhood scan stays sufficient.
+  while (grid_cols_ * grid_rows_ > 16 * live + 16) {
+    cell_size_m_ *= 2.0;
+    dims();
+  }
+  cells_.assign(grid_cols_ * grid_rows_, {});
+  for (std::size_t s = 0; s < n_; ++s) {
+    if (radios_[s] == nullptr) continue;
+    const std::size_t cell = cell_of(radios_[s]->position());
+    cells_[cell].push_back(static_cast<std::uint32_t>(s));
+    slot_cell_[s] = static_cast<std::uint32_t>(cell);
+  }
+}
+
+std::size_t Channel::cell_of(const Position& p) const {
+  const double fx = std::max(0.0, (p.x - origin_x_) / cell_size_m_);
+  const double fy = std::max(0.0, (p.y - origin_y_) / cell_size_m_);
+  const std::size_t cx =
+      std::min(grid_cols_ - 1, static_cast<std::size_t>(fx));
+  const std::size_t cy =
+      std::min(grid_rows_ - 1, static_cast<std::size_t>(fy));
+  return cy * grid_cols_ + cx;
+}
+
+bool Channel::grid_covers(const Position& p) const {
+  if (grid_cols_ == 0 || grid_rows_ == 0) return false;
+  return p.x >= origin_x_ && p.y >= origin_y_ &&
+         p.x <= origin_x_ + static_cast<double>(grid_cols_) * cell_size_m_ &&
+         p.y <= origin_y_ + static_cast<double>(grid_rows_) * cell_size_m_;
+}
+
+void Channel::rebuild_sparse_row(std::size_t s) {
+  auto& row = sparse_rows_[s];
+  row.clear();
+  Radio* sender_p = radios_[s];
+  if (sender_p == nullptr) return;
+  Radio& sender = *sender_p;
+  const std::size_t cell = slot_cell_[s];
+  const std::size_t cx = cell % grid_cols_;
+  const std::size_t cy = cell / grid_cols_;
+  for (std::size_t gy = cy == 0 ? 0 : cy - 1;
+       gy <= std::min(cy + 1, grid_rows_ - 1); ++gy) {
+    for (std::size_t gx = cx == 0 ? 0 : cx - 1;
+         gx <= std::min(cx + 1, grid_cols_ - 1); ++gx) {
+      for (const std::uint32_t r : cells_[gy * grid_cols_ + gx]) {
+        if (r == s) continue;
+        const PowerDbm p = rx_power_uncached(sender, *radios_[r]);
+        const bool cand = p.value() >= rx_cutoff_dbm_[r];
+        const bool audible = p >= phy_.cca_threshold;
+        if (!cand && !audible) continue;
+        SparseLink link;
+        link.receiver = r;
+        link.gain_dbm = p.value();
+        link.gain_mw = p.milliwatts();
+        link.candidate = cand;
+        link.audible = audible;
+        row.push_back(link);
+      }
+    }
+  }
+  // Ascending slot order == the attach order the dense and slow paths
+  // visit, so RNG draw sequences stay bit-identical.
+  std::sort(row.begin(), row.end(),
+            [](const SparseLink& a, const SparseLink& b) {
+              return a.receiver < b.receiver;
+            });
+}
+
+void Channel::repair_sparse_link(std::size_t s, std::size_t r) {
+  const PowerDbm p = rx_power_uncached(*radios_[s], *radios_[r]);
+  const bool cand = p.value() >= rx_cutoff_dbm_[r];
+  const bool audible = p >= phy_.cca_threshold;
+  auto& row = sparse_rows_[s];
+  const auto it = std::lower_bound(
+      row.begin(), row.end(), static_cast<std::uint32_t>(r),
+      [](const SparseLink& l, std::uint32_t v) { return l.receiver < v; });
+  const bool present = it != row.end() && it->receiver == r;
+  if (!cand && !audible) {
+    if (present) row.erase(it);
+    return;
+  }
+  SparseLink link;
+  link.receiver = static_cast<std::uint32_t>(r);
+  link.gain_dbm = p.value();
+  link.gain_mw = p.milliwatts();
+  link.candidate = cand;
+  link.audible = audible;
+  if (present) {
+    *it = link;  // prr memo reset: the gain changed
+  } else {
+    row.insert(it, link);
+  }
+}
+
+const Channel::SparseLink* Channel::find_link(std::size_t sender,
+                                              std::uint32_t receiver) const {
+  const auto& row = sparse_rows_[sender];
+  const auto it = std::lower_bound(
+      row.begin(), row.end(), receiver,
+      [](const SparseLink& l, std::uint32_t v) { return l.receiver < v; });
+  return it != row.end() && it->receiver == receiver ? &*it : nullptr;
+}
+
+Channel::SparseLink* Channel::find_link(std::size_t sender,
+                                        std::uint32_t receiver) {
+  return const_cast<SparseLink*>(
+      std::as_const(*this).find_link(sender, receiver));
+}
+
+void Channel::repair_reused_slot(std::size_t slot) {
+  FOURBIT_ASSERT(slot < n_, "slot reuse beyond the frozen cache");
+  Radio& radio = *radios_[slot];
+  if (sparse_mode_ &&
+      (radio.effective_tx_power().value() > max_tx_dbm_ ||
+       !grid_covers(radio.position()))) {
+    // A louder transmitter (or a position off the frozen grid) voids the
+    // receive-floor radius the cull was derived from; fall back to a
+    // full rebuild on next use.
+    cache_valid_ = false;
+    return;
+  }
+  rx_cutoff_dbm_[slot] =
+      (radio.noise_floor() + phy_.reception_cutoff_margin).value();
+  noise_mw_[slot] = radio.noise_floor().milliwatts();
+  noise_dbm_[slot] = PowerDbm::from_milliwatts(noise_mw_[slot]).value();
+
+  if (sparse_mode_) {
+    const std::size_t cell = cell_of(radio.position());
+    cells_[cell].push_back(static_cast<std::uint32_t>(slot));
+    slot_cell_[slot] = static_cast<std::uint32_t>(cell);
+    rebuild_sparse_row(slot);
+    // Touched-cell column repair: only senders within the 3x3 cell
+    // neighborhood could store (or need to drop) a link to this slot.
+    const std::size_t cx = cell % grid_cols_;
+    const std::size_t cy = cell / grid_cols_;
+    for (std::size_t gy = cy == 0 ? 0 : cy - 1;
+         gy <= std::min(cy + 1, grid_rows_ - 1); ++gy) {
+      for (std::size_t gx = cx == 0 ? 0 : cx - 1;
+           gx <= std::min(cx + 1, grid_cols_ - 1); ++gx) {
+        for (const std::uint32_t s : cells_[gy * grid_cols_ + gx]) {
+          if (s == slot) continue;
+          repair_sparse_link(s, slot);
+        }
+      }
+    }
+    return;
+  }
+
+  // Dense: re-derive the slot's row, then walk its column once.
+  rebuild_row(slot);
+  for (std::size_t s = 0; s < n_; ++s) {
+    if (s == slot || radios_[s] == nullptr) continue;
+    const PowerDbm p = rx_power_uncached(*radios_[s], radio);
+    gain_dbm_[s * n_ + slot] = p.value();
+    gain_mw_[s * n_ + slot] = p.milliwatts();
+    prr_bytes_[s * n_ + slot] = 0;
+    auto& cands = candidates_[s];
+    const auto it = std::lower_bound(cands.begin(), cands.end(),
+                                     static_cast<std::uint32_t>(slot));
+    const bool present = it != cands.end() && *it == slot;
+    const bool want = p.value() >= rx_cutoff_dbm_[slot];
+    if (want && !present) {
+      cands.insert(it, static_cast<std::uint32_t>(slot));
+    } else if (!want && present) {
+      cands.erase(it);
+    }
+    std::uint64_t& word = cca_audible_[s * cca_words_ + slot / 64];
+    const std::uint64_t bit = std::uint64_t{1} << (slot % 64);
+    if (p >= phy_.cca_threshold) {
+      word |= bit;
+    } else {
+      word &= ~bit;
+    }
+  }
+}
+
 void Channel::on_tx_power_changed(const Radio& radio) {
   // A dirty cache re-derives everything on next use anyway; only a
   // frozen cache holds stale powers for this sender's row.
   if (!cache_valid_ || !has_cache_slot(radio)) return;
+  if (sparse_mode_) {
+    if (radio.effective_tx_power().value() > max_tx_dbm_) {
+      // Louder than the radius was derived for: the cull may now miss
+      // candidates, so pay one full rebuild instead of guessing.
+      cache_valid_ = false;
+      return;
+    }
+    rebuild_sparse_row(radio.channel_index());
+    return;
+  }
   rebuild_row(radio.channel_index());
 }
 
 std::size_t Channel::candidate_count(const Radio& sender) {
+  if (!phy_.use_link_cache) {
+    // Slow-path configs must never allocate the cache arrays for an
+    // introspection call: compute the count per pair instead.
+    std::size_t count = 0;
+    for (const Radio* r : radios_) {
+      if (r == nullptr || r == &sender) continue;
+      if (rx_power(sender, *r) >=
+          r->noise_floor() + phy_.reception_cutoff_margin) {
+        ++count;
+      }
+    }
+    return count;
+  }
   ensure_cache();
   if (!has_cache_slot(sender)) return 0;
+  if (sparse_mode_) {
+    std::size_t count = 0;
+    for (const SparseLink& link : sparse_rows_[sender.channel_index()]) {
+      if (link.candidate && radios_[link.receiver] != nullptr) ++count;
+    }
+    return count;
+  }
   return candidates_[sender.channel_index()].size();
 }
 
@@ -197,12 +527,36 @@ bool Channel::busy_at(const Radio& listener) {
     if (tx->sender == &listener || tx->sender == nullptr) continue;
     if (tx->end <= now) continue;
     if (fast_listener && tx->cached) {
-      if (cca_audible(tx->sender_index, li)) return true;
+      if (sparse_mode_) {
+        const SparseLink* link =
+            find_link(tx->sender_index, static_cast<std::uint32_t>(li));
+        if (link != nullptr && link->audible) return true;
+      } else if (cca_audible(tx->sender_index, li)) {
+        return true;
+      }
     } else if (rx_power(*tx->sender, listener) >= phy_.cca_threshold) {
       return true;
     }
   }
   return false;
+}
+
+double Channel::interference_term(const ActiveTx& other, std::uint32_t ri,
+                                  Radio& r) {
+  if (!other.cached) return rx_power(*other.sender, r).milliwatts();
+  if (sparse_mode_) {
+    // Pairs outside the stored row (below every culling floor, or
+    // beyond the radius) fall back to the per-pair computation — the
+    // same double the dense matrix would have held, so interference
+    // sums stay bit-identical across all three paths. The memo-free
+    // entry point: distinct (interferer, receiver) pairs grow without
+    // bound over a long run, and feeding them to the memo would rebuild
+    // the O(N²) footprint the sparse path exists to avoid.
+    const SparseLink* link = find_link(other.sender_index, ri);
+    if (link != nullptr) return link->gain_mw;
+    return rx_power_uncached(*other.sender, r).milliwatts();
+  }
+  return gain_mw_[other.sender_index * n_ + ri];
 }
 
 void Channel::start_transmission(Radio& sender,
@@ -236,15 +590,16 @@ void Channel::start_transmission(Radio& sender,
   tx->frame = std::move(frame);
 
   // Enumerate candidate receivers and seed their interference with the
-  // transmissions already in the air. The fast path walks the sender's
-  // precomputed candidate list (attach order — the same receivers, in
-  // the same order, as the slow path's full scan) and reads powers from
-  // the gain matrix; a detached-but-alive sender has no cache row and
-  // falls back to the slow scan.
-  if (tx->cached) {
-    const double* row_dbm = &gain_dbm_[tx->sender_index * n_];
-    for (const std::uint32_t ri : candidates_[tx->sender_index]) {
-      Radio* r = radios_[ri];
+  // transmissions already in the air. Both cached paths visit the
+  // sender's precomputed candidates in slot (attach) order — the same
+  // receivers, in the same order, as the slow path's full scan — so RNG
+  // draws line up bitwise; a detached-but-alive sender has no cache row
+  // and falls back to the slow scan.
+  if (tx->cached && sparse_mode_) {
+    for (const SparseLink& link : sparse_rows_[tx->sender_index]) {
+      if (!link.candidate) continue;
+      Radio* r = radios_[link.receiver];
+      if (r == nullptr) continue;  // tombstoned slot: receiver is gone
       // A sleeping receiver (LPL between channel samples) hears nothing.
       if (!r->listening()) continue;
       // Half-duplex: a radio mid-transmission cannot hear this packet.
@@ -253,17 +608,31 @@ void Channel::start_transmission(Radio& sender,
       double interference_mw = 0.0;
       for (const ActiveTx* other : active_) {
         if (other->sender == nullptr || other->end <= now) continue;
-        interference_mw +=
-            other->cached
-                ? gain_mw_[other->sender_index * n_ + ri]
-                : rx_power(*other->sender, *r).milliwatts();
+        interference_mw += interference_term(*other, link.receiver, *r);
+      }
+      tx->receivers.push_back(PendingRx{r, link.receiver,
+                                        PowerDbm{link.gain_dbm},
+                                        interference_mw});
+    }
+  } else if (tx->cached) {
+    const double* row_dbm = &gain_dbm_[tx->sender_index * n_];
+    for (const std::uint32_t ri : candidates_[tx->sender_index]) {
+      Radio* r = radios_[ri];
+      if (r == nullptr) continue;  // tombstoned slot: receiver is gone
+      if (!r->listening()) continue;
+      if (r->transmitting_until() > now) continue;
+
+      double interference_mw = 0.0;
+      for (const ActiveTx* other : active_) {
+        if (other->sender == nullptr || other->end <= now) continue;
+        interference_mw += interference_term(*other, ri, *r);
       }
       tx->receivers.push_back(
           PendingRx{r, ri, PowerDbm{row_dbm[ri]}, interference_mw});
     }
   } else {
     for (Radio* r : radios_) {
-      if (r == &sender) continue;
+      if (r == nullptr || r == &sender) continue;
       if (!r->listening()) continue;
       // (A radio that *starts* transmitting later overlaps too, but CSMA
       // makes that rare and the additive-interference model already
@@ -273,17 +642,13 @@ void Channel::start_transmission(Radio& sender,
       const PowerDbm p = rx_power(sender, *r);
       if (p < r->noise_floor() + phy_.reception_cutoff_margin) continue;
 
+      const std::uint32_t ri =
+          fast ? static_cast<std::uint32_t>(r->channel_index()) : 0;
       double interference_mw = 0.0;
       for (const ActiveTx* other : active_) {
         if (other->sender == nullptr || other->end <= now) continue;
-        interference_mw +=
-            fast && other->cached
-                ? gain_mw_[other->sender_index * n_ +
-                           r->channel_index()]
-                : rx_power(*other->sender, *r).milliwatts();
+        interference_mw += interference_term(*other, ri, *r);
       }
-      const std::uint32_t ri =
-          fast ? static_cast<std::uint32_t>(r->channel_index()) : 0;
       tx->receivers.push_back(PendingRx{r, ri, p, interference_mw});
     }
   }
@@ -296,9 +661,7 @@ void Channel::start_transmission(Radio& sender,
     for (PendingRx& rx : other->receivers) {
       if (rx.receiver == &sender) continue;
       rx.interference_mw +=
-          tx->cached
-              ? gain_mw_[tx->sender_index * n_ + rx.receiver_index]
-              : rx_power(sender, *rx.receiver).milliwatts();
+          interference_term(*tx, rx.receiver_index, *rx.receiver);
     }
   }
 
@@ -389,19 +752,37 @@ void Channel::finish_transmission(ActiveTx* tx) {
       // Interference-free PRR is a pure function of (pair gain, frame
       // size) — served from the per-pair memo when the sender has a
       // cache row and the row still holds the gain this reception was
-      // computed with (a tx-power change mid-flight breaks that tie).
-      const std::size_t pi =
-          tx->cached ? tx->sender_index * n_ + rx.receiver_index : 0;
-      if (tx->cached && gain_dbm_[pi] == rx.rx_power.value()) {
-        if (prr_bytes_[pi] == frame_bytes) {
-          prr = prr_val_[pi];
+      // computed with (a mid-flight tx-power change re-derives the row,
+      // and in-flight frames keep their old power). Zeroed size = empty.
+      if (sparse_mode_) {
+        SparseLink* link =
+            tx->cached ? find_link(tx->sender_index, rx.receiver_index)
+                       : nullptr;
+        if (link != nullptr && link->gain_dbm == rx.rx_power.value()) {
+          if (link->prr_bytes == frame_bytes) {
+            prr = link->prr_val;
+          } else {
+            prr = modulation_.packet_reception_ratio(sinr_db, frame_bytes);
+            link->prr_bytes = static_cast<std::uint32_t>(frame_bytes);
+            link->prr_val = prr;
+          }
         } else {
           prr = modulation_.packet_reception_ratio(sinr_db, frame_bytes);
-          prr_bytes_[pi] = static_cast<std::uint32_t>(frame_bytes);
-          prr_val_[pi] = prr;
         }
       } else {
-        prr = modulation_.packet_reception_ratio(sinr_db, frame_bytes);
+        const std::size_t pi =
+            tx->cached ? tx->sender_index * n_ + rx.receiver_index : 0;
+        if (tx->cached && gain_dbm_[pi] == rx.rx_power.value()) {
+          if (prr_bytes_[pi] == frame_bytes) {
+            prr = prr_val_[pi];
+          } else {
+            prr = modulation_.packet_reception_ratio(sinr_db, frame_bytes);
+            prr_bytes_[pi] = static_cast<std::uint32_t>(frame_bytes);
+            prr_val_[pi] = prr;
+          }
+        } else {
+          prr = modulation_.packet_reception_ratio(sinr_db, frame_bytes);
+        }
       }
     } else {
       const double noise_mw = cached_noise ? noise_mw_[rx.receiver_index]

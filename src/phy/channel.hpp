@@ -24,6 +24,21 @@
 //     exact values the slow path computes, and candidates are visited in
 //     the same order, so RNG draw sequences — and therefore all metrics —
 //     are bit-identical between paths (tests/channel_fastpath_test.cpp).
+//   * sparse fast path (PhyConfig::use_spatial_index on top of the link
+//     cache) — the freeze bins radios into a uniform grid whose cell
+//     size is a conservative receive-floor radius, then stores per
+//     sender only the links above the reception or CCA floor as a
+//     compressed row sorted by receiver slot (the same attach order the
+//     other paths visit). O(N·degree) memory/freeze cost instead of
+//     O(N²); interference from senders outside a receiver's row falls
+//     back to the per-pair computation, so sums stay bit-identical
+//     (tests/channel_sparse_test.cpp).
+//
+// Radios occupy stable slots: detach tombstones a slot and attach reuses
+// it (repairing only the touched rows/cells when a cache is frozen), so
+// fault-plan churn — crash/reboot cycles that destroy and re-create a
+// radio — never forces a full O(N²) rebuild. The `phy/cache_rebuilds`
+// telemetry counter counts full rebuilds.
 #pragma once
 
 #include <cstdint>
@@ -65,13 +80,20 @@ class Channel {
   [[nodiscard]] const PhyConfig& phy() const { return phy_; }
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
 
+  /// Adds `radio` to the medium in a stable slot (a tombstoned slot is
+  /// reused before the slot count grows). Asserts the radio's NodeId is
+  /// not one of the reserved addresses (0xFFFE/0xFFFF) — the fail-fast
+  /// backstop against topologies overflowing the 16-bit id space. With a
+  /// frozen cache, slot reuse repairs only the touched rows/cells;
+  /// growing past the all-time slot peak still rebuilds.
   void attach(Radio& radio);
 
   /// Removes `radio` from the medium: it hears nothing from now on, and
   /// any of its own transmissions still in the air are aborted (the
   /// carrier died mid-frame; nothing is delivered). Safe to call with
   /// receptions or the radio's own transmission in flight — in-flight
-  /// state is scrubbed/tombstoned, never left dangling.
+  /// state is scrubbed/tombstoned, never left dangling. The slot is
+  /// tombstoned, not erased, so a frozen cache stays frozen.
   void detach(Radio& radio);
 
   // --- Fault injection -------------------------------------------------
@@ -123,10 +145,24 @@ class Channel {
   /// invalidated since.
   [[nodiscard]] bool link_cache_frozen() const { return cache_valid_; }
 
-  /// Reception candidates of `sender` under the frozen cache (receivers
-  /// above the cutoff margin, in attach order). Freezes the cache on
-  /// demand. Only meaningful with use_link_cache enabled.
+  /// Reception candidates of `sender` (receivers above the cutoff
+  /// margin, in attach order). With the fast path on this freezes the
+  /// cache on demand; with it off the count is computed per pair —
+  /// introspection must not allocate the N² arrays in slow-path configs.
   [[nodiscard]] std::size_t candidate_count(const Radio& sender);
+
+  /// Full cache rebuilds so far (also exported as the telemetry counter
+  /// `phy/cache_rebuilds`). Incremental slot repair keeps this flat
+  /// through fault-plan churn.
+  [[nodiscard]] std::uint64_t cache_rebuilds() const {
+    return *ctr_cache_rebuilds_;
+  }
+
+  /// Receive-floor radius of the frozen spatial index, in meters (0 when
+  /// the sparse path is off or the cache is not frozen).
+  [[nodiscard]] double spatial_radius_m() const {
+    return cache_valid_ && sparse_mode_ ? radius_m_ : 0.0;
+  }
 
  private:
   struct PendingRx {
@@ -150,6 +186,10 @@ class Channel {
   };
 
   [[nodiscard]] PowerDbm rx_power(const Radio& from, const Radio& to);
+  /// Same value bitwise, but skips the propagation memo — used by cache
+  /// rebuilds so freeze-time sweeps don't grow the memo by O(N·degree).
+  [[nodiscard]] PowerDbm rx_power_uncached(const Radio& from,
+                                           const Radio& to) const;
   void finish_transmission(ActiveTx* tx);
   void deliver_corrupt(Radio& r, const ActiveTx& tx, const PendingRx& rx,
                        double sinr_db);
@@ -159,6 +199,11 @@ class Channel {
   void ensure_cache();
   void rebuild_cache();
   void rebuild_row(std::size_t s);
+  /// Incremental repair when attach reuses tombstoned slot `slot` while
+  /// a cache is frozen: re-derives the slot's own row plus every other
+  /// sender's entry for it (dense: one column walk; sparse: only senders
+  /// in the 3x3 cell neighborhood of the new radio's position).
+  void repair_reused_slot(std::size_t slot);
   [[nodiscard]] bool cca_audible(std::size_t sender_idx,
                                  std::size_t listener_idx) const {
     return (cca_audible_[sender_idx * cca_words_ + listener_idx / 64] >>
@@ -172,6 +217,41 @@ class Channel {
            radios_[radio.channel_index()] == &radio;
   }
 
+  // --- sparse spatial index --------------------------------------------
+  /// One stored link of a sender's compressed row: a pair above the
+  /// reception cutoff (candidate) and/or the CCA threshold (audible).
+  /// Rows are sorted by receiver slot — the attach order every path
+  /// visits — and carry the same memoized per-pair PRR the dense matrix
+  /// keeps.
+  struct SparseLink {
+    std::uint32_t receiver = 0;   // slot index, ascending within a row
+    std::uint32_t prr_bytes = 0;  // PRR memo: last frame size (0 = empty)
+    double gain_dbm = 0.0;
+    double gain_mw = 0.0;
+    double prr_val = 0.0;
+    bool candidate = false;
+    bool audible = false;
+  };
+
+  [[nodiscard]] double receive_floor_radius(double max_tx_dbm) const;
+  void build_grid();
+  [[nodiscard]] std::size_t cell_of(const Position& p) const;
+  [[nodiscard]] bool grid_covers(const Position& p) const;
+  void rebuild_sparse_row(std::size_t s);
+  /// Recomputes sender `s`'s stored link to receiver slot `r` from the
+  /// propagation model: inserts, updates or erases the row entry so it
+  /// again reflects the live pair.
+  void repair_sparse_link(std::size_t s, std::size_t r);
+  [[nodiscard]] const SparseLink* find_link(std::size_t sender,
+                                            std::uint32_t receiver) const;
+  [[nodiscard]] SparseLink* find_link(std::size_t sender,
+                                      std::uint32_t receiver);
+  /// Interference term of active transmission `other` at receiver `r`
+  /// (slot `ri`): cached gain when available, per-pair fallback
+  /// otherwise — same double either way.
+  [[nodiscard]] double interference_term(const ActiveTx& other,
+                                         std::uint32_t ri, Radio& r);
+
   // --- ActiveTx pool ----------------------------------------------------
   [[nodiscard]] ActiveTx* acquire_tx();
   void release_tx(ActiveTx* tx);
@@ -183,7 +263,12 @@ class Channel {
   std::unique_ptr<InterferenceModel> interference_;
   sim::Rng reception_rng_;
   sim::Rng lqi_rng_;
+  // Slot-stable radio table: detach leaves a nullptr tombstone and
+  // pushes the slot onto free_slots_; attach pops it (LIFO —
+  // deterministic given the event order). Slot order therefore IS the
+  // attach order all three execution paths visit receivers in.
   std::vector<Radio*> radios_;
+  std::vector<std::size_t> free_slots_;
 
   // Transmissions currently in the air, in start order (interference
   // sums iterate this, so the order is part of the determinism
@@ -200,7 +285,8 @@ class Channel {
   // cached value == slow-path value bitwise). Rebuilt lazily after
   // attach/detach; one row re-derived on a tx-power change.
   bool cache_valid_ = false;
-  std::size_t n_ = 0;          // radios covered by the frozen cache
+  bool sparse_mode_ = false;   // frozen cache is the spatial index
+  std::size_t n_ = 0;          // slots covered by the frozen cache
   std::size_t cca_words_ = 0;  // 64-bit words per CCA bitset row
   std::vector<double> gain_dbm_;
   std::vector<double> gain_mw_;
@@ -221,8 +307,28 @@ class Channel {
   std::vector<std::vector<std::uint32_t>> candidates_;  // per-sender
   std::vector<std::uint64_t> cca_audible_;
 
+  // Sparse spatial index (use_spatial_index): per-sender compressed
+  // rows (see SparseLink) plus a uniform cell grid over live positions.
+  // Cell size >= the receive-floor radius, so a 3x3 neighborhood scan
+  // covers every pair the dense path would keep (up to the documented
+  // shadowing headroom). The dense matrices above stay empty in this
+  // mode and vice versa.
+  std::vector<std::vector<SparseLink>> sparse_rows_;
+  std::vector<std::vector<std::uint32_t>> cells_;  // live slots per cell
+  static constexpr std::uint32_t kNoCell = 0xFFFFFFFFu;
+  std::vector<std::uint32_t> slot_cell_;  // per-slot cell id (or kNoCell)
+  double radius_m_ = 0.0;                 // receive-floor radius
+  double cell_size_m_ = 0.0;
+  double origin_x_ = 0.0, origin_y_ = 0.0;
+  std::size_t grid_cols_ = 0, grid_rows_ = 0;
+  // Strongest effective tx power the frozen radius was derived from; a
+  // set_tx_power or attach above it voids the cull guarantee and forces
+  // a full rebuild.
+  double max_tx_dbm_ = 0.0;
+
   std::uint64_t frames_transmitted_ = 0;
   std::uint64_t* ctr_frames_tx_ = nullptr;  // telemetry registry slot
+  std::uint64_t* ctr_cache_rebuilds_ = nullptr;
   TxObserver tx_observer_;
   // Forced per-link loss (fault injection), keyed on the unordered pair.
   [[nodiscard]] static std::uint64_t link_key(NodeId a, NodeId b);

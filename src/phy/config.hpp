@@ -55,6 +55,28 @@ struct PhyConfig {
   /// slow path survives as the reference for the determinism tests.
   bool use_link_cache = true;
 
+  /// Sparse spatial channel (requires use_link_cache): instead of the
+  /// dense N x N matrices, the freeze builds a uniform grid over node
+  /// positions with cell size equal to a receive-floor radius — the
+  /// distance at which deterministic path loss alone puts the strongest
+  /// attached transmitter `spatial_headroom_sigmas` standard deviations
+  /// of shadowing below both the weakest receiver's reception cutoff and
+  /// the CCA threshold — and stores per-sender compressed rows holding
+  /// only pairs above one of those floors. Memory and freeze cost scale
+  /// O(N·degree) instead of O(N²), opening 10k+ node topologies; the
+  /// dense path remains the bit-exactness oracle at small N (candidate
+  /// rows are visited in the same attach-slot order, so RNG sequences
+  /// and all metrics match bitwise as long as no shadowing draw exceeds
+  /// the headroom — see DESIGN.md §8.8).
+  bool use_spatial_index = false;
+
+  /// Shadowing headroom, in combined standard deviations
+  /// (sqrt(shadowing² + asymmetry²)), added to the receive-floor radius.
+  /// 5σ puts the chance of a candidate link escaping the spatial cull
+  /// below ~3e-7 per pair; raise it for strict bit-exactness at very
+  /// large N, lower it to trade fidelity for memory.
+  double spatial_headroom_sigmas = 5.0;
+
   [[nodiscard]] sim::Duration airtime(std::size_t mpdu_bytes) const {
     const double bits =
         static_cast<double>((phy_overhead_bytes + mpdu_bytes) * 8);

@@ -5,13 +5,8 @@
 
 namespace fourbit::phy {
 
-Decibels PropagationModel::loss(NodeId from, const Position& from_pos,
-                                NodeId to, const Position& to_pos) {
-  const std::uint32_t key = pair_key(from, to);
-  if (const auto it = cache_.find(key); it != cache_.end()) {
-    return Decibels{it->second};
-  }
-
+double PropagationModel::compute(NodeId from, const Position& from_pos,
+                                 NodeId to, const Position& to_pos) const {
   const double d = std::max(distance_m(from_pos, to_pos), 0.5);
   const double deterministic =
       config_.reference_loss.value() + 10.0 * config_.exponent * std::log10(d);
@@ -23,13 +18,33 @@ Decibels PropagationModel::loss(NodeId from, const Position& from_pos,
   const double shadowing = pair_rng.normal(0.0, config_.shadowing_sigma_db);
 
   // Directional component: independent draw per ordered pair.
-  sim::Rng dir_rng = rng_.fork(key ^ 0x9E3779B9U);
+  sim::Rng dir_rng = rng_.fork(pair_key(from, to) ^ 0x9E3779B9U);
   const double directional =
       dir_rng.normal(0.0, config_.asymmetry_sigma_db);
 
-  const double total = deterministic + shadowing + directional;
+  return deterministic + shadowing + directional;
+}
+
+Decibels PropagationModel::loss(NodeId from, const Position& from_pos,
+                                NodeId to, const Position& to_pos) {
+  const std::uint32_t key = pair_key(from, to);
+  if (const auto it = cache_.find(key); it != cache_.end()) {
+    return Decibels{it->second};
+  }
+  const double total = compute(from, from_pos, to, to_pos);
   cache_.emplace(key, total);
   return Decibels{total};
+}
+
+Decibels PropagationModel::loss_uncached(NodeId from, const Position& from_pos,
+                                         NodeId to,
+                                         const Position& to_pos) const {
+  // The memo stores exactly what compute() returns, so reading through
+  // either entry point yields the same double bitwise.
+  if (const auto it = cache_.find(pair_key(from, to)); it != cache_.end()) {
+    return Decibels{it->second};
+  }
+  return Decibels{compute(from, from_pos, to, to_pos)};
 }
 
 }  // namespace fourbit::phy

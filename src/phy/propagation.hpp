@@ -27,9 +27,19 @@ class PropagationModel {
   [[nodiscard]] Decibels loss(NodeId from, const Position& from_pos,
                               NodeId to, const Position& to_pos);
 
+  /// Same value as loss() — bit-identical, it is a pure function of
+  /// (seed, pair, positions) — but without touching the per-pair memo.
+  /// Cache rebuilds at large N use this so freeze-time sweeps over
+  /// candidate cells don't permanently grow the memo by O(N·degree).
+  [[nodiscard]] Decibels loss_uncached(NodeId from, const Position& from_pos,
+                                       NodeId to,
+                                       const Position& to_pos) const;
+
   [[nodiscard]] const PropagationConfig& config() const { return config_; }
 
  private:
+  [[nodiscard]] double compute(NodeId from, const Position& from_pos,
+                               NodeId to, const Position& to_pos) const;
   [[nodiscard]] static std::uint32_t pair_key(NodeId a, NodeId b) {
     return static_cast<std::uint32_t>(a.value()) << 16 | b.value();
   }

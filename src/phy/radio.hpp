@@ -93,8 +93,9 @@ class Radio {
     return transmitting_until_;
   }
 
-  /// Slot of this radio in the channel's frozen link cache. Owned by the
-  /// channel; meaningless while the cache is invalid.
+  /// Stable slot of this radio in the channel's radio table, assigned at
+  /// attach (tombstoned slots are reused) and fixed for the radio's
+  /// lifetime. Owned by the channel; meaningless after detach.
   void set_channel_index(std::size_t i) { channel_index_ = i; }
   [[nodiscard]] std::size_t channel_index() const { return channel_index_; }
 

@@ -6,6 +6,9 @@ namespace fourbit::topology {
 
 Topology line(std::size_t n, double spacing_m) {
   FOURBIT_ASSERT(n > 0, "line topology needs at least one node");
+  FOURBIT_ASSERT(n <= kMaxNodeCount,
+                 "line topology overflows the 16-bit NodeId space "
+                 "(0xFFFE/0xFFFF are reserved)");
   Topology t;
   t.nodes.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -20,6 +23,9 @@ Topology line(std::size_t n, double spacing_m) {
 Topology grid(std::size_t rows, std::size_t cols, double pitch_m,
               double jitter_m, sim::Rng& rng) {
   FOURBIT_ASSERT(rows > 0 && cols > 0, "grid needs positive dimensions");
+  FOURBIT_ASSERT(rows <= kMaxNodeCount / cols,
+                 "grid topology overflows the 16-bit NodeId space "
+                 "(0xFFFE/0xFFFF are reserved)");
   Topology t;
   t.nodes.reserve(rows * cols);
   NodeId::value_type id = 0;
@@ -32,6 +38,26 @@ Topology grid(std::size_t rows, std::size_t cols, double pitch_m,
                         Position{static_cast<double>(c) * pitch_m + jx,
                                  static_cast<double>(r) * pitch_m + jy}});
     }
+  }
+  t.root = NodeId{0};
+  return t;
+}
+
+Topology random_uniform(std::size_t n, double width_m, double height_m,
+                        sim::Rng& rng) {
+  FOURBIT_ASSERT(n > 0, "random topology needs at least one node");
+  FOURBIT_ASSERT(n <= kMaxNodeCount,
+                 "random topology overflows the 16-bit NodeId space "
+                 "(0xFFFE/0xFFFF are reserved)");
+  Topology t;
+  t.nodes.reserve(n);
+  t.nodes.push_back(NodePlacement{
+      NodeId{0}, Position{width_m / 2.0, height_m / 2.0}});
+  for (std::size_t i = 1; i < n; ++i) {
+    t.nodes.push_back(
+        NodePlacement{NodeId{static_cast<NodeId::value_type>(i)},
+                      Position{rng.uniform(0.0, width_m),
+                               rng.uniform(0.0, height_m)}});
   }
   t.root = NodeId{0};
   return t;

@@ -49,6 +49,13 @@ struct Testbed {
 [[nodiscard]] Topology grid(std::size_t rows, std::size_t cols,
                             double pitch_m, double jitter_m, sim::Rng& rng);
 
+/// `n` nodes placed uniformly at random over a width x height rectangle;
+/// node 0 (the root) is pinned to the center. The generator for
+/// city-scale (10k+) populations, where the sparse spatial channel keeps
+/// memory O(N·degree). Asserts `n` fits the 16-bit NodeId space.
+[[nodiscard]] Topology random_uniform(std::size_t n, double width_m,
+                                      double height_m, sim::Rng& rng);
+
 // ---- testbed presets ----------------------------------------------------
 
 /// Mirage-like: 85 nodes (MicaZ-class) on an irregular indoor grid,

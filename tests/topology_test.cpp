@@ -3,6 +3,7 @@
 
 #include <unordered_set>
 
+#include "common/assert.hpp"
 #include "topology/topology.hpp"
 
 namespace fourbit::topology {
@@ -40,6 +41,39 @@ TEST(TopologyTest, GridIdsUniqueAndContiguous) {
   for (std::uint16_t i = 0; i < 9; ++i) {
     EXPECT_TRUE(ids.contains(NodeId{i}));
   }
+}
+
+TEST(TopologyTest, RandomUniformPlacement) {
+  sim::Rng rng{7};
+  const auto t = random_uniform(500, 1000.0, 800.0, rng);
+  ASSERT_EQ(t.size(), 500u);
+  EXPECT_EQ(t.root, NodeId{0});
+  // Root pinned to the center; everyone inside the rectangle.
+  EXPECT_DOUBLE_EQ(t.nodes[0].position.x, 500.0);
+  EXPECT_DOUBLE_EQ(t.nodes[0].position.y, 400.0);
+  std::unordered_set<NodeId> ids;
+  for (const auto& n : t.nodes) {
+    ids.insert(n.id);
+    EXPECT_GE(n.position.x, 0.0);
+    EXPECT_LE(n.position.x, 1000.0);
+    EXPECT_GE(n.position.y, 0.0);
+    EXPECT_LE(n.position.y, 800.0);
+  }
+  EXPECT_EQ(ids.size(), 500u);
+}
+
+TEST(TopologyTest, GeneratorsRejectNodeIdOverflow) {
+  // The bug this pins down: generators cast size_t loop indices to
+  // uint16_t NodeIds, so a population past 65534 silently wrapped ids
+  // (and collided with the 0xFFFE/0xFFFF sentinels) instead of failing.
+  ScopedAssertHandler guard{throwing_assert_handler};
+  EXPECT_THROW((void)line(kMaxNodeCount + 1, 1.0), AssertionError);
+  sim::Rng rng{1};
+  EXPECT_THROW((void)grid(256, 257, 1.0, 0.0, rng), AssertionError);
+  EXPECT_THROW((void)random_uniform(kMaxNodeCount + 1, 10.0, 10.0, rng),
+               AssertionError);
+  // The ceiling itself is fine (ids 0..65533).
+  EXPECT_EQ(line(kMaxNodeCount, 1.0).size(), kMaxNodeCount);
 }
 
 TEST(TopologyTest, MiragePreset) {
