@@ -56,8 +56,17 @@ void Channel::detach(Radio& radio) {
     free_slots_.push_back(slot);
     if (cache_valid_ && sparse_mode_ && slot < slot_cell_.size() &&
         slot_cell_[slot] != kNoCell) {
-      std::erase(cells_[slot_cell_[slot]], static_cast<std::uint32_t>(slot));
+      const std::size_t cell = slot_cell_[slot];
+      std::erase(cells_[cell], static_cast<std::uint32_t>(slot));
       slot_cell_[slot] = kNoCell;
+      // Senders near the departed position still hold row entries for
+      // this slot. While it is tombstoned they are skipped via the null
+      // checks, but a reuse at a position in a DIFFERENT cell would only
+      // repair the new neighborhood and leave these stale (old gains,
+      // old candidate/audible flags, applied to the new radio). Scrub
+      // them now, while the old cell is still known.
+      scrub_sparse_links_to(slot, cell);
+      sparse_rows_[slot].clear();
     }
   }
   for (ActiveTx* tx : active_) {
@@ -208,17 +217,8 @@ void Channel::rebuild_row(std::size_t s) {
 
 // --- sparse spatial index ---------------------------------------------
 
-double Channel::receive_floor_radius(double max_tx_dbm) const {
-  double floor_dbm = 1e300;
-  for (const Radio* r : radios_) {
-    if (r == nullptr) continue;
-    floor_dbm = std::min(
-        floor_dbm, (r->noise_floor() + phy_.reception_cutoff_margin).value());
-  }
-  // The radius must also cover every CCA-audible pair, not just
-  // reception candidates.
-  floor_dbm = std::min(floor_dbm, phy_.cca_threshold.value());
-
+double Channel::receive_floor_radius(double max_tx_dbm,
+                                     double floor_dbm) const {
   const PropagationConfig& pc = propagation_.config();
   const double headroom =
       phy_.spatial_headroom_sigmas *
@@ -236,6 +236,7 @@ double Channel::receive_floor_radius(double max_tx_dbm) const {
 void Channel::build_grid() {
   double min_x = 1e300, min_y = 1e300, max_x = -1e300, max_y = -1e300;
   double max_tx = -1e300;
+  double min_floor = 1e300;
   std::size_t live = 0;
   for (const Radio* r : radios_) {
     if (r == nullptr) continue;
@@ -245,7 +246,12 @@ void Channel::build_grid() {
     max_x = std::max(max_x, r->position().x);
     max_y = std::max(max_y, r->position().y);
     max_tx = std::max(max_tx, r->effective_tx_power().value());
+    min_floor = std::min(
+        min_floor, (r->noise_floor() + phy_.reception_cutoff_margin).value());
   }
+  // The radius must also cover every CCA-audible pair, not just
+  // reception candidates.
+  min_floor = std::min(min_floor, phy_.cca_threshold.value());
   cells_.clear();
   slot_cell_.assign(n_, kNoCell);
   if (live == 0) {
@@ -254,11 +260,13 @@ void Channel::build_grid() {
     origin_x_ = origin_y_ = 0.0;
     grid_cols_ = grid_rows_ = 0;
     max_tx_dbm_ = -1e300;
+    min_floor_dbm_ = 1e300;
     return;
   }
 
   max_tx_dbm_ = max_tx;
-  radius_m_ = receive_floor_radius(max_tx);
+  min_floor_dbm_ = min_floor;
+  radius_m_ = receive_floor_radius(max_tx, min_floor);
   cell_size_m_ = std::max(radius_m_, 1e-3);
   origin_x_ = min_x;
   origin_y_ = min_y;
@@ -306,35 +314,37 @@ void Channel::rebuild_sparse_row(std::size_t s) {
   Radio* sender_p = radios_[s];
   if (sender_p == nullptr) return;
   Radio& sender = *sender_p;
-  const std::size_t cell = slot_cell_[s];
-  const std::size_t cx = cell % grid_cols_;
-  const std::size_t cy = cell / grid_cols_;
-  for (std::size_t gy = cy == 0 ? 0 : cy - 1;
-       gy <= std::min(cy + 1, grid_rows_ - 1); ++gy) {
-    for (std::size_t gx = cx == 0 ? 0 : cx - 1;
-         gx <= std::min(cx + 1, grid_cols_ - 1); ++gx) {
-      for (const std::uint32_t r : cells_[gy * grid_cols_ + gx]) {
-        if (r == s) continue;
-        const PowerDbm p = rx_power_uncached(sender, *radios_[r]);
-        const bool cand = p.value() >= rx_cutoff_dbm_[r];
-        const bool audible = p >= phy_.cca_threshold;
-        if (!cand && !audible) continue;
-        SparseLink link;
-        link.receiver = r;
-        link.gain_dbm = p.value();
-        link.gain_mw = p.milliwatts();
-        link.candidate = cand;
-        link.audible = audible;
-        row.push_back(link);
-      }
-    }
-  }
+  for_each_neighbor_slot(slot_cell_[s], [&](std::uint32_t r) {
+    if (r == s) return;
+    const PowerDbm p = rx_power_uncached(sender, *radios_[r]);
+    const bool cand = p.value() >= rx_cutoff_dbm_[r];
+    const bool audible = p >= phy_.cca_threshold;
+    if (!cand && !audible) return;
+    SparseLink link;
+    link.receiver = r;
+    link.gain_dbm = p.value();
+    link.gain_mw = p.milliwatts();
+    link.candidate = cand;
+    link.audible = audible;
+    row.push_back(link);
+  });
   // Ascending slot order == the attach order the dense and slow paths
   // visit, so RNG draw sequences stay bit-identical.
   std::sort(row.begin(), row.end(),
             [](const SparseLink& a, const SparseLink& b) {
               return a.receiver < b.receiver;
             });
+}
+
+void Channel::scrub_sparse_links_to(std::size_t slot, std::size_t cell) {
+  for_each_neighbor_slot(cell, [&](std::uint32_t s) {
+    if (s == slot) return;
+    auto& row = sparse_rows_[s];
+    const auto it = std::lower_bound(
+        row.begin(), row.end(), static_cast<std::uint32_t>(slot),
+        [](const SparseLink& l, std::uint32_t v) { return l.receiver < v; });
+    if (it != row.end() && it->receiver == slot) row.erase(it);
+  });
 }
 
 void Channel::repair_sparse_link(std::size_t s, std::size_t r) {
@@ -383,9 +393,13 @@ void Channel::repair_reused_slot(std::size_t slot) {
   Radio& radio = *radios_[slot];
   if (sparse_mode_ &&
       (radio.effective_tx_power().value() > max_tx_dbm_ ||
+       (radio.noise_floor() + phy_.reception_cutoff_margin).value() <
+           min_floor_dbm_ ||
        !grid_covers(radio.position()))) {
-    // A louder transmitter (or a position off the frozen grid) voids the
-    // receive-floor radius the cull was derived from; fall back to a
+    // A louder transmitter, a more sensitive receiver (reception cutoff
+    // below the weakest floor the radius was derived from — senders
+    // beyond the 3x3 neighborhood could now be audible), or a position
+    // off the frozen grid voids the receive-floor cull; fall back to a
     // full rebuild on next use.
     cache_valid_ = false;
     return;
@@ -401,19 +415,13 @@ void Channel::repair_reused_slot(std::size_t slot) {
     slot_cell_[slot] = static_cast<std::uint32_t>(cell);
     rebuild_sparse_row(slot);
     // Touched-cell column repair: only senders within the 3x3 cell
-    // neighborhood could store (or need to drop) a link to this slot.
-    const std::size_t cx = cell % grid_cols_;
-    const std::size_t cy = cell / grid_cols_;
-    for (std::size_t gy = cy == 0 ? 0 : cy - 1;
-         gy <= std::min(cy + 1, grid_rows_ - 1); ++gy) {
-      for (std::size_t gx = cx == 0 ? 0 : cx - 1;
-           gx <= std::min(cx + 1, grid_cols_ - 1); ++gx) {
-        for (const std::uint32_t s : cells_[gy * grid_cols_ + gx]) {
-          if (s == slot) continue;
-          repair_sparse_link(s, slot);
-        }
-      }
-    }
+    // neighborhood can be above a culling floor with this slot, and any
+    // links held near the OLD position were scrubbed at detach — so the
+    // new neighborhood is the whole column.
+    for_each_neighbor_slot(cell, [&](std::uint32_t s) {
+      if (s == slot) return;
+      repair_sparse_link(s, slot);
+    });
     return;
   }
 

@@ -93,7 +93,9 @@ class Channel {
   /// carrier died mid-frame; nothing is delivered). Safe to call with
   /// receptions or the radio's own transmission in flight — in-flight
   /// state is scrubbed/tombstoned, never left dangling. The slot is
-  /// tombstoned, not erased, so a frozen cache stays frozen.
+  /// tombstoned, not erased, so a frozen cache stays frozen (a frozen
+  /// sparse index also drops every stored link to the slot, so a later
+  /// reuse at any position starts from a clean column).
   void detach(Radio& radio);
 
   // --- Fault injection -------------------------------------------------
@@ -202,7 +204,11 @@ class Channel {
   /// Incremental repair when attach reuses tombstoned slot `slot` while
   /// a cache is frozen: re-derives the slot's own row plus every other
   /// sender's entry for it (dense: one column walk; sparse: only senders
-  /// in the 3x3 cell neighborhood of the new radio's position).
+  /// in the 3x3 cell neighborhood of the new radio's position — links
+  /// held near the OLD position were already scrubbed at detach). A
+  /// reused slot the frozen radius cannot vouch for — louder tx power
+  /// than `max_tx_dbm_`, reception cutoff below `min_floor_dbm_`, or a
+  /// position off the grid — invalidates the sparse cache instead.
   void repair_reused_slot(std::size_t slot);
   [[nodiscard]] bool cca_audible(std::size_t sender_idx,
                                  std::size_t listener_idx) const {
@@ -233,11 +239,34 @@ class Channel {
     bool audible = false;
   };
 
-  [[nodiscard]] double receive_floor_radius(double max_tx_dbm) const;
+  [[nodiscard]] double receive_floor_radius(double max_tx_dbm,
+                                            double floor_dbm) const;
   void build_grid();
   [[nodiscard]] std::size_t cell_of(const Position& p) const;
   [[nodiscard]] bool grid_covers(const Position& p) const;
+  /// Applies `fn` to every live slot in the 3x3 cell neighborhood of
+  /// `cell`. Cell size >= the receive-floor radius, so this visits
+  /// every slot that can be above any culling floor with a radio there.
+  template <typename Fn>
+  void for_each_neighbor_slot(std::size_t cell, Fn&& fn) const {
+    const std::size_t cx = cell % grid_cols_;
+    const std::size_t cy = cell / grid_cols_;
+    for (std::size_t gy = cy == 0 ? 0 : cy - 1;
+         gy <= std::min(cy + 1, grid_rows_ - 1); ++gy) {
+      for (std::size_t gx = cx == 0 ? 0 : cx - 1;
+           gx <= std::min(cx + 1, grid_cols_ - 1); ++gx) {
+        for (const std::uint32_t s : cells_[gy * grid_cols_ + gx]) fn(s);
+      }
+    }
+  }
   void rebuild_sparse_row(std::size_t s);
+  /// Erases every stored link to receiver slot `slot` from the rows of
+  /// senders in the 3x3 neighborhood of `cell` (the slot's cell when it
+  /// was live — row construction is neighborhood-symmetric, so those are
+  /// the only rows that can hold one). Called at detach so a later slot
+  /// reuse at a different position cannot inherit stale links from
+  /// senders near the old occupant.
+  void scrub_sparse_links_to(std::size_t slot, std::size_t cell);
   /// Recomputes sender `s`'s stored link to receiver slot `r` from the
   /// propagation model: inserts, updates or erases the row entry so it
   /// again reflects the live pair.
@@ -325,6 +354,10 @@ class Channel {
   // set_tx_power or attach above it voids the cull guarantee and forces
   // a full rebuild.
   double max_tx_dbm_ = 0.0;
+  // Weakest culling floor (min over live radios' reception cutoffs and
+  // the CCA threshold) the frozen radius was derived from; an attach
+  // with a more sensitive receiver voids the cull guarantee likewise.
+  double min_floor_dbm_ = 0.0;
 
   std::uint64_t frames_transmitted_ = 0;
   std::uint64_t* ctr_frames_tx_ = nullptr;  // telemetry registry slot

@@ -87,12 +87,20 @@ struct Pump {
   }
 
   void add_radio(std::size_t i) {
+    add_radio_at(i, Position{static_cast<double>(i % 6) * 30.0,
+                             static_cast<double>(i / 6) * 30.0});
+  }
+
+  void add_radio_at(std::size_t i, Position pos,
+                    phy::HardwareProfile profile = {}) {
+    add_radio_as(i, static_cast<std::uint16_t>(i + 1), pos, profile);
+  }
+
+  void add_radio_as(std::size_t i, std::uint16_t id, Position pos,
+                    phy::HardwareProfile profile = {}) {
     if (radios.size() <= i) radios.resize(i + 1);
-    radios[i] = std::make_unique<phy::Radio>(
-        channel, NodeId{static_cast<std::uint16_t>(i + 1)},
-        Position{static_cast<double>(i % 6) * 30.0,
-                 static_cast<double>(i / 6) * 30.0},
-        phy::HardwareProfile{}, PowerDbm{0.0});
+    radios[i] = std::make_unique<phy::Radio>(channel, NodeId{id}, pos,
+                                             profile, PowerDbm{0.0});
     phy::Radio* r = radios[i].get();
     r->set_rx_handler([this, r](std::span<const std::uint8_t> frame,
                                 const phy::RxInfo& info) {
@@ -241,6 +249,91 @@ TEST(ChannelSparseTest, ChurnReusesSlotsWithoutFullRebuild) {
       EXPECT_EQ(p.channel.cache_rebuilds(), 1u)
           << "mode " << static_cast<int>(mode)
           << " paid a full rebuild during churn";
+      EXPECT_EQ(p.deliveries, slow_deliveries);
+      EXPECT_EQ(p.digest.h, slow_digest);
+    }
+  }
+}
+
+TEST(ChannelSparseTest, ReattachAtDifferentCellStaysBitIdentical) {
+  // Two clusters ~3 km apart sit in NON-adjacent grid cells (the
+  // receive-floor radius, and therefore the cell size, is ~1.1 km at
+  // default config). A cluster-A radio dies and a REPLACEMENT node
+  // (fresh NodeId — a rebooting node must keep its position, see
+  // DESIGN.md §8.8) joins at a cluster-B position, reusing the slot:
+  // senders near the old position must not keep their stored links to
+  // that slot (detach scrubs them), or the sparse path keeps delivering
+  // to the newcomer with cluster-A gains while the new-neighborhood
+  // repair never touches those rows.
+  std::uint64_t slow_digest = 0;
+  std::uint64_t slow_deliveries = 0;
+  for (const Mode mode : kAllModes) {
+    Pump p{mode, 0};
+    for (std::size_t i = 0; i < 4; ++i) {
+      p.add_radio_at(i, Position{static_cast<double>(i) * 40.0, 0.0});
+    }
+    for (std::size_t i = 4; i < 8; ++i) {
+      p.add_radio_at(
+          i, Position{3000.0 + static_cast<double>(i - 4) * 40.0, 0.0});
+    }
+    p.stagger_us = 2000;
+    p.run_rounds(2);
+    if (mode == Mode::kSparse) {
+      // The geometry premise: clusters farther apart than two cells.
+      ASSERT_GT(p.channel.spatial_radius_m(), 0.0);
+      ASSERT_LT(p.channel.spatial_radius_m(), 1500.0);
+    }
+    p.radios[1].reset();  // node death in cluster A
+    p.run_rounds(1);
+    // Replacement joins inside cluster B: same slot (LIFO free list),
+    // new NodeId, a cell two columns away.
+    p.add_radio_as(1, 9, Position{3020.0, 0.0});
+    p.run_rounds(3);
+    if (mode == Mode::kSlow) {
+      slow_digest = p.digest.h;
+      slow_deliveries = p.deliveries;
+      EXPECT_GT(p.deliveries, 0u);
+    } else {
+      // The cross-cell move stays incremental: scrub + new-neighborhood
+      // repair, no full rebuild beyond the initial freeze.
+      EXPECT_EQ(p.channel.cache_rebuilds(), 1u)
+          << "mode " << static_cast<int>(mode)
+          << " paid a full rebuild for a cross-cell reattach";
+      EXPECT_EQ(p.deliveries, slow_deliveries);
+      EXPECT_EQ(p.digest.h, slow_digest);
+    }
+  }
+}
+
+TEST(ChannelSparseTest, ReattachMoreSensitiveReceiverForcesFullRebuild) {
+  // The frozen receive-floor radius assumed the weakest reception
+  // cutoff seen at freeze time. A reused slot whose receiver is MORE
+  // sensitive can hear senders beyond the 3x3 neighborhood, so the
+  // sparse repair must declare the cull guarantee void (one full
+  // rebuild) rather than silently diverge; the dense column walk
+  // handles the same reattach incrementally.
+  std::uint64_t slow_digest = 0;
+  std::uint64_t slow_deliveries = 0;
+  const phy::HardwareProfile sensitive{.noise_figure_offset =
+                                           Decibels{-6.0}};
+  for (const Mode mode : kAllModes) {
+    Pump p{mode, 8};
+    p.stagger_us = 2000;
+    p.run_rounds(2);
+    p.radios[2].reset();
+    p.run_rounds(1);
+    p.add_radio_at(2, Position{60.0, 0.0}, sensitive);
+    if (mode == Mode::kSparse) {
+      EXPECT_FALSE(p.channel.link_cache_frozen());
+    }
+    p.run_rounds(3);
+    if (mode == Mode::kSlow) {
+      slow_digest = p.digest.h;
+      slow_deliveries = p.deliveries;
+      EXPECT_GT(p.deliveries, 0u);
+    } else {
+      EXPECT_EQ(p.channel.cache_rebuilds(),
+                mode == Mode::kSparse ? 2u : 1u);
       EXPECT_EQ(p.deliveries, slow_deliveries);
       EXPECT_EQ(p.digest.h, slow_digest);
     }
