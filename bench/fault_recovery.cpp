@@ -39,6 +39,7 @@
 #include "runner/describe.hpp"
 #include "runner/experiment.hpp"
 #include "runner/supervisor.hpp"
+#include "runner/worker.hpp"
 #include "sim/rng.hpp"
 #include "stats/export.hpp"
 #include "topology/topology.hpp"
@@ -129,9 +130,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  auto pool = cli.supervisor_options();
-  pool.on_trial_done = runner::stderr_progress();
-  const auto report = runner::run_supervised(trials, pool);
+  const auto report =
+      runner::run_campaign(trials, cli, runner::stderr_progress());
   if (const auto note = runner::describe(report); !note.empty()) {
     std::fprintf(stderr, "%s", note.c_str());
   }

@@ -19,6 +19,7 @@
 #include "runner/describe.hpp"
 #include "runner/experiment.hpp"
 #include "runner/supervisor.hpp"
+#include "runner/worker.hpp"
 #include "sim/rng.hpp"
 #include "topology/topology.hpp"
 
@@ -57,9 +58,8 @@ int main(int argc, char** argv) {
        {runner::Profile::kFourBit, runner::Profile::kMultihopLqi}) {
     for (int s = 0; s < seeds; ++s) trials.push_back(make_trial(p, minutes, s));
   }
-  auto options = cli.supervisor_options();
-  options.on_trial_done = runner::stderr_progress();
-  const auto report = runner::run_supervised(trials, options);
+  const auto report =
+      runner::run_campaign(trials, cli, runner::stderr_progress());
   if (const auto note = runner::describe(report); !note.empty()) {
     std::fprintf(stderr, "%s", note.c_str());
   }

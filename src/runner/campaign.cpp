@@ -136,6 +136,7 @@ CampaignSummary summarize(const CampaignReport& report) {
   summary.attempts = report.attempts;
   summary.retries = report.retries;
   summary.replayed = report.replayed;
+  summary.worker_respawns = report.worker_respawns;
   for (const auto& failure : report.failures) {
     summary.failures_by_kind[static_cast<std::size_t>(failure.kind)]++;
   }

@@ -95,13 +95,15 @@ struct CampaignSummary {
   std::uint64_t attempts = 0;  // run_experiment invocations (incl. retries)
   std::uint64_t retries = 0;
   std::uint64_t replayed = 0;  // trials restored from a journal
+  /// Worker processes respawned after a death (multi-process pool only).
+  std::uint64_t worker_respawns = 0;
   /// Terminal failures indexed by FailureKind (supervisor.hpp):
-  /// assert, exception, timeout, invariant.
-  std::array<std::size_t, 4> failures_by_kind{};
+  /// assert, exception, timeout, invariant, hard_crash.
+  std::array<std::size_t, 5> failures_by_kind{};
 
   [[nodiscard]] std::size_t failures_total() const {
     return failures_by_kind[0] + failures_by_kind[1] + failures_by_kind[2] +
-           failures_by_kind[3];
+           failures_by_kind[3] + failures_by_kind[4];
   }
 };
 

@@ -126,6 +126,9 @@ std::string describe(const TrialFailure& failure) {
              static_cast<unsigned long long>(failure.seed),
              std::string{failure_kind_name(failure.kind)}.c_str(),
              failure.attempt, failure.what.c_str());
+  if (failure.term_signal != 0) {
+    out += format(" (signal %d)", failure.term_signal);
+  }
   if (!failure.flight.empty()) {
     out += format(" (flight recorder: %zu events, last at t=%.3fs)",
                   failure.flight.size(),
@@ -141,7 +144,8 @@ std::string describe(const CampaignReport& report) {
   for (const auto done : report.completed) completed += done;
 
   const bool eventful = !report.failures.empty() || report.retries > 0 ||
-                        report.replayed > 0 || report.journal_torn;
+                        report.replayed > 0 || report.journal_torn ||
+                        report.hard_crashes > 0 || report.worker_respawns > 0;
   if (!eventful) return "";
 
   std::string out;
@@ -153,14 +157,19 @@ std::string describe(const CampaignReport& report) {
                 static_cast<unsigned long long>(report.retries),
                 static_cast<unsigned long long>(report.replayed),
                 report.journal_torn ? ", torn tail dropped" : "");
+  if (report.hard_crashes > 0 || report.worker_respawns > 0) {
+    out += format("workers      : %llu hard crashes, %llu respawns\n",
+                  static_cast<unsigned long long>(report.hard_crashes),
+                  static_cast<unsigned long long>(report.worker_respawns));
+  }
   if (!report.failures.empty()) {
-    std::size_t by_kind[4] = {};
+    std::size_t by_kind[kFailureKindCount] = {};
     for (const auto& f : report.failures) {
       ++by_kind[static_cast<std::size_t>(f.kind)];
     }
     out += format("failures     : %zu assert, %zu exception, %zu timeout, "
-                  "%zu invariant\n",
-                  by_kind[0], by_kind[1], by_kind[2], by_kind[3]);
+                  "%zu invariant, %zu hard_crash\n",
+                  by_kind[0], by_kind[1], by_kind[2], by_kind[3], by_kind[4]);
     for (const auto& f : report.failures) {
       out += "  " + describe(f);
     }
@@ -225,13 +234,17 @@ std::string describe_json(const TrialFailure& failure) {
   out += stats::kSummarySchema;
   out += "\",\"type\":\"failure\"";
   out += format(",\"trial\":%zu,\"seed\":%llu,\"kind\":\"%s\","
-                "\"attempt\":%zu,\"what\":\"%s\",\"flight_events\":%zu}",
+                "\"attempt\":%zu,\"what\":\"%s\",\"flight_events\":%zu",
                 failure.trial_index,
                 static_cast<unsigned long long>(failure.seed),
                 std::string{failure_kind_name(failure.kind)}.c_str(),
                 failure.attempt,
                 stats::json_escape(failure.what).c_str(),
                 failure.flight.size());
+  if (failure.term_signal != 0) {
+    out += format(",\"term_signal\":%d", failure.term_signal);
+  }
+  out += "}";
   return out;
 }
 
@@ -245,10 +258,15 @@ std::string describe_json(const CampaignSummary& summary) {
                 static_cast<unsigned long long>(summary.attempts),
                 static_cast<unsigned long long>(summary.retries),
                 static_cast<unsigned long long>(summary.replayed));
+  if (summary.worker_respawns > 0) {
+    out += format(",\"worker_respawns\":%llu",
+                  static_cast<unsigned long long>(summary.worker_respawns));
+  }
   out += format(",\"failures\":{\"assert\":%zu,\"exception\":%zu,"
-                "\"timeout\":%zu,\"invariant\":%zu}",
+                "\"timeout\":%zu,\"invariant\":%zu,\"hard_crash\":%zu}",
                 summary.failures_by_kind[0], summary.failures_by_kind[1],
-                summary.failures_by_kind[2], summary.failures_by_kind[3]);
+                summary.failures_by_kind[2], summary.failures_by_kind[3],
+                summary.failures_by_kind[4]);
   out += "," + aggregate_json("cost", summary.cost);
   out += "," + aggregate_json("delivery_ratio", summary.delivery_ratio);
   out += "," + aggregate_json("mean_depth", summary.mean_depth);

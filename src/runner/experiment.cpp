@@ -5,6 +5,7 @@
 #include <memory>
 #include <utility>
 
+#include "runner/worker.hpp"
 #include "sim/invariant.hpp"
 #include "sim/simulator.hpp"
 #include "sim/timer.hpp"
@@ -114,6 +115,24 @@ ExperimentResult run_experiment(ExperimentConfig config) {
         stats::JsonlExporter::Header{config.seed, config.trace_trial});
     sim.telemetry().set_node_filter(config.trace_nodes);
     sim.telemetry().set_sink(exporter.get());
+  }
+  if (!config.flight_flush_path.empty() &&
+      config.flight_flush_every_events != 0) {
+    // Periodic crash evidence: if this process dies mid-trial, the
+    // coordinator recovers the sim's last flushed moments from here.
+    const std::string flush_path = config.flight_flush_path;
+    const std::size_t flush_index =
+        config.trace_trial >= 0
+            ? static_cast<std::size_t>(config.trace_trial)
+            : 0;
+    const std::uint64_t flush_seed = config.seed;
+    sim::Simulator* sim_ptr = &sim;
+    sim.set_flush_hook(
+        config.flight_flush_every_events,
+        [flush_path, flush_index, flush_seed, sim_ptr] {
+          write_flight_snapshot(flush_path, flush_index, flush_seed,
+                                sim_ptr->telemetry().flight());
+        });
   }
   stats::Metrics metrics;
 

@@ -66,6 +66,14 @@ struct ExperimentConfig {
   std::vector<std::uint16_t> trace_nodes;
   /// Campaign trial index recorded in the trace header (-1 = standalone).
   std::int64_t trace_trial = -1;
+
+  /// When non-empty, the trial periodically snapshots its flight
+  /// recorder to this file (atomic write-temp-then-rename; worker.hpp
+  /// snapshot format) every flight_flush_every_events executed events,
+  /// so a hard-crashed worker process leaves evidence behind. The
+  /// supervisor removes the file once the trial settles in-process.
+  std::string flight_flush_path;
+  std::uint64_t flight_flush_every_events = 65536;
 };
 
 struct ExperimentResult {

@@ -2,7 +2,10 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstddef>
+#include <filesystem>
+#include <map>
 #include <optional>
 #include <stdexcept>
 #include <utility>
@@ -120,20 +123,45 @@ std::optional<JournalEntry> decode_payload(
   return entry;
 }
 
-}  // namespace
-
-TrialJournal::LoadResult TrialJournal::load(const std::string& path) {
-  LoadResult out;
-  std::FILE* file = std::fopen(path.c_str(), "rb");
-  if (file == nullptr) return out;  // no journal yet: empty
+std::vector<std::uint8_t> read_all(const std::string& path) {
   std::vector<std::uint8_t> bytes;
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return bytes;  // no journal yet: empty
   std::uint8_t chunk[4096];
   std::size_t n = 0;
   while ((n = std::fread(chunk, 1, sizeof chunk, file)) > 0) {
     bytes.insert(bytes.end(), chunk, chunk + n);
   }
   std::fclose(file);
+  return bytes;
+}
 
+/// Byte length of the leading run of intact records: where a torn tail
+/// (if any) begins.
+std::size_t clean_prefix_bytes(const std::vector<std::uint8_t>& bytes) {
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    const std::span<const std::uint8_t> rest{bytes.data() + pos,
+                                             bytes.size() - pos};
+    if (rest.size() < kFrameHeaderBytes) break;
+    ByteReader header{rest.first(kFrameHeaderBytes)};
+    if (header.u16() != kMagic) break;
+    const std::uint32_t length = header.u32();
+    if (rest.size() < kFrameHeaderBytes + length + kCrcBytes) break;
+    const auto payload = rest.subspan(kFrameHeaderBytes, length);
+    ByteReader crc_reader{rest.subspan(kFrameHeaderBytes + length, kCrcBytes)};
+    if (crc_reader.u16() != crc16(payload)) break;
+    if (!decode_payload(payload)) break;
+    pos += kFrameHeaderBytes + length + kCrcBytes;
+  }
+  return pos;
+}
+
+}  // namespace
+
+TrialJournal::LoadResult TrialJournal::load(const std::string& path) {
+  LoadResult out;
+  const std::vector<std::uint8_t> bytes = read_all(path);
   std::size_t pos = 0;
   while (pos < bytes.size()) {
     // Any framing or CRC failure from here on means a torn tail (or
@@ -171,7 +199,89 @@ TrialJournal::LoadResult TrialJournal::load(const std::string& path) {
   return out;
 }
 
+std::string TrialJournal::shard_path(const std::string& stem,
+                                     std::size_t worker) {
+  return stem + ".w" + std::to_string(worker) + ".journal";
+}
+
+TrialJournal::ShardMergeResult TrialJournal::merge_shards(
+    const std::string& stem) {
+  ShardMergeResult out;
+
+  // Find every "<basename>.w<k>.journal" sibling of `stem`, sorted
+  // numerically by worker id so "last record wins" is deterministic.
+  namespace fs = std::filesystem;
+  const fs::path stem_path{stem};
+  const fs::path dir =
+      stem_path.has_parent_path() ? stem_path.parent_path() : fs::path{"."};
+  const std::string prefix = stem_path.filename().string() + ".w";
+  const std::string suffix = ".journal";
+  std::vector<std::pair<std::uint64_t, fs::path>> shards;
+  std::error_code ec;
+  for (const auto& dirent : fs::directory_iterator{dir, ec}) {
+    const std::string name = dirent.path().filename().string();
+    if (name.size() <= prefix.size() + suffix.size()) continue;
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+        0) {
+      continue;
+    }
+    const std::string digits =
+        name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+    if (digits.empty()) continue;
+    std::uint64_t worker = 0;
+    bool numeric = true;
+    for (const char c : digits) {
+      if (c < '0' || c > '9') {
+        numeric = false;
+        break;
+      }
+      worker = worker * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    if (!numeric) continue;
+    shards.emplace_back(worker, dirent.path());
+  }
+  std::sort(shards.begin(), shards.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  // Dedup by (index, seed): the latest complete record replaces any
+  // earlier one, so a trial journaled twice (overlapping ranges after a
+  // respawn or resume) settles on the most recent write.
+  std::map<std::pair<std::uint32_t, std::uint64_t>, std::size_t> slot_of;
+  for (const auto& [worker, path] : shards) {
+    ++out.shards;
+    LoadResult loaded = load(path.string());
+    out.torn = out.torn || loaded.torn;
+    for (auto& entry : loaded.entries) {
+      ++out.records;
+      const auto key = std::make_pair(entry.trial_index, entry.seed);
+      const auto it = slot_of.find(key);
+      if (it != slot_of.end()) {
+        out.entries[it->second] = std::move(entry);
+      } else {
+        slot_of.emplace(key, out.entries.size());
+        out.entries.push_back(std::move(entry));
+      }
+    }
+  }
+  return out;
+}
+
 TrialJournal TrialJournal::open_append(const std::string& path) {
+  // A process killed mid-append leaves a torn tail. Appending AFTER it
+  // would strand every subsequent record: framing is lost at the first
+  // bad byte, so load() could never reach them. Truncate to the clean
+  // prefix first — exactly the bytes load() would replay anyway.
+  const std::vector<std::uint8_t> bytes = read_all(path);
+  const std::size_t clean = clean_prefix_bytes(bytes);
+  if (clean < bytes.size()) {
+    std::error_code ec;
+    std::filesystem::resize_file(path, clean, ec);
+    if (ec) {
+      throw std::runtime_error("cannot truncate torn trial journal tail: " +
+                               path);
+    }
+  }
   std::FILE* file = std::fopen(path.c_str(), "ab");
   if (file == nullptr) {
     throw std::runtime_error("cannot open trial journal for append: " + path);

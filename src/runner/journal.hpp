@@ -47,11 +47,37 @@ class TrialJournal {
     bool torn = false;
   };
 
+  /// Worker k's shard of a multi-process campaign journal:
+  /// "<stem>.w<k>.journal" next to the main journal at `stem`.
+  [[nodiscard]] static std::string shard_path(const std::string& stem,
+                                              std::size_t worker);
+
+  struct ShardMergeResult {
+    /// Union of every intact record across all shards, deduplicated by
+    /// (trial_index, seed): when the same trial appears in multiple
+    /// shards (overlapping ranges after a respawn/resume), the last
+    /// complete record — shard order ascending by worker id, file order
+    /// within a shard — wins.
+    std::vector<JournalEntry> entries;
+    std::size_t shards = 0;   // shard files found
+    std::size_t records = 0;  // intact records read (pre-dedup)
+    bool torn = false;        // any shard had a torn tail
+  };
+
+  /// Loads and merges every "<stem>.w*.journal" shard (numeric order by
+  /// worker id). Seed validation is the caller's job at replay time —
+  /// exactly as for load() — so a foreign-seed shard record is rejected
+  /// there, not here.
+  [[nodiscard]] static ShardMergeResult merge_shards(const std::string& stem);
+
   /// Replays every intact record. A missing file is an empty journal.
   [[nodiscard]] static LoadResult load(const std::string& path);
 
-  /// Opens `path` for appending, creating it if needed. Throws
-  /// std::runtime_error when the file cannot be opened.
+  /// Opens `path` for appending, creating it if needed. Any torn tail
+  /// left by a mid-write kill is truncated first, so records appended
+  /// now stay reachable by load() (framing would otherwise be lost at
+  /// the first garbage byte). Throws std::runtime_error when the file
+  /// cannot be opened or the tail cannot be truncated.
   [[nodiscard]] static TrialJournal open_append(const std::string& path);
 
   /// Appends one completed trial and makes it durable (fflush + fsync)

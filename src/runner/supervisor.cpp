@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
@@ -20,8 +21,32 @@ std::string_view failure_kind_name(FailureKind kind) {
     case FailureKind::kException: return "exception";
     case FailureKind::kTimeout: return "timeout";
     case FailureKind::kInvariant: return "invariant";
+    case FailureKind::kHardCrash: return "hard_crash";
   }
   return "unknown";
+}
+
+std::uint64_t Backoff::delay_ms(std::size_t attempt,
+                                std::uint64_t seed) const {
+  if (base_ms == 0) return 0;
+  const std::size_t doublings =
+      std::min<std::size_t>(attempt > 0 ? attempt - 1 : 0, 20);
+  const double raw = std::min(
+      static_cast<double>(cap_ms),
+      static_cast<double>(base_ms) *
+          static_cast<double>(std::uint64_t{1} << doublings));
+  // splitmix64 of (seed, attempt): a deterministic uniform fraction, so
+  // the jittered delay is a pure function of its inputs.
+  std::uint64_t h = seed + 0x9E3779B97F4A7C15ULL * (attempt + 1);
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  h = (h ^ (h >> 27)) * 0x94D049BB133111EBULL;
+  h ^= h >> 31;
+  const double fraction =
+      static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+  const double jittered = raw * (1.0 - jitter + 2.0 * jitter * fraction);
+  const double clamped =
+      std::min(static_cast<double>(cap_ms), std::max(0.0, jittered));
+  return static_cast<std::uint64_t>(clamped);
 }
 
 namespace {
@@ -35,6 +60,18 @@ struct AttemptOutcome {
 /// this thread, and every escape route out of the trial is mapped onto
 /// the failure taxonomy. Catch order matters — the specific error types
 /// all derive from std::runtime_error.
+TrialFailure make_failure(FailureKind kind, std::string what,
+                          std::size_t index, std::uint64_t seed,
+                          std::size_t attempt) {
+  TrialFailure failure;
+  failure.kind = kind;
+  failure.what = std::move(what);
+  failure.trial_index = index;
+  failure.seed = seed;
+  failure.attempt = attempt;
+  return failure;
+}
+
 AttemptOutcome attempt_trial(
     const std::function<ExperimentResult(const ExperimentConfig&)>& run_trial,
     const ExperimentConfig& config, std::size_t index, std::size_t attempt) {
@@ -48,21 +85,26 @@ AttemptOutcome attempt_trial(
   try {
     out.result = run_trial ? run_trial(config) : run_experiment(config);
   } catch (const AssertionError& e) {
-    out.failure = TrialFailure{FailureKind::kAssert, e.what(), index,
-                               config.seed, attempt};
+    out.failure =
+        make_failure(FailureKind::kAssert, e.what(), index, config.seed,
+                     attempt);
   } catch (const sim::BudgetExceededError& e) {
-    out.failure = TrialFailure{FailureKind::kTimeout, e.what(), index,
-                               config.seed, attempt};
+    out.failure =
+        make_failure(FailureKind::kTimeout, e.what(), index, config.seed,
+                     attempt);
   } catch (const sim::InvariantViolationError& e) {
-    out.failure = TrialFailure{FailureKind::kInvariant, e.what(), index,
-                               config.seed, attempt};
+    out.failure =
+        make_failure(FailureKind::kInvariant, e.what(), index, config.seed,
+                     attempt);
   } catch (const std::exception& e) {
-    out.failure = TrialFailure{FailureKind::kException, e.what(), index,
-                               config.seed, attempt};
+    out.failure =
+        make_failure(FailureKind::kException, e.what(), index, config.seed,
+                     attempt);
   } catch (...) {
-    out.failure = TrialFailure{FailureKind::kException,
-                               "unknown exception escaped the trial", index,
-                               config.seed, attempt};
+    out.failure =
+        make_failure(FailureKind::kException,
+                     "unknown exception escaped the trial", index,
+                     config.seed, attempt);
   }
   if (out.failure.has_value()) {
     out.failure->flight = sim::TelemetryContext::take_last_flight();
@@ -97,10 +139,22 @@ CampaignReport run_supervised(const std::vector<ExperimentConfig>& trials,
     journal = TrialJournal::open_append(options.journal_path);
   }
 
+  // The index order to execute: everything, or the assigned subset (a
+  // multi-process worker runs only the coordinator's range).
+  std::vector<std::size_t> order;
+  if (options.subset.empty()) {
+    order.resize(trials.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  } else {
+    for (const std::size_t i : options.subset) {
+      if (i < trials.size()) order.push_back(i);
+    }
+  }
+
   std::size_t threads = options.threads != 0
                             ? options.threads
                             : std::max(1u, std::thread::hardware_concurrency());
-  threads = std::min(threads, trials.size());
+  threads = std::min(threads, std::max<std::size_t>(1, order.size()));
 
   const std::size_t max_attempts =
       std::max<std::size_t>(1, options.retry.max_attempts);
@@ -115,8 +169,9 @@ CampaignReport run_supervised(const std::vector<ExperimentConfig>& trials,
 
   const auto worker = [&] {
     while (true) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= trials.size()) return;
+      const std::size_t slot = next.fetch_add(1, std::memory_order_relaxed);
+      if (slot >= order.size()) return;
+      const std::size_t i = order[slot];
       if (report.completed[i]) continue;  // replayed from the journal
 
       // Merge the campaign-wide watchdog into the trial's own budget
@@ -140,6 +195,20 @@ CampaignReport run_supervised(const std::vector<ExperimentConfig>& trials,
         config.trace_nodes = options.trace_nodes;
       }
 
+      // Crash forensics: the trial periodically flushes its flight
+      // recorder to disk so a hard-crashed worker process leaves its
+      // sim's last moments behind for the coordinator.
+      if (config.flight_flush_path.empty() &&
+          !options.flight_flush_base.empty()) {
+        config.flight_flush_path =
+            flight_snapshot_path(options.flight_flush_base, i);
+        if (config.trace_trial < 0) {
+          config.trace_trial = static_cast<std::int64_t>(i);
+        }
+      }
+
+      if (options.on_trial_start) options.on_trial_start(i, config);
+
       std::optional<TrialFailure> failure;
       for (std::size_t attempt = 1; attempt <= max_attempts; ++attempt) {
         attempts.fetch_add(1, std::memory_order_relaxed);
@@ -158,9 +227,18 @@ CampaignReport run_supervised(const std::vector<ExperimentConfig>& trials,
         failure = std::move(outcome.failure);
         if (attempt < max_attempts && options.retry.should_retry(*failure)) {
           retried.fetch_add(1, std::memory_order_relaxed);
+          const std::uint64_t delay =
+              options.retry.backoff.delay_ms(attempt, config.seed);
+          if (delay > 0) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+          }
           continue;
         }
         break;
+      }
+      if (!config.flight_flush_path.empty()) {
+        // The trial settled in-process; its crash snapshot is stale.
+        std::remove(config.flight_flush_path.c_str());
       }
 
       const std::size_t done =
@@ -220,9 +298,39 @@ std::string trial_trace_path(const std::string& base, std::size_t index,
          ".jsonl";
 }
 
+std::string flight_snapshot_path(const std::string& base,
+                                 std::size_t index) {
+  return base + ".t" + std::to_string(index) + ".flight";
+}
+
 CampaignCli consume_campaign_cli(int& argc, char** argv) {
   CampaignCli cli;
+  // Snapshot argv BEFORE stripping anything: this is the command the
+  // multi-process coordinator self-execs to mint workers, and it must
+  // rebuild the identical trial list the coordinator saw.
+  cli.exec_argv.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) cli.exec_argv.emplace_back(argv[i]);
+
   cli.threads = consume_threads_flag(argc, argv);
+  if (const auto workers = consume_uint_flag(argc, argv, "--workers")) {
+    if (*workers == 0) {
+      std::fprintf(stderr,
+                   "error: --workers expects a positive worker count "
+                   "(got \"0\"); omit the flag to run in-process\n");
+      std::exit(2);
+    }
+    cli.workers = static_cast<std::size_t>(*workers);
+  }
+  if (const auto fd = consume_uint_flag(argc, argv, "--worker-fd")) {
+    cli.worker_fd = static_cast<int>(*fd);
+  }
+  cli.worker_id = static_cast<std::uint32_t>(
+      consume_uint_flag(argc, argv, "--worker-id").value_or(0));
+  cli.worker_shard = consume_flag(argc, argv, "--worker-shard").value_or("");
+  cli.worker_trials =
+      consume_flag(argc, argv, "--worker-trials").value_or("");
+  cli.worker_heartbeat_ms =
+      consume_uint_flag(argc, argv, "--worker-heartbeat-ms").value_or(250);
   cli.journal = consume_flag(argc, argv, "--journal").value_or("");
   cli.max_trial_ms =
       consume_uint_flag(argc, argv, "--max-trial-ms").value_or(0);

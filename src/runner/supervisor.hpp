@@ -40,7 +40,14 @@ enum class FailureKind : std::uint8_t {
   kException = 1, // any other exception escaped the trial
   kTimeout = 2,   // sim::SimBudget exhausted (hung / runaway trial)
   kInvariant = 3, // sim::InvariantAuditor found corrupted live state
+  /// The worker *process* running the trial died — fatal signal
+  /// (SIGSEGV, SIGBUS, OOM-kill), std::terminate, or a nonzero exit —
+  /// a failure mode only the multi-process pool (worker.hpp) can
+  /// observe; in-process supervision dies with the trial.
+  kHardCrash = 4,
 };
+
+inline constexpr std::size_t kFailureKindCount = 5;
 
 [[nodiscard]] std::string_view failure_kind_name(FailureKind kind);
 
@@ -51,10 +58,34 @@ struct TrialFailure {
   std::size_t trial_index = 0;
   std::uint64_t seed = 0;
   std::size_t attempt = 1;     // 1-based attempt that produced this failure
+  /// Fatal signal that killed the worker process (kHardCrash only;
+  /// 0 = none, e.g. a plain nonzero exit).
+  int term_signal = 0;
   /// The simulator's flight recorder at the moment of death (oldest
   /// first, up to sim::TelemetryContext::kFlightCapacity events) — what
   /// the sim was doing right before it failed, even with no trace file.
+  /// For hard crashes this is the worker's last *flushed* snapshot
+  /// (experiment.hpp flight_flush fields), when one was available.
   std::vector<sim::TelemetryEvent> flight;
+};
+
+/// Capped exponential backoff with seed-derived deterministic jitter.
+/// delay_ms is a pure function of (attempt, seed): the same trial backs
+/// off identically at any --threads / --workers value, so retry timing
+/// can never smuggle nondeterminism into a campaign.
+struct Backoff {
+  std::uint64_t base_ms = 0;   // 0 = no delay (retry immediately)
+  std::uint64_t cap_ms = 10'000;
+  /// Jitter fraction in [0, 1): the delay is scaled by a deterministic
+  /// factor in [1 - jitter, 1 + jitter) derived from the seed, so a
+  /// fleet of crashed workers never thunders back in lockstep.
+  double jitter = 0.25;
+
+  /// Delay before retry `attempt` (1-based: the delay after the
+  /// attempt'th failure). Doubles per attempt from base_ms, capped at
+  /// cap_ms before and after jitter.
+  [[nodiscard]] std::uint64_t delay_ms(std::size_t attempt,
+                                       std::uint64_t seed) const;
 };
 
 struct RetryPolicy {
@@ -65,6 +96,9 @@ struct RetryPolicy {
   /// machine-dependent failure; everything else in a trial is a pure
   /// function of its config and would fail identically again.
   std::function<bool(const TrialFailure&)> classify;
+  /// Wall-clock delay between attempts (default: immediate). The same
+  /// policy shape governs worker respawns in the multi-process pool.
+  Backoff backoff;
 
   [[nodiscard]] bool should_retry(const TrialFailure& failure) const {
     if (classify) return classify(failure);
@@ -89,6 +123,20 @@ struct SupervisorOptions {
   /// throwing / asserting / hanging trials here.
   std::function<ExperimentResult(const ExperimentConfig&)> run_trial;
 
+  /// Run only these trial indices (empty = all). A multi-process worker
+  /// (worker.hpp) runs the range the coordinator assigned it this way;
+  /// unlisted slots stay untouched in the report.
+  std::vector<std::size_t> subset;
+  /// Invoked on the worker thread immediately before a trial's first
+  /// attempt (workers stream it to the coordinator so a process death
+  /// can be attributed to the trials that were in flight).
+  std::function<void(std::size_t, const ExperimentConfig&)> on_trial_start;
+  /// When non-empty, every trial periodically flushes its flight
+  /// recorder to "<base>.t<index>.flight" (worker.hpp snapshot format)
+  /// so a hard-crashed process leaves its sim's last moments behind.
+  /// The file is removed when the trial settles in-process.
+  std::string flight_flush_base;
+
   /// Telemetry applied to every trial. When trace_path_base is
   /// non-empty, each trial streams its events to its own file named by
   /// trial_trace_path(base, index, seed) — per-trial files, so parallel
@@ -105,6 +153,11 @@ struct SupervisorOptions {
                                            std::size_t index,
                                            std::uint64_t seed);
 
+/// Per-trial flight-recorder snapshot file: "<base>.t<index>.flight"
+/// (see SupervisorOptions::flight_flush_base and worker.hpp).
+[[nodiscard]] std::string flight_snapshot_path(const std::string& base,
+                                               std::size_t index);
+
 /// What a supervised campaign produced. results[i] belongs to trials[i]
 /// and is meaningful iff completed[i].
 struct CampaignReport {
@@ -116,6 +169,10 @@ struct CampaignReport {
   std::uint64_t attempts = 0;  // trial executions, including retries
   std::uint64_t retries = 0;
   std::uint64_t replayed = 0;  // trials restored from the journal
+  /// Multi-process pool only (worker.hpp): worker deaths observed and
+  /// workers brought back after one.
+  std::uint64_t hard_crashes = 0;
+  std::uint64_t worker_respawns = 0;
   /// The journal ended in a torn record (expected after a SIGKILL
   /// mid-write); the torn trial was re-run.
   bool journal_torn = false;
@@ -134,10 +191,19 @@ struct CampaignReport {
 [[nodiscard]] CampaignSummary summarize(const CampaignReport& report);
 
 /// Shared campaign CLI surface for bench mains: --threads N,
-/// --journal FILE, --max-trial-ms N, --retries N, --trace FILE,
-/// --trace-level off|error|info|debug, --trace-nodes a,b,c, --json.
+/// --workers K, --journal FILE, --max-trial-ms N, --retries N,
+/// --trace FILE, --trace-level off|error|info|debug,
+/// --trace-nodes a,b,c, --json — plus the hidden --worker-* flags the
+/// multi-process coordinator (worker.hpp) appends when it self-execs.
 struct CampaignCli {
   std::size_t threads = 0;
+  /// Worker *processes* (run_multiprocess); 0 = flag absent, run
+  /// in-process. --workers 0 is a usage error; with --workers given,
+  /// --threads is the thread count of each worker. Any explicit K >= 1
+  /// takes the fork/exec path so even --workers 1 survives a trial that
+  /// SIGSEGVs (its report is byte-identical to the in-process path on a
+  /// clean campaign).
+  std::size_t workers = 0;
   std::string journal;           // empty = no journal
   std::uint64_t max_trial_ms = 0;  // per-trial wall-clock budget
   std::uint64_t retries = 0;       // extra attempts per failed trial
@@ -145,6 +211,22 @@ struct CampaignCli {
   sim::TraceLevel trace_level = sim::TraceLevel::kInfo;
   std::vector<std::uint16_t> trace_nodes;  // empty = all nodes
   bool json = false;  // also emit machine-readable summary JSON
+
+  // Hidden worker-mode plumbing (never typed by a user): the
+  // coordinator re-execs argv with these appended, and run_campaign
+  // (worker.hpp) branches into the worker protocol when worker_fd >= 0.
+  int worker_fd = -1;          // --worker-fd: pipe back to the coordinator
+  std::uint32_t worker_id = 0; // --worker-id
+  std::string worker_shard;    // --worker-shard: this worker's journal shard
+  std::string worker_trials;   // --worker-trials: assigned index spans
+  std::uint64_t worker_heartbeat_ms = 250;  // --worker-heartbeat-ms
+
+  /// Snapshot of the ORIGINAL argv (before any flag was stripped): the
+  /// exact command the coordinator self-execs to mint a worker. The
+  /// whole multi-process contract rests on this command rebuilding the
+  /// identical trial list — which holds because every bench derives its
+  /// trials purely from argv.
+  std::vector<std::string> exec_argv;
 
   [[nodiscard]] SupervisorOptions supervisor_options() const {
     SupervisorOptions options;

@@ -50,6 +50,9 @@ void Simulator::execute_next() {
   now_ = popped.time;
   popped.callback();
   ++events_executed_;
+  if (flush_every_ != 0 && events_executed_ % flush_every_ == 0) {
+    flush_hook_();
+  }
 }
 
 void Simulator::run() {

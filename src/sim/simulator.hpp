@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -93,6 +94,17 @@ class Simulator {
 
   [[nodiscard]] const SimBudget& budget() const { return budget_; }
 
+  /// Invokes `hook` every `every_events` executed events (0 or an empty
+  /// hook disables). The supervisor uses this to periodically flush the
+  /// flight recorder to disk so a hard-crashed worker process still
+  /// leaves its sim's last moments behind (supervisor.hpp
+  /// flight_flush_base). Off the hot path: one integer modulo per event.
+  void set_flush_hook(std::uint64_t every_events,
+                      std::function<void()> hook) {
+    flush_every_ = hook ? every_events : 0;
+    flush_hook_ = std::move(hook);
+  }
+
   [[nodiscard]] std::uint64_t events_executed() const {
     return events_executed_;
   }
@@ -116,6 +128,8 @@ class Simulator {
   TelemetryContext telemetry_;  // after now_: the bound clock must exist
   bool stopped_ = false;
   std::uint64_t events_executed_ = 0;
+  std::uint64_t flush_every_ = 0;
+  std::function<void()> flush_hook_;
   SimBudget budget_;
   std::chrono::steady_clock::time_point budget_armed_at_{};
 };
