@@ -90,11 +90,15 @@ struct RunResult {
   Mode mode = Mode::kSlow;
   std::uint64_t frames = 0;
   std::uint64_t deliveries = 0;
+  std::uint64_t events = 0;  // simulator events executed
   double wall_s = 0.0;
   double rss_kb_per_node = 0.0;  // sampled for sparse cells only
 
   [[nodiscard]] double frames_per_s() const {
     return wall_s > 0.0 ? static_cast<double>(frames) / wall_s : 0.0;
+  }
+  [[nodiscard]] double events_per_s() const {
+    return wall_s > 0.0 ? static_cast<double>(events) / wall_s : 0.0;
   }
 };
 
@@ -104,15 +108,24 @@ struct RunResult {
 /// default) records no per-frame events, kDebug pays one
 /// flight-recorder ring write per frame — the telemetry-overhead cells
 /// compare the two.
+/// `fast_engine` toggles this PR's intra-trial speed layers as one
+/// knob: the calendar event queue and the batched SNR→PRR/interference
+/// kernels (true = fast configuration, false = heap + scalar reference).
+/// Both produce bit-identical deliveries; the engine cells measure the
+/// gap and the benchmark fails loudly if the counts ever diverge.
 RunResult run_cell(std::size_t n, Mode mode, double seconds,
                    sim::TraceLevel level = sim::TraceLevel::kInfo,
                    std::size_t cols = 16, double pitch_m = kDensePitchM,
-                   double period_s = kPeriodSeconds) {
-  sim::Simulator sim;
+                   double period_s = kPeriodSeconds,
+                   bool fast_engine = true) {
+  sim::SimConfig sim_config;
+  sim_config.use_calendar_queue = fast_engine;
+  sim::Simulator sim{sim_config};
   sim.telemetry().set_level(level);
   phy::PhyConfig phy;
   phy.use_link_cache = mode != Mode::kSlow;
   phy.use_spatial_index = mode == Mode::kSparse;
+  phy.use_batch_kernels = fast_engine;
   phy::Channel channel{sim, phy, phy::PropagationConfig{},
                        std::make_unique<phy::NullInterference>(),
                        sim::Rng{4242}};
@@ -140,13 +153,15 @@ RunResult run_cell(std::size_t n, Mode mode, double seconds,
   const auto period = sim::Duration::from_seconds(period_s);
 
   // Self-rescheduling per-radio tick; phases spread over one period so
-  // transmissions interleave instead of colliding en masse.
+  // transmissions interleave instead of colliding en masse. The frame
+  // buffer is reused across ticks (transmit copies it), so the tick
+  // itself costs no allocation.
+  std::vector<std::uint8_t> frame(kFrameBytes);
   std::function<void(std::size_t)> tick = [&](std::size_t i) {
     phy::Radio& r = *radios[i];
     if (r.channel_clear() && !r.transmitting()) {
-      std::vector<std::uint8_t> frame(kFrameBytes);
       frame[0] = static_cast<std::uint8_t>(i);
-      r.transmit(std::move(frame), nullptr);
+      r.transmit(frame, nullptr);
     }
     const auto next = sim.now() + period;
     if (next < end) sim.schedule_at(next, [&tick, i] { tick(i); });
@@ -158,13 +173,44 @@ RunResult run_cell(std::size_t n, Mode mode, double seconds,
     sim.schedule_at(sim::Time{} + phase, [&tick, i] { tick(i); });
   }
 
-  const auto t0 = std::chrono::steady_clock::now();
+  // Steady-state window: the first period is warm-up — the lazy link
+  // cache rebuild (O(N²) RNG draws on the dense path, ~0.7 s at
+  // N=2000), pool growth, and arena growth all land on the first round
+  // of transmissions. A sentinel at t=period starts the clock after
+  // that, so the cell measures dispatch throughput, not setup. (Sub-
+  // period cells keep the whole run: nothing reached steady state.)
+  auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t frames0 = 0;
+  std::uint64_t events0 = 0;
+  if (seconds > period_s) {
+    sim.schedule_at(sim::Time{} + period, [&] {
+      t0 = std::chrono::steady_clock::now();
+      frames0 = channel.frames_transmitted();
+      events0 = sim.events_executed();
+    });
+  }
   sim.run();
   const auto t1 = std::chrono::steady_clock::now();
   out.wall_s = std::chrono::duration<double>(t1 - t0).count();
-  out.frames = channel.frames_transmitted();
+  out.frames = channel.frames_transmitted() - frames0;
+  out.events = sim.events_executed() - events0;
   return out;
 }
+
+/// One engine cell: the same workload run with the reference engine
+/// (binary-heap queue, scalar per-receiver kernels) and the fast
+/// configuration (calendar queue, batch kernels). Deliveries must be
+/// bit-identical; the speedup is the PR's end-to-end intra-trial win.
+struct EngineCell {
+  RunResult reference;
+  RunResult fast;
+
+  [[nodiscard]] double speedup() const {
+    return reference.frames_per_s() > 0.0
+               ? fast.frames_per_s() / reference.frames_per_s()
+               : 0.0;
+  }
+};
 
 /// A sparse cell paired with its optional dense twin (run only at
 /// N <= 2000, where the N x N matrices still fit).
@@ -182,6 +228,7 @@ struct SparseCell {
 
 void write_json(const char* path, const std::vector<RunResult>& results,
                 const std::vector<SparseCell>& sparse,
+                const std::vector<EngineCell>& engine,
                 const std::vector<RunResult>& telemetry, double seconds) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
@@ -238,6 +285,18 @@ void write_json(const char* path, const std::vector<RunResult>& results,
                    i + 1 < sparse.size() ? "," : "");
     }
   }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"engine\": [\n");
+  for (std::size_t i = 0; i < engine.size(); ++i) {
+    const EngineCell& c = engine[i];
+    std::fprintf(f,
+                 "    {\"nodes\": %zu, \"fast_config_speedup\": %.3f, "
+                 "\"events_per_s\": %.1f, \"reference_events_per_s\": "
+                 "%.1f}%s\n",
+                 c.fast.nodes, c.speedup(), c.fast.events_per_s(),
+                 c.reference.events_per_s(),
+                 i + 1 < engine.size() ? "," : "");
+  }
   if (!telemetry.empty()) {
     std::fprintf(f, "  ],\n");
     std::fprintf(f, "  \"telemetry\": [\n");
@@ -291,8 +350,13 @@ std::vector<std::pair<std::size_t, double>> read_metric(const char* path,
 int main(int argc, char** argv) {
   std::vector<std::size_t> node_counts{50, 200, 800};
   std::vector<std::size_t> sparse_counts{2000, 10000};
+  std::vector<std::size_t> engine_counts{2000, 10000};
   double seconds = 10.0;
   double sparse_seconds = 2.0;
+  // Long enough that the steady-state window dwarfs warm-up noise (the
+  // PRR memo takes a few rounds to fill; a short window under-reports
+  // the fast configuration).
+  double engine_seconds = 4.0;
   double max_rss_kb_per_node = 0.0;  // 0 = report only, no gate
   const char* out_path = "BENCH_channel.json";
   const char* baseline_path = nullptr;
@@ -322,6 +386,10 @@ int main(int argc, char** argv) {
       seconds = std::atof(next());
     } else if (arg == "--sparse-seconds") {
       sparse_seconds = std::atof(next());
+    } else if (arg == "--engine-nodes") {
+      parse_list(engine_counts);
+    } else if (arg == "--engine-seconds") {
+      engine_seconds = std::atof(next());
     } else if (arg == "--max-rss-per-node-kb") {
       max_rss_kb_per_node = std::atof(next());
     } else if (arg == "--out") {
@@ -332,7 +400,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: channel_scaling [--nodes 50,200,800] "
                    "[--seconds S] [--sparse-nodes 2000,10000] "
-                   "[--sparse-seconds S] [--max-rss-per-node-kb K] "
+                   "[--sparse-seconds S] [--engine-nodes 2000,10000] "
+                   "[--engine-seconds S] [--max-rss-per-node-kb K] "
                    "[--out FILE] [--check BASELINE]\n");
       return 2;
     }
@@ -373,6 +442,11 @@ int main(int argc, char** argv) {
   // N x N matrices dwarf the sparse rows) must not run before the
   // sample. At N <= 2000 the twin then checks frame/delivery equality
   // and yields the sparse/fast throughput ratio for the baseline gate.
+  // Since timing went steady-state (warm-up window), this ratio tells
+  // the truth: sparse trades ~9x per-frame throughput (every far-pair
+  // interference term recomputes its propagation draws) for O(N·degree)
+  // memory — the old ~1.1x figure was the dense twin's one-time O(N²)
+  // freeze billed to its wall clock, not a steady-state win.
   std::vector<SparseCell> sparse_cells;
   bool rss_ok = true;
   for (const std::size_t n : sparse_counts) {
@@ -418,6 +492,48 @@ int main(int argc, char** argv) {
     sparse_cells.push_back(std::move(cell));
   }
 
+  // Engine cells: the whole workload twice per N — once with the
+  // reference engine (binary-heap event queue + scalar per-receiver
+  // kernels), once with the fast configuration (calendar queue + batch
+  // kernels). At N=2000 the cell runs the *dense* cached path at the
+  // dense cells' 50 ms period: with every pair memoized in the gain
+  // matrices, the wall clock is event dispatch plus the interference
+  // and SNR→PRR passes — the layers this knob toggles. (On the sparse
+  // path the same cell spends ~75% of its time recomputing
+  // sub-cutoff-pair propagation losses — two RNG forks and two normal
+  // draws per far interferer — which no engine layer touches; that is
+  // the medium's cost, not the engine's.) Past N=2000 the dense
+  // matrices are unaffordable, so the cell switches to the sparse path
+  // at its duty-cycled period; its events/s is the "event-rate past
+  // N=10k" figure rather than a speedup gate.
+  std::vector<EngineCell> engine_cells;
+  for (const std::size_t n : engine_counts) {
+    const auto side = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(n))));
+    const bool dense = n <= 2000;
+    const Mode mode = dense ? Mode::kFast : Mode::kSparse;
+    const double period = dense ? kPeriodSeconds : kSparsePeriodSeconds;
+    EngineCell cell;
+    cell.reference =
+        run_cell(n, mode, engine_seconds, sim::TraceLevel::kInfo,
+                 side, kSparsePitchM, period, false);
+    cell.fast =
+        run_cell(n, mode, engine_seconds, sim::TraceLevel::kInfo,
+                 side, kSparsePitchM, period, true);
+    std::printf("\nengine N=%zu (%s path, %.0f ms period, %.1f sim-s):\n"
+                "  reference %10.1f frames/s %12.1f events/s\n"
+                "  fast      %10.1f frames/s %12.1f events/s   %.2fx\n",
+                n, mode_name(mode), period * 1e3, engine_seconds,
+                cell.reference.frames_per_s(),
+                cell.reference.events_per_s(), cell.fast.frames_per_s(),
+                cell.fast.events_per_s(), cell.speedup());
+    if (cell.fast.frames != cell.reference.frames ||
+        cell.fast.deliveries != cell.reference.deliveries) {
+      deliveries_match = false;
+    }
+    engine_cells.push_back(cell);
+  }
+
   // Telemetry overhead at the largest N: the fast path once more with
   // the context at kDebug, where every frame pays a flight-recorder ring
   // write (kPhyFrame) on top of the usual counter increment. The ratio
@@ -445,7 +561,8 @@ int main(int argc, char** argv) {
     telemetry.push_back(traced);
   }
 
-  write_json(out_path, results, sparse_cells, telemetry, seconds);
+  write_json(out_path, results, sparse_cells, engine_cells, telemetry,
+             seconds);
   std::printf("\nwrote %s\n", out_path);
 
   if (!rss_ok) return 1;
@@ -469,13 +586,22 @@ int main(int argc, char** argv) {
     // Each ratio kind gates independently, and only at the N values the
     // current invocation actually ran (CI's sparse-only pass measures no
     // fast/slow speedups, so those baseline entries are skipped there).
-    for (const char* key : {"speedup", "sparse_fast_ratio"}) {
+    for (const char* key :
+         {"speedup", "sparse_fast_ratio", "fast_config_speedup"}) {
       const auto baseline = read_metric(baseline_path, key);
       const auto measured = read_metric(out_path, key);
       for (const auto& [nodes, base] : baseline) {
         for (const auto& [mnodes, got] : measured) {
           if (mnodes != nodes) continue;
-          const double floor = 0.8 * base;
+          double floor = 0.8 * base;
+          // The engine speedup additionally carries an absolute floor:
+          // the fast configuration must beat the reference engine by
+          // 1.5x end-to-end at N=2000 (the PR 8 acceptance bar), no
+          // matter how conservative the ratio baseline is.
+          if (std::strcmp(key, "fast_config_speedup") == 0 &&
+              nodes == 2000 && floor < 1.5) {
+            floor = 1.5;
+          }
           const bool pass = got >= floor;
           std::printf("check N=%zu: %s %.2fx vs baseline %.2fx "
                       "(floor %.2fx) %s\n",

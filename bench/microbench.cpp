@@ -32,8 +32,15 @@ void BM_RngNextU64(benchmark::State& state) {
 }
 BENCHMARK(BM_RngNextU64);
 
+/// arg 0 selects the implementation on every event-queue bench:
+/// 0 = binary heap (reference), 1 = calendar queue (default).
+sim::EventQueue::Impl impl_arg(std::int64_t v) {
+  return v != 0 ? sim::EventQueue::Impl::kCalendar
+                : sim::EventQueue::Impl::kHeap;
+}
+
 void BM_EventQueueScheduleAndPop(benchmark::State& state) {
-  sim::EventQueue q;
+  sim::EventQueue q{impl_arg(state.range(0))};
   std::int64_t t = 0;
   for (auto _ : state) {
     q.schedule(sim::Time::from_us(t += 7), [] {});
@@ -43,7 +50,63 @@ void BM_EventQueueScheduleAndPop(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_EventQueueScheduleAndPop);
+BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(0)->Arg(1);
+
+/// Simulator equilibrium: a pending population of range(1) events, one
+/// pop + one schedule per step. This is the shape that separates the
+/// heap's O(log n) from the calendar's O(1) — the pending set in a
+/// large campaign trial sits in the thousands.
+void BM_EventQueueSteadyState(benchmark::State& state) {
+  sim::EventQueue q{impl_arg(state.range(0))};
+  const auto depth = static_cast<std::size_t>(state.range(1));
+  sim::Rng rng{1};
+  std::int64_t now = 0;
+  for (std::size_t i = 0; i < depth; ++i) {
+    q.schedule(sim::Time::from_us(
+                   now + 1 + static_cast<std::int64_t>(rng.uniform_int(100'000))),
+               [] {});
+  }
+  for (auto _ : state) {
+    auto popped = q.pop();
+    now = popped.time.us();
+    q.schedule(sim::Time::from_us(
+                   now + 1 + static_cast<std::int64_t>(rng.uniform_int(100'000))),
+               [] {});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueSteadyState)
+    ->Args({0, 1024})
+    ->Args({1, 1024})
+    ->Args({0, 16384})
+    ->Args({1, 16384});
+
+/// Timer churn: most scheduled events are cancelled and rescheduled
+/// before they fire (MAC backoff and ack timers do exactly this).
+void BM_EventQueueCancelChurn(benchmark::State& state) {
+  sim::EventQueue q{impl_arg(state.range(0))};
+  sim::Rng rng{1};
+  std::int64_t now = 0;
+  constexpr std::size_t kLive = 512;
+  std::vector<sim::EventId> ids(kLive);
+  for (std::size_t i = 0; i < kLive; ++i) {
+    ids[i] = q.schedule(
+        sim::Time::from_us(
+            now + 1 + static_cast<std::int64_t>(rng.uniform_int(50'000))),
+        [] {});
+  }
+  std::size_t slot = 0;
+  for (auto _ : state) {
+    q.cancel(ids[slot]);
+    ids[slot] = q.schedule(
+        sim::Time::from_us(
+            now + 1 + static_cast<std::int64_t>(rng.uniform_int(50'000))),
+        [] {});
+    slot = (slot + 1) % kLive;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueCancelChurn)->Arg(0)->Arg(1);
 
 void BM_FourBitAckUpdate(benchmark::State& state) {
   core::FourBitEstimator est{core::FourBitConfig{}, sim::Rng{1}};
@@ -112,6 +175,28 @@ void BM_OqpskPrrLookup(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_OqpskPrrLookup);
+
+/// The batched SNR→PRR kernel over a contiguous span, as the channel's
+/// delivery pass issues it; arg = receiver count per call. Compare the
+/// per-item rate against BM_OqpskPrrLookup for the batching win.
+void BM_PrrBatch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  phy::OqpskModulation mod;
+  std::vector<double> sinr(n);
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sinr[i] = -12.0 + 24.0 * static_cast<double>(i) /
+                          static_cast<double>(n > 1 ? n - 1 : 1);
+  }
+  for (auto _ : state) {
+    mod.prr_batch(sinr, 40, out);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_PrrBatch)->Arg(16)->Arg(64)->Arg(256);
 
 /// N radios on a grid; args = {node count, use_link_cache}. Measures one
 /// full transmit -> deliver cycle, the channel's dominant cost. The

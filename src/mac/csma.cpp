@@ -77,7 +77,8 @@ void CsmaMac::on_backoff_expired() {
 void CsmaMac::transmit_current() {
   const Outgoing& out = queue_.front();
   if (tx_listener_) tx_listener_(out.frame);
-  radio_.transmit(out.frame.encode(), [this, epoch = epoch_] {
+  out.frame.encode_into(encode_buf_);
+  radio_.transmit(encode_buf_, [this, epoch = epoch_] {
     if (epoch == epoch_) on_tx_done();
   });
 }
@@ -193,7 +194,8 @@ void CsmaMac::try_send_ack() {
   ack.dsn = ack_dsn_;
   ack.dst = ack_to_;
   if (tx_listener_) tx_listener_(ack);
-  radio_.transmit(ack.encode(), nullptr);
+  ack.encode_into(encode_buf_);
+  radio_.transmit(encode_buf_, nullptr);
 }
 
 }  // namespace fourbit::mac

@@ -123,6 +123,10 @@ class CsmaMac final : public Mac {
   TxListener tx_listener_;
 
   std::deque<Outgoing> queue_;
+  // Reused wire-encode buffer: the radio copies the bytes into its
+  // arena-pooled frame before transmit() returns, so one buffer per MAC
+  // keeps the steady-state tx path free of heap allocation.
+  std::vector<std::uint8_t> encode_buf_;
   bool busy_ = false;  // an Outgoing is in progress
   std::uint8_t next_dsn_ = 0;
   std::uint64_t fcs_failures_ = 0;

@@ -7,6 +7,12 @@ namespace fourbit::mac {
 
 std::vector<std::uint8_t> MacFrame::encode() const {
   std::vector<std::uint8_t> out;
+  encode_into(out);
+  return out;
+}
+
+void MacFrame::encode_into(std::vector<std::uint8_t>& out) const {
+  out.clear();
   ByteWriter w{out};
   w.u8(static_cast<std::uint8_t>(type));
   w.u8(dsn);
@@ -18,7 +24,6 @@ std::vector<std::uint8_t> MacFrame::encode() const {
     w.bytes(payload);
   }
   w.u16(crc16(out));
-  return out;
 }
 
 std::optional<MacFrameView> MacFrameView::decode(

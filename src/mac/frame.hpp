@@ -35,6 +35,13 @@ struct MacFrame {
 
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
 
+  /// Encodes into `out` (cleared first), reusing its capacity. The MAC
+  /// keeps one encode buffer per stack and re-encodes into it for every
+  /// transmission — combined with Radio::transmit copying into the
+  /// channel's arena-pooled frame buffer, the steady-state tx path does
+  /// not touch the heap.
+  void encode_into(std::vector<std::uint8_t>& out) const;
+
   /// Returns nullopt for truncated or unknown frames.
   [[nodiscard]] static std::optional<MacFrame> decode(
       std::span<const std::uint8_t> bytes);

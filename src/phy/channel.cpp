@@ -9,6 +9,11 @@
 
 namespace fourbit::phy {
 
+namespace {
+// Sentinel for a batched PRR miss with no memo slot to write back into.
+constexpr std::size_t kNoMemoSlot = static_cast<std::size_t>(-1);
+}  // namespace
+
 Channel::Channel(sim::Simulator& sim, PhyConfig phy, PropagationConfig prop,
                  std::unique_ptr<InterferenceModel> interference,
                  sim::Rng rng)
@@ -21,6 +26,13 @@ Channel::Channel(sim::Simulator& sim, PhyConfig phy, PropagationConfig prop,
       ctr_frames_tx_(sim.telemetry().counter("phy", "frames_tx")),
       ctr_cache_rebuilds_(sim.telemetry().counter("phy", "cache_rebuilds")) {
   FOURBIT_ASSERT(interference_ != nullptr, "interference model required");
+}
+
+Channel::~Channel() {
+  // Pooled transmissions live in the Simulator's arena, which never
+  // runs destructors; the frame/receiver vectors' deallocate is a no-op
+  // but ~ActiveTx must still run for correctness of future changes.
+  for (ActiveTx* tx : tx_pool_) tx->~ActiveTx();
 }
 
 void Channel::attach(Radio& radio) {
@@ -504,8 +516,8 @@ Channel::ActiveTx* Channel::acquire_tx() {
     tx_free_.pop_back();
     return tx;
   }
-  tx_pool_.push_back(std::make_unique<ActiveTx>());
-  return tx_pool_.back().get();
+  tx_pool_.push_back(sim_.arena().create<ActiveTx>(sim_.arena()));
+  return tx_pool_.back();
 }
 
 void Channel::release_tx(ActiveTx* tx) {
@@ -568,7 +580,7 @@ double Channel::interference_term(const ActiveTx& other, std::uint32_t ri,
 }
 
 void Channel::start_transmission(Radio& sender,
-                                 std::vector<std::uint8_t> frame,
+                                 std::span<const std::uint8_t> frame,
                                  Radio::TxDoneHandler done) {
   FOURBIT_ASSERT(!sender.transmitting(),
                  "radio cannot start a second concurrent transmission");
@@ -595,7 +607,7 @@ void Channel::start_transmission(Radio& sender,
       tx->cached ? static_cast<std::uint32_t>(sender.channel_index()) : 0;
   tx->start = now;
   tx->end = end;
-  tx->frame = std::move(frame);
+  tx->frame.assign(frame.begin(), frame.end());
 
   // Enumerate candidate receivers and seed their interference with the
   // transmissions already in the air. Both cached paths visit the
@@ -603,7 +615,68 @@ void Channel::start_transmission(Radio& sender,
   // receivers, in the same order, as the slow path's full scan — so RNG
   // draws line up bitwise; a detached-but-alive sender has no cache row
   // and falls back to the slow scan.
-  if (tx->cached && sparse_mode_) {
+  if (tx->cached && phy_.use_batch_kernels) {
+    // Batch kernels: pass 1 gathers the live candidates into contiguous
+    // scratch arrays (same candidates, same slot order as the scalar
+    // branches below); pass 2 accumulates interference with the loops
+    // interchanged — outer over active transmissions, inner over the
+    // gathered receivers — so each receiver's accumulator still adds
+    // the exact same terms in the exact same (active-set) order and
+    // every double matches the scalar path bitwise, while the dense
+    // inner loop is a fixed-order walk over two flat arrays.
+    scratch_rx_.clear();
+    scratch_slot_.clear();
+    scratch_gain_dbm_.clear();
+    if (sparse_mode_) {
+      for (const SparseLink& link : sparse_rows_[tx->sender_index]) {
+        if (!link.candidate) continue;
+        Radio* r = radios_[link.receiver];
+        if (r == nullptr) continue;  // tombstoned slot: receiver is gone
+        // A sleeping receiver (LPL between samples) hears nothing.
+        if (!r->listening()) continue;
+        // Half-duplex: a radio mid-transmission cannot hear this packet.
+        if (r->transmitting_until() > now) continue;
+        scratch_rx_.push_back(r);
+        scratch_slot_.push_back(link.receiver);
+        scratch_gain_dbm_.push_back(link.gain_dbm);
+      }
+    } else {
+      const double* row_dbm = &gain_dbm_[tx->sender_index * n_];
+      for (const std::uint32_t ri : candidates_[tx->sender_index]) {
+        Radio* r = radios_[ri];
+        if (r == nullptr) continue;
+        if (!r->listening()) continue;
+        if (r->transmitting_until() > now) continue;
+        scratch_rx_.push_back(r);
+        scratch_slot_.push_back(ri);
+        scratch_gain_dbm_.push_back(row_dbm[ri]);
+      }
+    }
+    const std::size_t m = scratch_rx_.size();
+    scratch_interf_.assign(m, 0.0);
+    for (const ActiveTx* other : active_) {
+      if (other->sender == nullptr || other->end <= now) continue;
+      if (other->cached && !sparse_mode_) {
+        const double* row_mw = &gain_mw_[other->sender_index * n_];
+        double* acc = scratch_interf_.data();
+        const std::uint32_t* slots = scratch_slot_.data();
+        for (std::size_t i = 0; i < m; ++i) {
+          acc[i] += row_mw[slots[i]];
+        }
+      } else {
+        for (std::size_t i = 0; i < m; ++i) {
+          scratch_interf_[i] +=
+              interference_term(*other, scratch_slot_[i], *scratch_rx_[i]);
+        }
+      }
+    }
+    tx->receivers.reserve(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      tx->receivers.push_back(PendingRx{scratch_rx_[i], scratch_slot_[i],
+                                        PowerDbm{scratch_gain_dbm_[i]},
+                                        scratch_interf_[i]});
+    }
+  } else if (tx->cached && sparse_mode_) {
     for (const SparseLink& link : sparse_rows_[tx->sender_index]) {
       if (!link.candidate) continue;
       Radio* r = radios_[link.receiver];
@@ -664,12 +737,27 @@ void Channel::start_transmission(Radio& sender,
   // This transmission interferes with every reception already in flight:
   // the per-receiver accumulators are maintained incrementally, never
   // rescanned.
-  for (ActiveTx* other : active_) {
-    if (other->end <= now) continue;
-    for (PendingRx& rx : other->receivers) {
-      if (rx.receiver == &sender) continue;
-      rx.interference_mw +=
-          interference_term(*tx, rx.receiver_index, *rx.receiver);
+  if (phy_.use_batch_kernels && tx->cached && !sparse_mode_) {
+    // Batch back-substitution: the new sender's dense row holds every
+    // term this pass can produce, so hoist the row base and add
+    // straight from it — the same doubles, the same (other, receiver)
+    // nesting order, minus the per-pair dispatch the scalar loop pays.
+    const double* row_mw = &gain_mw_[tx->sender_index * n_];
+    for (ActiveTx* other : active_) {
+      if (other->end <= now) continue;
+      for (PendingRx& rx : other->receivers) {
+        if (rx.receiver == &sender) continue;
+        rx.interference_mw += row_mw[rx.receiver_index];
+      }
+    }
+  } else {
+    for (ActiveTx* other : active_) {
+      if (other->end <= now) continue;
+      for (PendingRx& rx : other->receivers) {
+        if (rx.receiver == &sender) continue;
+        rx.interference_mw +=
+            interference_term(*tx, rx.receiver_index, *rx.receiver);
+      }
     }
   }
 
@@ -688,8 +776,11 @@ void Channel::deliver_corrupt(Radio& r, const ActiveTx& tx,
   // The radio locked onto the preamble but the payload is damaged: flip
   // a few bytes and deliver with fcs_ok = false. The MAC's FCS check
   // drops it; only the "heard garbage" fact is observable. This is the
-  // one path that copies the frame bytes (it must mangle them).
-  std::vector<std::uint8_t> mangled = tx.frame;
+  // one path that needs a mutable copy of the frame bytes (it must
+  // mangle them); the copy goes into a reused member buffer, safe
+  // because deliveries never nest (finish events are never synchronous).
+  std::vector<std::uint8_t>& mangled = corrupt_scratch_;
+  mangled.assign(tx.frame.begin(), tx.frame.end());
   const std::size_t flips = 1 + reception_rng_.uniform_int(3);
   for (std::size_t i = 0; i < flips && !mangled.empty(); ++i) {
     const std::size_t pos = reception_rng_.uniform_int(mangled.size());
@@ -735,6 +826,129 @@ void Channel::finish_transmission(ActiveTx* tx) {
   // loop can read the precomputed noise terms instead of re-deriving
   // them per reception.
   const bool cached_noise = phy_.use_link_cache && cache_valid_;
+
+  if (phy_.use_batch_kernels && cached_noise) {
+    // Batch delivery: pass A computes every receiver's SINR and PRR
+    // into contiguous scratch arrays (memo hits served in place, the
+    // misses funneled through Modulation::prr_batch in row order); pass
+    // B then replays the exact scalar control flow — half-duplex check,
+    // fault draw, reception draw, burst draw, corrupt delivery, LQI —
+    // consuming the precomputed values. PRR evaluation draws no RNG and
+    // distinct receivers own distinct memo slots, so hoisting it out of
+    // the sequential loop (including for receivers pass B skips) leaves
+    // every random draw and every delivered byte bitwise unchanged.
+    const std::size_t m = tx->receivers.size();
+    scratch_sinr_.resize(m);
+    scratch_prr_.resize(m);
+    scratch_miss_.clear();
+    scratch_miss_sinr_.clear();
+    scratch_miss_pi_.clear();
+    scratch_miss_link_.clear();
+    for (std::size_t i = 0; i < m; ++i) {
+      const PendingRx& rx = tx->receivers[i];
+      if (rx.interference_mw == 0.0) {
+        const double sinr_db =
+            rx.rx_power.value() - noise_dbm_[rx.receiver_index];
+        scratch_sinr_[i] = sinr_db;
+        if (sparse_mode_) {
+          SparseLink* link =
+              tx->cached ? find_link(tx->sender_index, rx.receiver_index)
+                         : nullptr;
+          if (link != nullptr && link->gain_dbm == rx.rx_power.value()) {
+            if (link->prr_bytes == frame_bytes) {
+              scratch_prr_[i] = link->prr_val;
+              continue;
+            }
+            scratch_miss_link_.push_back(link);  // memoize after the batch
+          } else {
+            scratch_miss_link_.push_back(nullptr);
+          }
+        } else {
+          const std::size_t pi =
+              tx->cached ? tx->sender_index * n_ + rx.receiver_index : 0;
+          if (tx->cached && gain_dbm_[pi] == rx.rx_power.value()) {
+            if (prr_bytes_[pi] == frame_bytes) {
+              scratch_prr_[i] = prr_val_[pi];
+              continue;
+            }
+            scratch_miss_pi_.push_back(pi);  // memoize after the batch
+          } else {
+            scratch_miss_pi_.push_back(kNoMemoSlot);
+          }
+        }
+      } else {
+        scratch_sinr_[i] =
+            rx.rx_power.value() -
+            PowerDbm::from_milliwatts(noise_mw_[rx.receiver_index] +
+                                      rx.interference_mw)
+                .value();
+        if (sparse_mode_) {
+          scratch_miss_link_.push_back(nullptr);
+        } else {
+          scratch_miss_pi_.push_back(kNoMemoSlot);
+        }
+      }
+      scratch_miss_.push_back(static_cast<std::uint32_t>(i));
+      scratch_miss_sinr_.push_back(scratch_sinr_[i]);
+    }
+
+    scratch_miss_prr_.resize(scratch_miss_.size());
+    modulation_.prr_batch(scratch_miss_sinr_, frame_bytes, scratch_miss_prr_);
+    for (std::size_t j = 0; j < scratch_miss_.size(); ++j) {
+      const double prr = scratch_miss_prr_[j];
+      scratch_prr_[scratch_miss_[j]] = prr;
+      if (sparse_mode_) {
+        if (SparseLink* link = scratch_miss_link_[j]) {
+          link->prr_bytes = static_cast<std::uint32_t>(frame_bytes);
+          link->prr_val = prr;
+        }
+      } else if (scratch_miss_pi_[j] != kNoMemoSlot) {
+        prr_bytes_[scratch_miss_pi_[j]] =
+            static_cast<std::uint32_t>(frame_bytes);
+        prr_val_[scratch_miss_pi_[j]] = prr;
+      }
+    }
+
+    for (std::size_t i = 0; i < m; ++i) {
+      const PendingRx& rx = tx->receivers[i];
+      Radio& r = *rx.receiver;
+      if (r.transmitting_until() > tx->start) continue;
+
+      if (!link_faults_.empty()) {
+        const auto fault =
+            link_faults_.find(link_key(tx->sender->id(), r.id()));
+        if (fault != link_faults_.end() &&
+            reception_rng_.bernoulli(fault->second)) {
+          continue;
+        }
+      }
+
+      const double sinr_db = scratch_sinr_[i];
+      if (!reception_rng_.bernoulli(scratch_prr_[i])) {
+        deliver_corrupt(r, *tx, rx, sinr_db);
+        continue;
+      }
+
+      const double burst =
+          interference_->destroy_probability(r.id(), tx->start, tx->end);
+      if (burst > 0.0 && reception_rng_.bernoulli(burst)) {
+        deliver_corrupt(r, *tx, rx, sinr_db);
+        continue;
+      }
+
+      const double snr_thermal = (rx.rx_power - r.noise_floor()).value();
+      RxInfo info;
+      info.rssi = rx.rx_power;
+      info.snr_db = snr_thermal;
+      info.lqi = LqiModel::sample(snr_thermal, lqi_rng_);
+      info.white = white_bit(info);
+      info.fcs_ok = true;
+      r.deliver(tx->frame, info);
+    }
+
+    release_tx(tx);
+    return;
+  }
 
   for (const PendingRx& rx : tx->receivers) {
     Radio& r = *rx.receiver;

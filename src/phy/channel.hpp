@@ -70,6 +70,10 @@ class Channel {
   Channel(sim::Simulator& sim, PhyConfig phy, PropagationConfig prop,
           std::unique_ptr<InterferenceModel> interference, sim::Rng rng);
 
+  /// Runs the destructors of the arena-pooled transmissions (the arena
+  /// itself never frees; the Simulator must outlive the Channel).
+  ~Channel();
+
   void set_tx_observer(TxObserver observer) {
     tx_observer_ = std::move(observer);
   }
@@ -114,8 +118,12 @@ class Channel {
     return link_faults_.size();
   }
 
-  /// Called by Radio::transmit. Takes ownership of the frame bytes.
-  void start_transmission(Radio& sender, std::vector<std::uint8_t> frame,
+  /// Called by Radio::transmit. Copies the frame bytes into a pooled
+  /// arena-backed buffer before returning, so the caller's buffer is
+  /// reusable immediately and steady-state transmission allocates
+  /// nothing.
+  void start_transmission(Radio& sender,
+                          std::span<const std::uint8_t> frame,
                           Radio::TxDoneHandler done);
 
   /// Energy-detect CCA at `listener`: any concurrent transmission whose
@@ -174,17 +182,26 @@ class Channel {
     double interference_mw;  // accumulated concurrent-tx power
   };
 
+  using ArenaBytes =
+      std::vector<std::uint8_t, sim::ArenaAllocator<std::uint8_t>>;
+  using ArenaRxVec = std::vector<PendingRx, sim::ArenaAllocator<PendingRx>>;
+
   /// One frame in the air. Pooled: acquired in start_transmission,
-  /// released when the finish event fires, buffers recycled to kill the
-  /// per-packet allocation churn.
+  /// released when the finish event fires. The object and its frame /
+  /// receiver buffers all live in the Simulator's per-trial arena and
+  /// keep their capacity across reuse, so steady-state transmission
+  /// performs zero allocator round trips.
   struct ActiveTx {
+    explicit ActiveTx(sim::Arena& arena)
+        : frame(sim::ArenaAllocator<std::uint8_t>{arena}),
+          receivers(sim::ArenaAllocator<PendingRx>{arena}) {}
     Radio* sender = nullptr;  // nullptr = tombstone (sender detached)
     std::uint32_t sender_index = 0;
     bool cached = false;  // sender had a cache slot when this tx started
     sim::Time start;
     sim::Time end;
-    std::vector<std::uint8_t> frame;
-    std::vector<PendingRx> receivers;
+    ArenaBytes frame;
+    ArenaRxVec receivers;
   };
 
   [[nodiscard]] PowerDbm rx_power(const Radio& from, const Radio& to);
@@ -305,8 +322,30 @@ class Channel {
   // end-time order, driven by the event queue — so busy_at never pays a
   // prune scan.
   std::vector<ActiveTx*> active_;
-  std::vector<std::unique_ptr<ActiveTx>> tx_pool_;  // owns every ActiveTx
-  std::vector<ActiveTx*> tx_free_;                  // recycled objects
+  // Every ActiveTx ever created, arena-allocated; ~Channel runs their
+  // destructors (the arena itself never frees).
+  std::vector<ActiveTx*> tx_pool_;
+  std::vector<ActiveTx*> tx_free_;  // recycled objects
+
+  // Batch-kernel scratch (PhyConfig::use_batch_kernels): candidate
+  // gather arrays for start_transmission and SINR/PRR arrays for the
+  // delivery pass. Members so their capacity persists across calls;
+  // the two sets are disjoint because a delivery handler may
+  // synchronously start a new transmission.
+  std::vector<Radio*> scratch_rx_;
+  std::vector<std::uint32_t> scratch_slot_;
+  std::vector<double> scratch_gain_dbm_;
+  std::vector<double> scratch_interf_;
+  std::vector<double> scratch_sinr_;
+  std::vector<double> scratch_prr_;
+  std::vector<std::uint32_t> scratch_miss_;  // receiver rows needing a PRR
+  std::vector<double> scratch_miss_sinr_;
+  std::vector<double> scratch_miss_prr_;
+  // Memo write-back slots for batch misses: dense pair index (or npos),
+  // sparse link pointer (or nullptr).
+  std::vector<std::size_t> scratch_miss_pi_;
+  std::vector<SparseLink*> scratch_miss_link_;
+  std::vector<std::uint8_t> corrupt_scratch_;  // deliver_corrupt buffer
 
   // Link cache (fast path): row-major [sender][receiver] rx power, both
   // in dBm (thresholds, SINR) and milliwatts (interference sums; cached

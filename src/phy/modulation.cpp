@@ -1,5 +1,6 @@
 #include "phy/modulation.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/assert.hpp"
@@ -54,10 +55,25 @@ double OqpskModulation::bit_error_rate(double sinr_db) const {
   return table_[lo] * (1.0 - frac) + table_[lo + 1] * frac;
 }
 
-double OqpskModulation::packet_reception_ratio(
-    double sinr_db, std::size_t frame_bytes) const {
-  FOURBIT_ASSERT(frame_bytes > 0, "frame must have at least one byte");
-  const double ber = bit_error_rate(sinr_db);
+double OqpskModulation::floor_prr(std::size_t frame_bytes, double base,
+                                  double bits) const {
+  const auto it = std::lower_bound(
+      floor_prr_.begin(), floor_prr_.end(), frame_bytes,
+      [](const std::pair<std::size_t, double>& e, std::size_t b) {
+        return e.first < b;
+      });
+  if (it != floor_prr_.end() && it->first == frame_bytes) return it->second;
+  const double prr = std::pow(base, bits);
+  // Capped: a workload with pathologically many frame sizes just pays
+  // the pow instead of growing (and linearly re-scanning) forever.
+  if (floor_prr_.size() < kFloorMemoCap) {
+    floor_prr_.emplace(it, frame_bytes, prr);
+  }
+  return prr;
+}
+
+double OqpskModulation::prr_from_ber(double ber, double sinr_db,
+                                     std::size_t frame_bytes) const {
   if (ber <= 0.0) return 1.0;
   const double base = 1.0 - ber;
   // High SNR: the BER underflows past double precision, the base rounds
@@ -67,15 +83,31 @@ double OqpskModulation::packet_reception_ratio(
   const double bits = static_cast<double>(frame_bytes * 8);
   // Low SNR clamp: every sub-threshold candidate shares one BER, so the
   // pow depends only on the frame size — serve it from the memo.
-  if (sinr_db <= kMinSnrDb) {
-    for (const auto& [bytes, prr] : floor_prr_) {
-      if (bytes == frame_bytes) return prr;
-    }
-    const double prr = std::pow(base, bits);
-    floor_prr_.emplace_back(frame_bytes, prr);
-    return prr;
-  }
+  if (sinr_db <= kMinSnrDb) return floor_prr(frame_bytes, base, bits);
   return std::pow(base, bits);
+}
+
+double OqpskModulation::packet_reception_ratio(
+    double sinr_db, std::size_t frame_bytes) const {
+  FOURBIT_ASSERT(frame_bytes > 0, "frame must have at least one byte");
+  return prr_from_ber(bit_error_rate(sinr_db), sinr_db, frame_bytes);
+}
+
+void OqpskModulation::prr_batch(std::span<const double> sinr_db,
+                                std::size_t frame_bytes,
+                                std::span<double> out) const {
+  FOURBIT_ASSERT(frame_bytes > 0, "frame must have at least one byte");
+  FOURBIT_ASSERT(out.size() >= sinr_db.size(), "prr_batch output too small");
+  const std::size_t n = sinr_db.size();
+  // Pass 1: table interpolation over the contiguous span, fixed order.
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = bit_error_rate(sinr_db[i]);
+  }
+  // Pass 2: BER -> PRR finalization through the exact scalar helper, so
+  // every output double is bitwise identical to the per-element path.
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = prr_from_ber(out[i], sinr_db[i], frame_bytes);
+  }
 }
 
 }  // namespace fourbit::phy

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -23,6 +24,15 @@ class OqpskModulation {
   [[nodiscard]] double packet_reception_ratio(double sinr_db,
                                               std::size_t frame_bytes) const;
 
+  /// Batch PRR over a contiguous SINR span, one shared frame size.
+  /// Exactly equivalent to calling packet_reception_ratio() per element
+  /// (same table lookups, same branch structure, same memo), but laid
+  /// out as fixed-order loops over contiguous arrays so the channel's
+  /// delivery pass feeds the whole candidate set in one call.
+  /// `out.size()` must be >= `sinr_db.size()`.
+  void prr_batch(std::span<const double> sinr_db, std::size_t frame_bytes,
+                 std::span<double> out) const;
+
   /// Exact (uncached) BER; exposed for tests of the table accuracy.
   [[nodiscard]] static double exact_bit_error_rate(double sinr_db);
 
@@ -30,13 +40,24 @@ class OqpskModulation {
   static constexpr double kMinSnrDb = -12.0;
   static constexpr double kMaxSnrDb = 12.0;
   static constexpr double kStepDb = 0.05;
+  // The protocol stack uses a handful of distinct frame sizes; a fuzzer
+  // or sweep that doesn't must not grow the memo without bound.
+  static constexpr std::size_t kFloorMemoCap = 64;
+
+  /// Shared BER -> PRR finalizer: the single source of truth for the
+  /// scalar and batch paths, so both produce bitwise-identical doubles.
+  [[nodiscard]] double prr_from_ber(double ber, double sinr_db,
+                                    std::size_t frame_bytes) const;
+
+  /// Memoized PRR at the clamped low-SNR end (every sub-threshold
+  /// candidate shares one BER, so the pow depends only on frame size).
+  [[nodiscard]] double floor_prr(std::size_t frame_bytes, double base,
+                                 double bits) const;
 
   std::vector<double> table_;
-  // PRR at the clamped low-SNR end, memoized per frame size: every
-  // out-of-range candidate lands on the same clamped BER, and paying a
-  // pow() per candidate per frame dominated the channel's delivery loop.
-  // The handful of distinct frame sizes a protocol stack uses keeps this
-  // list tiny. Mutable cache of a pure function; results are identical.
+  // Sorted by frame size for binary search; capped at kFloorMemoCap
+  // entries (uncached sizes just pay the pow). Mutable cache of a pure
+  // function; results are identical with or without it.
   mutable std::vector<std::pair<std::size_t, double>> floor_prr_;
 };
 

@@ -37,9 +37,14 @@ bool Radio::transmitting() const {
   return transmitting_until_ > channel_.simulator().now();
 }
 
-void Radio::transmit(std::vector<std::uint8_t> frame, TxDoneHandler done) {
+void Radio::transmit(std::span<const std::uint8_t> frame, TxDoneHandler done) {
   FOURBIT_ASSERT(!frame.empty(), "cannot transmit an empty frame");
-  channel_.start_transmission(*this, std::move(frame), std::move(done));
+  channel_.start_transmission(*this, frame, std::move(done));
+}
+
+void Radio::transmit(const std::vector<std::uint8_t>& frame,
+                     TxDoneHandler done) {
+  transmit(std::span<const std::uint8_t>{frame}, std::move(done));
 }
 
 }  // namespace fourbit::phy

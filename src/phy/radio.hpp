@@ -80,7 +80,12 @@ class Radio {
 
   /// Puts `frame` (the MPDU) on the air. Must not be called while already
   /// transmitting. `done` fires when the last bit leaves the antenna.
-  void transmit(std::vector<std::uint8_t> frame, TxDoneHandler done);
+  /// The bytes are copied into the channel's pooled (arena-backed)
+  /// buffer before this returns, so the caller may reuse `frame`
+  /// immediately — MACs keep one encode buffer and send from it every
+  /// time, which is what makes the steady-state tx path allocation-free.
+  void transmit(std::span<const std::uint8_t> frame, TxDoneHandler done);
+  void transmit(const std::vector<std::uint8_t>& frame, TxDoneHandler done);
 
   // --- Channel-side interface ---------------------------------------
 

@@ -116,6 +116,11 @@ std::string describe(const ExperimentResult& result) {
     out += format("energy       : worst node %.3f mAh, lifetime %.1f days\n",
                   result.worst_node_mah, result.projected_lifetime_days);
   }
+  if (result.arena_bytes > 0 || result.eq_resizes > 0) {
+    out += format("engine       : %.1f KiB arena, %llu queue resizes\n",
+                  static_cast<double>(result.arena_bytes) / 1024.0,
+                  static_cast<unsigned long long>(result.eq_resizes));
+  }
   return out;
 }
 

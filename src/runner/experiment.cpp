@@ -106,7 +106,7 @@ ExperimentResult run_experiment(ExperimentConfig config) {
   // unwinding: the telemetry context must never hold a dangling sink.
   std::unique_ptr<stats::JsonlExporter> exporter;
 
-  sim::Simulator sim;
+  sim::Simulator sim{config.sim};
   if (config.budget.limited()) sim.set_budget(config.budget);
   sim.telemetry().set_level(config.trace_level);
   if (!config.trace_path.empty()) {
@@ -242,6 +242,9 @@ ExperimentResult run_experiment(ExperimentConfig config) {
     result.mean_tx_mah = report.mean_tx_mah;
     result.projected_lifetime_days = report.projected_lifetime_days;
   }
+
+  result.arena_bytes = sim.arena().bytes_reserved();
+  result.eq_resizes = sim.queue_resizes();
   return result;
 }
 

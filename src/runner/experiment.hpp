@@ -42,6 +42,11 @@ struct ExperimentConfig {
   bool track_energy = false;
   stats::EnergyConfig energy;
 
+  /// Simulator engine knobs (event-queue implementation, arena block
+  /// size). Every setting is bit-identity-neutral: trial results,
+  /// digests and exported telemetry are byte-identical across values.
+  sim::SimConfig sim;
+
   /// Cooperative watchdog for this trial: the simulator throws
   /// sim::BudgetExceededError once the event-count or wall-clock limit
   /// is exhausted (zero = unlimited). Campaign supervision classifies
@@ -116,6 +121,11 @@ struct ExperimentResult {
   double worst_node_mah = 0.0;
   double mean_tx_mah = 0.0;
   double projected_lifetime_days = 0.0;
+
+  // Engine health (deterministic for a given config + seed + queue
+  // implementation; excluded from cross-queue-mode identity checks).
+  std::uint64_t arena_bytes = 0;   // arena high-water mark, bytes
+  std::uint64_t eq_resizes = 0;    // calendar-queue rebuilds (0 for heap)
 };
 
 [[nodiscard]] ExperimentResult run_experiment(ExperimentConfig config);

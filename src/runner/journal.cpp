@@ -17,7 +17,7 @@ namespace fourbit::runner {
 namespace {
 
 constexpr std::uint16_t kMagic = 0x464A;  // "FJ"
-constexpr std::uint8_t kVersion = 1;
+constexpr std::uint8_t kVersion = 2;
 constexpr std::size_t kFrameHeaderBytes = 6;  // magic u16 + length u32
 constexpr std::size_t kCrcBytes = 2;
 
@@ -62,6 +62,8 @@ void encode_result(ByteWriter& w, const ExperimentResult& r) {
   w.f64(r.worst_node_mah);
   w.f64(r.mean_tx_mah);
   w.f64(r.projected_lifetime_days);
+  w.u64(r.arena_bytes);
+  w.u64(r.eq_resizes);
 }
 
 ExperimentResult decode_result(ByteReader& r) {
@@ -108,6 +110,8 @@ ExperimentResult decode_result(ByteReader& r) {
   out.worst_node_mah = r.f64();
   out.mean_tx_mah = r.f64();
   out.projected_lifetime_days = r.f64();
+  out.arena_bytes = r.u64();
+  out.eq_resizes = r.u64();
   return out;
 }
 

@@ -1,0 +1,140 @@
+// Per-trial monotonic arena.
+//
+// One trial allocates the same transient objects (frame buffers,
+// pending-receiver vectors, pooled transmissions) over and over; a
+// general-purpose allocator pays a lock-free-list round trip each time.
+// The arena instead bump-allocates from chunked blocks that are never
+// individually freed: containers "deallocate" as a no-op, the pool
+// warms up once, and steady-state simulation performs zero allocator
+// round trips. reset() rewinds to the first block (keeping every block)
+// for reuse across trials in a single process.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace fourbit::sim {
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultBlockBytes = 256 * 1024;
+
+  explicit Arena(std::size_t block_bytes = kDefaultBlockBytes)
+      : block_bytes_(block_bytes == 0 ? kDefaultBlockBytes : block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump-allocates `bytes` aligned to `align` (any power of two).
+  void* allocate(std::size_t bytes, std::size_t align) {
+    if (cur_ < blocks_.size()) {
+      if (void* p = try_block(blocks_[cur_], bytes, align)) return p;
+      // Later blocks (kept by a reset()) are all >= block_bytes_; advance
+      // instead of leaking them.
+      while (cur_ + 1 < blocks_.size()) {
+        ++cur_;
+        offset_ = 0;
+        if (void* p = try_block(blocks_[cur_], bytes, align)) return p;
+      }
+    }
+    grow(bytes + align);
+    void* p = try_block(blocks_[cur_], bytes, align);
+    return p;  // guaranteed: the new block fits bytes+align
+  }
+
+  /// Constructs a T in arena storage. The arena never runs destructors —
+  /// the caller must invoke ~T() explicitly if T is non-trivial.
+  template <typename T, typename... Args>
+  T* create(Args&&... args) {
+    return ::new (allocate(sizeof(T), alignof(T)))
+        T(std::forward<Args>(args)...);
+  }
+
+  /// Rewinds to the first block; every block is kept for reuse. Objects
+  /// previously allocated are NOT destroyed — callers own destruction.
+  void reset() {
+    cur_ = 0;
+    offset_ = 0;
+  }
+
+  /// Total bytes reserved from the OS across all blocks.
+  [[nodiscard]] std::size_t bytes_reserved() const { return reserved_; }
+
+  /// Invoked with the new bytes_reserved() every time the arena grows;
+  /// the Simulator hooks this to keep the sim/arena_bytes gauge current.
+  void set_growth_observer(std::function<void(std::size_t)> fn) {
+    growth_observer_ = std::move(fn);
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  void* try_block(Block& b, std::size_t bytes, std::size_t align) {
+    const auto base = reinterpret_cast<std::uintptr_t>(b.data.get());
+    const std::uintptr_t aligned =
+        (base + offset_ + (align - 1)) & ~static_cast<std::uintptr_t>(align - 1);
+    const std::size_t new_offset = (aligned - base) + bytes;
+    if (new_offset > b.size) return nullptr;
+    offset_ = new_offset;
+    return reinterpret_cast<void*>(aligned);
+  }
+
+  void grow(std::size_t min_bytes) {
+    const std::size_t size = min_bytes > block_bytes_ ? min_bytes : block_bytes_;
+    blocks_.push_back(Block{std::make_unique<std::byte[]>(size), size});
+    cur_ = blocks_.size() - 1;
+    offset_ = 0;
+    reserved_ += size;
+    if (growth_observer_) growth_observer_(reserved_);
+  }
+
+  std::size_t block_bytes_;
+  std::vector<Block> blocks_;
+  std::size_t cur_ = 0;
+  std::size_t offset_ = 0;
+  std::size_t reserved_ = 0;
+  std::function<void(std::size_t)> growth_observer_;
+};
+
+/// Minimal std allocator over an Arena. deallocate() is a no-op
+/// (monotonic); two allocators compare equal iff they share an arena,
+/// and none of the propagate_on_* traits are set, so containers built
+/// from the same arena move buffers freely among themselves.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+  using propagate_on_container_copy_assignment = std::false_type;
+  using propagate_on_container_move_assignment = std::false_type;
+  using propagate_on_container_swap = std::false_type;
+  using is_always_equal = std::false_type;
+
+  explicit ArenaAllocator(Arena& arena) noexcept : arena_(&arena) {}
+  template <typename U>
+  /*implicit*/ ArenaAllocator(const ArenaAllocator<U>& other) noexcept
+      : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, std::size_t) noexcept {}
+
+  [[nodiscard]] Arena* arena() const noexcept { return arena_; }
+
+  friend bool operator==(const ArenaAllocator& a,
+                         const ArenaAllocator& b) noexcept {
+    return a.arena_ == b.arena_;
+  }
+
+ private:
+  Arena* arena_;
+};
+
+}  // namespace fourbit::sim

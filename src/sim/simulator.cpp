@@ -6,6 +6,26 @@
 
 namespace fourbit::sim {
 
+Simulator::Simulator(SimConfig config)
+    : config_(config),
+      arena_(config.arena_block_bytes),
+      queue_(config.use_calendar_queue ? EventQueue::Impl::kCalendar
+                                       : EventQueue::Impl::kHeap) {
+  telemetry_.bind_clock(&now_);
+  queue_.set_resize_observer([this] {
+    if (ctr_eq_resizes_ == nullptr) {
+      ctr_eq_resizes_ = telemetry_.counter("sim", "eq_resizes");
+    }
+    ++*ctr_eq_resizes_;
+  });
+  arena_.set_growth_observer([this](std::size_t bytes) {
+    if (gauge_arena_bytes_ == nullptr) {
+      gauge_arena_bytes_ = telemetry_.gauge("sim", "arena_bytes");
+    }
+    *gauge_arena_bytes_ = static_cast<double>(bytes);
+  });
+}
+
 EventId Simulator::schedule_in(Duration delay, EventQueue::Callback cb) {
   FOURBIT_ASSERT(delay.us() >= 0, "cannot schedule into the past");
   return queue_.schedule(now_ + delay, std::move(cb));

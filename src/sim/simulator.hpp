@@ -8,11 +8,24 @@
 #include <stdexcept>
 #include <string>
 
+#include "sim/arena.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/telemetry.hpp"
 #include "sim/time.hpp"
 
 namespace fourbit::sim {
+
+/// Kernel knobs for one Simulator (one trial). Every setting is
+/// bit-identity-neutral: flipping any of them changes wall-clock speed,
+/// never simulation results.
+struct SimConfig {
+  /// Calendar event queue (default) vs. the binary heap retained as the
+  /// reference path; both pop in identical (time, FIFO) order.
+  bool use_calendar_queue = true;
+  /// Block size of the per-trial monotonic arena that feeds frame
+  /// buffers, pending-receiver vectors, and transmission pools.
+  std::size_t arena_block_bytes = Arena::kDefaultBlockBytes;
+};
 
 /// Cooperative execution budget for one Simulator (one trial). Zero
 /// means unlimited. A campaign supervisor arms this so a wedged or
@@ -47,12 +60,25 @@ class BudgetExceededError : public std::runtime_error {
 /// relative to `now()`; the driver calls one of the run_* methods.
 class Simulator {
  public:
-  Simulator() { telemetry_.bind_clock(&now_); }
+  explicit Simulator(SimConfig config = {});
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   [[nodiscard]] Time now() const { return now_; }
+
+  [[nodiscard]] const SimConfig& config() const { return config_; }
+
+  /// Per-trial monotonic arena (see sim/arena.hpp). Components that
+  /// live no longer than the Simulator allocate steady-state transients
+  /// here; growth is tracked by the sim/arena_bytes gauge.
+  [[nodiscard]] Arena& arena() { return arena_; }
+
+  /// Calendar-queue rebuilds so far (0 on the heap path); also exported
+  /// as the sim/eq_resizes counter.
+  [[nodiscard]] std::uint64_t queue_resizes() const {
+    return queue_.resizes();
+  }
 
   /// Per-trial telemetry (typed events, counters, flight recorder).
   /// Components emit through this instead of any global logger.
@@ -123,6 +149,8 @@ class Simulator {
   void execute_next();
   void check_budget() const;
 
+  SimConfig config_;
+  Arena arena_;
   EventQueue queue_;
   Time now_;
   TelemetryContext telemetry_;  // after now_: the bound clock must exist
@@ -132,6 +160,11 @@ class Simulator {
   std::function<void()> flush_hook_;
   SimBudget budget_;
   std::chrono::steady_clock::time_point budget_armed_at_{};
+  // Health metrics register lazily on first use so trials that never
+  // grow the arena or resize the queue keep their telemetry registry
+  // (and JSONL export) unchanged.
+  std::uint64_t* ctr_eq_resizes_ = nullptr;
+  double* gauge_arena_bytes_ = nullptr;
 };
 
 }  // namespace fourbit::sim

@@ -4,7 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "runner/campaign.hpp"
@@ -81,6 +84,72 @@ TEST(CampaignTest, ThreadCountDoesNotChangeResults) {
   EXPECT_EQ(sa.cost.stddev, sb.cost.stddev);
   EXPECT_EQ(sa.delivery_ratio.mean, sb.delivery_ratio.mean);
   EXPECT_EQ(sa.mean_depth.quartiles.median, sb.mean_depth.quartiles.median);
+}
+
+// The event-queue implementation is a pure engine knob: heap and
+// calendar must produce bit-identical trial results, at any thread
+// count. (The engine-health fields are the one deliberate exception —
+// the heap never rebuilds, so eq_resizes differs by design.)
+TEST(CampaignTest, QueueImplAndThreadCountDoNotChangeResults) {
+  const auto cal_trials = Campaign::seed_sweep(small_trial(21), 4);
+  auto heap_trials = cal_trials;
+  for (auto& t : heap_trials) t.sim.use_calendar_queue = false;
+
+  Campaign::Options serial;
+  serial.threads = 1;
+  Campaign::Options parallel;
+  parallel.threads = 4;
+
+  const auto cal1 = Campaign::run(cal_trials, serial);
+  const auto cal4 = Campaign::run(cal_trials, parallel);
+  const auto heap1 = Campaign::run(heap_trials, serial);
+
+  ASSERT_EQ(cal1.size(), cal_trials.size());
+  for (std::size_t i = 0; i < cal_trials.size(); ++i) {
+    expect_identical(cal1[i], cal4[i]);
+    expect_identical(cal1[i], heap1[i]);
+    EXPECT_EQ(cal1[i].arena_bytes, cal4[i].arena_bytes);
+    EXPECT_EQ(cal1[i].eq_resizes, cal4[i].eq_resizes);
+    EXPECT_EQ(heap1[i].eq_resizes, 0u);  // the heap never rebuilds
+  }
+}
+
+// Exported telemetry must be byte-identical across queue modes, apart
+// from the engine's own health rows (component "sim": arena growth and
+// queue-resize counters are mode-dependent by design and register
+// lazily so they never perturb the rest of the stream).
+TEST(CampaignTest, TraceJsonlMatchesAcrossQueueModes) {
+  const auto read_stripped = [](const std::string& path) {
+    std::ifstream in{path};
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.find("\"component\":\"sim\"") != std::string::npos) continue;
+      lines.push_back(line);
+    }
+    return lines;
+  };
+
+  ExperimentConfig cal = small_trial(33);
+  cal.trace_level = sim::TraceLevel::kDebug;
+  cal.trace_path = (std::filesystem::path{::testing::TempDir()} /
+                    "fourbit_trace_cal.jsonl")
+                       .string();
+  ExperimentConfig heap = cal;
+  heap.sim.use_calendar_queue = false;
+  heap.trace_path = (std::filesystem::path{::testing::TempDir()} /
+                     "fourbit_trace_heap.jsonl")
+                        .string();
+
+  (void)run_experiment(cal);
+  (void)run_experiment(heap);
+
+  const auto cal_lines = read_stripped(cal.trace_path);
+  const auto heap_lines = read_stripped(heap.trace_path);
+  ASSERT_FALSE(cal_lines.empty());
+  EXPECT_EQ(cal_lines, heap_lines);
+  std::filesystem::remove(cal.trace_path);
+  std::filesystem::remove(heap.trace_path);
 }
 
 TEST(CampaignTest, ResultsIndexedByTrialNotCompletionOrder) {

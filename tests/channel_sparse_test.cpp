@@ -30,10 +30,11 @@ enum class Mode { kSlow, kDense, kSparse };
 
 constexpr Mode kAllModes[] = {Mode::kSlow, Mode::kDense, Mode::kSparse};
 
-phy::PhyConfig make_phy(Mode mode) {
+phy::PhyConfig make_phy(Mode mode, bool batch = true) {
   phy::PhyConfig phy;
   phy.use_link_cache = mode != Mode::kSlow;
   phy.use_spatial_index = mode == Mode::kSparse;
+  phy.use_batch_kernels = batch;
   return phy;
 }
 
@@ -75,8 +76,8 @@ struct Pump {
   DeliveryDigest digest;
   std::uint64_t deliveries = 0;
 
-  explicit Pump(Mode mode, std::size_t n = 30)
-      : channel(sim, make_phy(mode), phy::PropagationConfig{},
+  explicit Pump(Mode mode, std::size_t n = 30, bool batch = true)
+      : channel(sim, make_phy(mode, batch), phy::PropagationConfig{},
                 std::make_unique<phy::NullInterference>(), sim::Rng{99}) {
     for (std::size_t i = 0; i < n; ++i) {
       // Same geometry as the fast-path suite: 30 m pitch keeps every
@@ -153,6 +154,18 @@ TEST(ChannelSparseTest, DeliveryStreamBitIdenticalAcrossAllThreePaths) {
   EXPECT_EQ(sparse.digest.h, slow.digest.h);
   EXPECT_EQ(sparse.channel.frames_transmitted(),
             slow.channel.frames_transmitted());
+}
+
+TEST(ChannelSparseTest, BatchKernelsBitIdenticalOnSparsePath) {
+  // Sparse rows feed the same SoA gather/batch-PRR kernels as the dense
+  // matrix; on vs off must not move a single bit of the delivery stream.
+  Pump batch{Mode::kSparse, 30, true};
+  Pump scalar{Mode::kSparse, 30, false};
+  batch.run_rounds(8);
+  scalar.run_rounds(8);
+  EXPECT_GT(batch.deliveries, 0u);
+  EXPECT_EQ(batch.deliveries, scalar.deliveries);
+  EXPECT_EQ(batch.digest.h, scalar.digest.h);
 }
 
 TEST(ChannelSparseTest, LinkOutageBitIdenticalAcrossPaths) {

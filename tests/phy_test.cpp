@@ -2,6 +2,7 @@
 // variation, interference processes, and the channel/radio pair.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 #include <vector>
 
@@ -68,6 +69,45 @@ TEST(ModulationTest, PrrTransitionRegionIsGrayZone) {
     if (prr > 0.2 && prr < 0.8) found = true;
   }
   EXPECT_TRUE(found);
+}
+
+TEST(ModulationTest, FloorMemoCorrectAcrossManyFrameSizes) {
+  // The sub-threshold PRR memo is a small sorted vector capped in size:
+  // hammer it with far more distinct frame sizes than the cap holds, in
+  // a worst-case (descending, so every insert lands at the front) order,
+  // then verify every answer — memoized or recomputed — against a fresh
+  // instance and against the closed form.
+  OqpskModulation mod;
+  const double sinr = -20.0;  // below kMinSnrDb: floor region
+  const double ber = mod.bit_error_rate(sinr);
+  for (int round = 0; round < 2; ++round) {
+    for (std::size_t bytes = 400; bytes >= 1; --bytes) {
+      const double got = mod.packet_reception_ratio(sinr, bytes);
+      const double want =
+          std::pow(1.0 - ber, static_cast<double>(bytes * 8));
+      EXPECT_EQ(got, want) << "frame_bytes " << bytes;
+      OqpskModulation fresh;
+      if (bytes % 97 == 0) {  // spot-check cross-instance consistency
+        EXPECT_EQ(fresh.packet_reception_ratio(sinr, bytes), got);
+      }
+    }
+  }
+}
+
+TEST(ModulationTest, PrrBatchMatchesScalarBitwise) {
+  OqpskModulation mod;
+  std::vector<double> sinr;
+  for (double s = -25.0; s <= 15.0; s += 0.173) sinr.push_back(s);
+  std::vector<double> batch(sinr.size());
+  for (const std::size_t frame_bytes : {1u, 20u, 46u, 120u}) {
+    mod.prr_batch(sinr, frame_bytes, batch);
+    for (std::size_t i = 0; i < sinr.size(); ++i) {
+      const double scalar =
+          mod.packet_reception_ratio(sinr[i], frame_bytes);
+      EXPECT_EQ(batch[i], scalar)
+          << "sinr " << sinr[i] << " bytes " << frame_bytes;
+    }
+  }
 }
 
 // ---- LqiModel -----------------------------------------------------------------

@@ -31,8 +31,10 @@
 #include "runner/journal.hpp"
 #include "runner/supervisor.hpp"
 #include "runner/worker.hpp"
+#include "sim/rng.hpp"
 #include "sim/telemetry.hpp"
 #include "sim/time.hpp"
+#include "topology/topology.hpp"
 
 namespace fourbit::runner {
 namespace {
@@ -62,6 +64,20 @@ std::vector<ExperimentConfig> scenario_trials(std::size_t n,
   std::vector<ExperimentConfig> trials(n);
   for (std::size_t i = 0; i < n; ++i) trials[i].seed = base + i;
   return trials;
+}
+
+/// A small REAL simulation derived purely from the seed, so worker
+/// processes and the in-process reference rebuild identical configs.
+/// Exercises the full engine (calendar queue, batch kernels, arenas)
+/// across the process boundary.
+ExperimentConfig real_trial(std::uint64_t seed) {
+  sim::Rng rng{seed};
+  ExperimentConfig cfg;
+  cfg.testbed = topology::mirage(rng);
+  cfg.testbed.topology.nodes.resize(12);
+  cfg.duration = sim::Duration::from_minutes(2.0);
+  cfg.seed = seed;
+  return cfg;
 }
 
 struct Scenario {
@@ -95,6 +111,11 @@ void oom_alloc() noexcept {
 std::function<ExperimentResult(const ExperimentConfig&)> scenario_run_trial(
     Scenario scenario, int pipe_fd) {
   return [scenario, pipe_fd](const ExperimentConfig& config) {
+    // Full-stack scenario: run an actual simulation rebuilt from the
+    // seed instead of returning synthetic bytes.
+    if (scenario.kind == "real") {
+      return run_experiment(real_trial(config.seed));
+    }
     // run_supervised stamps trace_trial with the trial index whenever
     // flight_flush_base is set — which the worker path always does.
     const std::size_t index =
@@ -639,6 +660,38 @@ TEST(MultiprocessTest, CleanCampaignMatchesInProcessAtAnyWorkerCount) {
     ASSERT_EQ(report.completed, reference.completed);
     for (std::size_t i = 0; i < trials.size(); ++i) {
       expect_identical(report.results[i], reference.results[i]);
+    }
+  }
+}
+
+TEST(MultiprocessTest, RealSimCampaignIsIdenticalAcrossWorkerCounts) {
+  // Campaign-level bit-identity of the fast engine (calendar queue,
+  // batch kernels, per-trial arenas, all default-on) across the process
+  // isolation boundary: --workers 1 and --workers 3 must both match the
+  // in-process single-threaded reference exactly, engine-health fields
+  // included.
+  const std::size_t n = 3;
+  SupervisorOptions ref_options;
+  ref_options.threads = 1;
+  ref_options.run_trial = [](const ExperimentConfig& config) {
+    return run_experiment(real_trial(config.seed));
+  };
+  const auto reference = run_supervised(scenario_trials(n, 900), ref_options);
+  ASSERT_TRUE(reference.all_completed());
+
+  for (const std::size_t workers : {1u, 3u}) {
+    const auto trials = scenario_trials(n, 900);
+    const auto report =
+        run_multiprocess(trials, mp_options("real", n, 900, workers));
+    EXPECT_TRUE(report.failures.empty());
+    EXPECT_EQ(report.hard_crashes, 0u);
+    ASSERT_EQ(report.completed, reference.completed);
+    for (std::size_t i = 0; i < trials.size(); ++i) {
+      expect_identical(report.results[i], reference.results[i]);
+      EXPECT_EQ(report.results[i].arena_bytes,
+                reference.results[i].arena_bytes);
+      EXPECT_EQ(report.results[i].eq_resizes,
+                reference.results[i].eq_resizes);
     }
   }
 }
