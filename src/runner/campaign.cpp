@@ -137,6 +137,8 @@ CampaignSummary summarize(const CampaignReport& report) {
   summary.retries = report.retries;
   summary.replayed = report.replayed;
   summary.worker_respawns = report.worker_respawns;
+  summary.host_losses = report.host_losses;
+  summary.lease_reassignments = report.lease_reassignments;
   for (const auto& failure : report.failures) {
     summary.failures_by_kind[static_cast<std::size_t>(failure.kind)]++;
   }

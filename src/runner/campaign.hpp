@@ -97,6 +97,10 @@ struct CampaignSummary {
   std::uint64_t replayed = 0;  // trials restored from a journal
   /// Worker processes respawned after a death (multi-process pool only).
   std::uint64_t worker_respawns = 0;
+  /// Host sessions lost and leases reassigned (distributed dispatch
+  /// only, dispatch.hpp). Zero on local campaigns.
+  std::uint64_t host_losses = 0;
+  std::uint64_t lease_reassignments = 0;
   /// Terminal failures indexed by FailureKind (supervisor.hpp):
   /// assert, exception, timeout, invariant, hard_crash.
   std::array<std::size_t, 5> failures_by_kind{};

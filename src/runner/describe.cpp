@@ -150,7 +150,10 @@ std::string describe(const CampaignReport& report) {
 
   const bool eventful = !report.failures.empty() || report.retries > 0 ||
                         report.replayed > 0 || report.journal_torn ||
-                        report.hard_crashes > 0 || report.worker_respawns > 0;
+                        report.hard_crashes > 0 || report.worker_respawns > 0 ||
+                        report.host_losses > 0 ||
+                        report.lease_reassignments > 0 ||
+                        report.journal_write_failures > 0;
   if (!eventful) return "";
 
   std::string out;
@@ -166,6 +169,20 @@ std::string describe(const CampaignReport& report) {
     out += format("workers      : %llu hard crashes, %llu respawns\n",
                   static_cast<unsigned long long>(report.hard_crashes),
                   static_cast<unsigned long long>(report.worker_respawns));
+  }
+  if (report.host_losses > 0 || report.lease_reassignments > 0) {
+    out += format("hosts        : %llu sessions lost, %llu leases "
+                  "reassigned\n",
+                  static_cast<unsigned long long>(report.host_losses),
+                  static_cast<unsigned long long>(
+                      report.lease_reassignments));
+  }
+  if (report.journal_write_failures > 0) {
+    out += format("journal      : %llu write failures "
+                  "(runner/journal_write_failures); campaign continued "
+                  "unjournaled\n",
+                  static_cast<unsigned long long>(
+                      report.journal_write_failures));
   }
   if (!report.failures.empty()) {
     std::size_t by_kind[kFailureKindCount] = {};
@@ -266,6 +283,12 @@ std::string describe_json(const CampaignSummary& summary) {
   if (summary.worker_respawns > 0) {
     out += format(",\"worker_respawns\":%llu",
                   static_cast<unsigned long long>(summary.worker_respawns));
+  }
+  if (summary.host_losses > 0 || summary.lease_reassignments > 0) {
+    out += format(",\"host_losses\":%llu,\"lease_reassignments\":%llu",
+                  static_cast<unsigned long long>(summary.host_losses),
+                  static_cast<unsigned long long>(
+                      summary.lease_reassignments));
   }
   out += format(",\"failures\":{\"assert\":%zu,\"exception\":%zu,"
                 "\"timeout\":%zu,\"invariant\":%zu,\"hard_crash\":%zu}",

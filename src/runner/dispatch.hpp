@@ -1,0 +1,105 @@
+// Distributed campaign dispatch: a lease-serving coordinator and the
+// host agent that executes leases, built for preemptible fleets.
+//
+// Topology: one coordinator (`--hosts a:port,b:port`), N host agents
+// (any bench binary relaunched with `--serve port`). Both ends derive
+// the identical trial list from the same bench arguments — the exact
+// self-exec contract the worker pool (worker.hpp) established — so the
+// only things that cross the wire are trial INDICES (lease grants) and
+// trial RESULTS (journal frames). The coordinator:
+//
+//   * serves trial-index leases to connected hosts and tracks a
+//     per-lease deadline (heartbeat silence, disconnect, or a corrupt
+//     stream expires the lease);
+//   * reassigns expired leases to whichever host is alive, reconnecting
+//     to lost hosts with capped-exponential Backoff and retiring a host
+//     after max_host_failures fruitless sessions;
+//   * deduplicates double-completions by (index, seed) last-wins —
+//     exactly the shard-merge rule — so a lease finishing on two hosts
+//     after a spurious expiry is harmless;
+//   * attributes host loss to the trials that were in flight and marks
+//     a trial kHardCrash once it survives max_trial_crashes host
+//     deaths (the crash-loop quarantine, extended across machines);
+//   * journals every accepted result to a coordinator-side shard
+//     ("<stem>.w1000000.journal"), so SIGKILLing the coordinator loses
+//     nothing a host already reported; and
+//   * degrades to a pure-local run_supervised pass over whatever is
+//     left if every host dies — the campaign ALWAYS completes.
+//
+// Determinism: every trial is a pure function of its config, results
+// ride CRC-framed journal records byte-for-byte, the final report is
+// keyed by trial index, and the shard compaction at the end rewrites
+// the main journal in index order — so a clean distributed run's
+// CampaignReport and --journal file are byte-identical to a
+// single-process run, and a resume after coordinator SIGKILL is
+// bit-identical too. Liveness caveat: a host that heartbeats but never
+// finishes its trial is only expired when --max-trial-ms arms
+// trial_timeout_ms, same as the worker pool.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "runner/supervisor.hpp"
+
+namespace fourbit::runner {
+
+/// Coordinator-side journal shard ids, far above any worker-pool slot
+/// (those are 0..workers-1): results accepted over the wire, and the
+/// local-fallback supervisor's journal, live in these shards until the
+/// final compaction folds both into the main journal.
+inline constexpr std::size_t kRemoteShardId = 1'000'000;
+inline constexpr std::size_t kLocalShardId = 1'000'001;
+
+struct DispatchOptions {
+  /// Trial-level policy. journal_path is the main journal stem (shards
+  /// live next to it); on_trial_done fires on the coordinator as trials
+  /// settle; run_trial/threads apply to the local fallback only.
+  SupervisorOptions supervisor;
+  /// Host agents to drive (from --hosts). May be empty, in which case
+  /// the whole campaign is one local fallback pass.
+  std::vector<HostEndpoint> hosts;
+  /// Trials per lease grant; 0 = auto (pending / 2·live hosts, capped
+  /// at 32 — small enough that a lost host forfeits little work).
+  std::size_t lease_trials = 0;
+
+  /// A host session silent for this long is dead: lease expired.
+  std::uint64_t heartbeat_timeout_ms = 10'000;
+  /// Per-connect() deadline.
+  std::uint64_t connect_timeout_ms = 2'000;
+  /// Delay ladder between reconnect attempts to a lost host.
+  Backoff reconnect_backoff{250, 10'000, 0.25};
+  /// Consecutive fruitless sessions/connect failures (no trial
+  /// progress) before a host is retired for the campaign.
+  std::size_t max_host_failures = 3;
+  /// Host deaths a single trial may be in flight for before it is
+  /// declared the killer and marked kHardCrash (crash-loop quarantine).
+  std::size_t max_trial_crashes = 2;
+  /// Coordinator-side per-trial wall clock (0 = off): expires the
+  /// session of a host whose trial outlives it (non-cooperative hangs
+  /// on a machine we cannot signal).
+  std::uint64_t trial_timeout_ms = 0;
+};
+
+/// Runs the campaign across remote host agents. Blocks until every
+/// trial is settled; never throws on host misbehavior — only on
+/// coordinator-side setup errors (e.g. an unopenable journal).
+[[nodiscard]] CampaignReport run_distributed(
+    const std::vector<ExperimentConfig>& trials,
+    const DispatchOptions& options);
+
+/// Host-agent mode (--serve): listens on cli.serve_port (0 =
+/// ephemeral; the bound port is announced on stderr as
+/// "fourbit-agent: listening on port N"), then serves coordinator
+/// sessions forever — grant in, trials run (through the worker pool
+/// when --workers is given, in-process otherwise), statuses and
+/// results stream out. Never returns; the agent dies by signal.
+/// `options` is the agent's supervisor policy — typically
+/// cli.supervisor_options(), run_trial overridden by tests; its
+/// journal_path is ignored (results are durable on the coordinator).
+[[noreturn]] void run_host_agent(const std::vector<ExperimentConfig>& trials,
+                                 const CampaignCli& cli,
+                                 SupervisorOptions options);
+
+}  // namespace fourbit::runner

@@ -3,7 +3,10 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
+#include <cerrno>
 #include <cstddef>
+#include <cstring>
 #include <filesystem>
 #include <map>
 #include <optional>
@@ -16,10 +19,12 @@
 namespace fourbit::runner {
 namespace {
 
-constexpr std::uint16_t kMagic = 0x464A;  // "FJ"
+constexpr std::uint16_t kMagic = kJournalMagic;  // "FJ"
 constexpr std::uint8_t kVersion = 2;
 constexpr std::size_t kFrameHeaderBytes = 6;  // magic u16 + length u32
 constexpr std::size_t kCrcBytes = 2;
+
+std::atomic<std::uint64_t> g_write_failures{0};
 
 // Every field of ExperimentResult, in declaration order. Bump kVersion
 // when this layout changes; load() drops records of other versions.
@@ -115,18 +120,6 @@ ExperimentResult decode_result(ByteReader& r) {
   return out;
 }
 
-std::optional<JournalEntry> decode_payload(
-    std::span<const std::uint8_t> payload) {
-  ByteReader reader{payload};
-  if (reader.u8() != kVersion) return std::nullopt;
-  JournalEntry entry;
-  entry.trial_index = reader.u32();
-  entry.seed = reader.u64();
-  entry.result = decode_result(reader);
-  if (!reader.ok() || reader.remaining() != 0) return std::nullopt;
-  return entry;
-}
-
 std::vector<std::uint8_t> read_all(const std::string& path) {
   std::vector<std::uint8_t> bytes;
   std::FILE* file = std::fopen(path.c_str(), "rb");
@@ -155,13 +148,42 @@ std::size_t clean_prefix_bytes(const std::vector<std::uint8_t>& bytes) {
     const auto payload = rest.subspan(kFrameHeaderBytes, length);
     ByteReader crc_reader{rest.subspan(kFrameHeaderBytes + length, kCrcBytes)};
     if (crc_reader.u16() != crc16(payload)) break;
-    if (!decode_payload(payload)) break;
+    if (!decode_journal_record_payload(payload)) break;
     pos += kFrameHeaderBytes + length + kCrcBytes;
   }
   return pos;
 }
 
 }  // namespace
+
+std::vector<std::uint8_t> encode_journal_record(const JournalEntry& entry) {
+  std::vector<std::uint8_t> payload;
+  ByteWriter writer{payload};
+  writer.u8(kVersion);
+  writer.u32(entry.trial_index);
+  writer.u64(entry.seed);
+  encode_result(writer, entry.result);
+
+  std::vector<std::uint8_t> frame;
+  ByteWriter framer{frame};
+  framer.u16(kMagic);
+  framer.u32(static_cast<std::uint32_t>(payload.size()));
+  framer.bytes(payload);
+  framer.u16(crc16(payload));
+  return frame;
+}
+
+std::optional<JournalEntry> decode_journal_record_payload(
+    std::span<const std::uint8_t> payload) {
+  ByteReader reader{payload};
+  if (reader.u8() != kVersion) return std::nullopt;
+  JournalEntry entry;
+  entry.trial_index = reader.u32();
+  entry.seed = reader.u64();
+  entry.result = decode_result(reader);
+  if (!reader.ok() || reader.remaining() != 0) return std::nullopt;
+  return entry;
+}
 
 TrialJournal::LoadResult TrialJournal::load(const std::string& path) {
   LoadResult out;
@@ -192,7 +214,7 @@ TrialJournal::LoadResult TrialJournal::load(const std::string& path) {
       out.torn = true;
       break;
     }
-    auto entry = decode_payload(payload);
+    auto entry = decode_journal_record_payload(payload);
     if (!entry) {
       out.torn = true;
       break;
@@ -295,29 +317,39 @@ TrialJournal TrialJournal::open_append(const std::string& path) {
 
 void TrialJournal::append(std::uint32_t trial_index, std::uint64_t seed,
                           const ExperimentResult& result) {
-  std::vector<std::uint8_t> payload;
-  ByteWriter writer{payload};
-  writer.u8(kVersion);
-  writer.u32(trial_index);
-  writer.u64(seed);
-  encode_result(writer, result);
+  if (file_ == nullptr) return;  // latched disabled by an earlier failure
 
-  std::vector<std::uint8_t> frame;
-  ByteWriter framer{frame};
-  framer.u16(kMagic);
-  framer.u32(static_cast<std::uint32_t>(payload.size()));
-  framer.bytes(payload);
-  framer.u16(crc16(payload));
+  const std::vector<std::uint8_t> frame =
+      encode_journal_record({trial_index, seed, result});
 
-  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size() ||
-      std::fflush(file_) != 0) {
-    throw std::runtime_error("trial journal write failed");
-  }
   // One fsync per trial: a journaled record must survive SIGKILL the
   // moment append() returns — that is the whole point of the journal.
-  if (::fsync(::fileno(file_)) != 0) {
-    throw std::runtime_error("trial journal fsync failed");
-  }
+  // A failure anywhere in write/flush/fsync (ENOSPC, EIO) only costs
+  // that safety net, so it must not abort the campaign: latch the
+  // journal disabled and keep running. The partial frame left behind
+  // is a torn tail, which load()/open_append() already drop/truncate.
+  const bool wrote =
+      std::fwrite(frame.data(), 1, frame.size(), file_) == frame.size() &&
+      std::fflush(file_) == 0 && ::fsync(::fileno(file_)) == 0;
+  if (wrote) return;
+
+  const int err = errno;
+  g_write_failures.fetch_add(1, std::memory_order_relaxed);
+  std::fprintf(stderr,
+               "fourbit-journal: write failed (%s); journaling disabled for "
+               "the rest of the campaign (runner/journal_write_failures)\n",
+               std::strerror(err));
+  std::fflush(stderr);
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+int TrialJournal::fd() const {
+  return file_ != nullptr ? ::fileno(file_) : -1;
+}
+
+std::uint64_t TrialJournal::write_failures() {
+  return g_write_failures.load(std::memory_order_relaxed);
 }
 
 TrialJournal& TrialJournal::operator=(TrialJournal&& other) noexcept {

@@ -23,6 +23,8 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -36,6 +38,21 @@ struct JournalEntry {
   std::uint64_t seed = 0;
   ExperimentResult result;
 };
+
+/// Journal frame magic ("FJ"). The transport layer multiplexes journal
+/// frames over the host/coordinator socket and dispatches on this.
+inline constexpr std::uint16_t kJournalMagic = 0x464A;
+
+/// One complete journal frame (header + payload + CRC) for `entry` —
+/// the exact bytes append() writes. Used by the dispatch transport to
+/// ship results over a socket in the same self-describing framing.
+[[nodiscard]] std::vector<std::uint8_t> encode_journal_record(
+    const JournalEntry& entry);
+
+/// Decodes one journal frame payload (the bytes between the length
+/// field and the CRC). Returns nullopt on version or layout mismatch.
+[[nodiscard]] std::optional<JournalEntry> decode_journal_record_payload(
+    std::span<const std::uint8_t> payload);
 
 class TrialJournal {
  public:
@@ -81,9 +98,25 @@ class TrialJournal {
   [[nodiscard]] static TrialJournal open_append(const std::string& path);
 
   /// Appends one completed trial and makes it durable (fflush + fsync)
-  /// before returning.
+  /// before returning. A write or fsync failure (ENOSPC, EIO, a yanked
+  /// volume) must not kill a multi-hour campaign over a lost safety
+  /// net: the journal latches into a disabled state instead — one
+  /// stderr warning, the process-wide write_failures() counter bumps
+  /// (exported as runner/journal_write_failures), and every later
+  /// append() on this journal is a no-op. The campaign finishes
+  /// unjournaled; only resume durability is lost.
   void append(std::uint32_t trial_index, std::uint64_t seed,
               const ExperimentResult& result);
+
+  /// False once a write failure has latched the journal disabled.
+  [[nodiscard]] bool healthy() const { return file_ != nullptr; }
+
+  /// Underlying file descriptor, -1 when disabled. Diagnostic/test
+  /// hook (tests inject write failures by closing it).
+  [[nodiscard]] int fd() const;
+
+  /// Process-wide count of append() write failures (monotonic).
+  [[nodiscard]] static std::uint64_t write_failures();
 
   TrialJournal(TrialJournal&& other) noexcept : file_(other.file_) {
     other.file_ = nullptr;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -120,6 +121,7 @@ CampaignReport run_supervised(const std::vector<ExperimentConfig>& trials,
   report.results.resize(trials.size());
   report.completed.assign(trials.size(), 0);
   if (trials.empty()) return report;
+  const std::uint64_t journal_failures_before = TrialJournal::write_failures();
 
   // Resume: replay journaled results for matching (index, seed) slots.
   // A record whose seed disagrees with the trial list belongs to some
@@ -278,6 +280,8 @@ CampaignReport run_supervised(const std::vector<ExperimentConfig>& trials,
 
   report.attempts = attempts.load();
   report.retries = retried.load();
+  report.journal_write_failures =
+      TrialJournal::write_failures() - journal_failures_before;
   // Completion order depends on thread scheduling; the report must not.
   std::sort(report.failures.begin(), report.failures.end(),
             [](const TrialFailure& a, const TrialFailure& b) {
@@ -373,6 +377,57 @@ CampaignCli consume_campaign_cli(int& argc, char** argv) {
     }
   }
   cli.json = consume_bool_flag(argc, argv, "--json");
+  if (const auto hosts = consume_flag(argc, argv, "--hosts")) {
+    std::size_t pos = 0;
+    while (pos <= hosts->size()) {
+      const std::size_t comma = hosts->find(',', pos);
+      const std::string tok = hosts->substr(
+          pos, comma == std::string::npos ? std::string::npos : comma - pos);
+      // Split on the LAST colon so a future "name:with:colons" host at
+      // least fails loudly rather than silently mis-parsing the port.
+      const std::size_t colon = tok.rfind(':');
+      bool ok = colon != std::string::npos && colon > 0;
+      unsigned long port = 0;
+      if (ok) {
+        const std::string digits = tok.substr(colon + 1);
+        char* end = nullptr;
+        port = std::strtoul(digits.c_str(), &end, 10);
+        ok = !digits.empty() &&
+             std::isdigit(static_cast<unsigned char>(digits[0])) != 0 &&
+             end != nullptr && *end == '\0' && port >= 1 && port <= 65535;
+      }
+      if (!ok) {
+        std::fprintf(stderr,
+                     "--hosts: expected comma-separated host:port entries "
+                     "(port 1-65535), got '%s'\n",
+                     hosts->c_str());
+        std::exit(2);
+      }
+      cli.hosts.push_back(
+          HostEndpoint{tok.substr(0, colon), static_cast<std::uint16_t>(port)});
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+  if (const auto serve = consume_uint_flag(argc, argv, "--serve")) {
+    if (*serve > 65535) {
+      std::fprintf(stderr,
+                   "--serve: expected a TCP port (0-65535, 0 = ephemeral), "
+                   "got %llu\n",
+                   static_cast<unsigned long long>(*serve));
+      std::exit(2);
+    }
+    cli.serve_port = static_cast<int>(*serve);
+  }
+  cli.lease_trials = static_cast<std::size_t>(
+      consume_uint_flag(argc, argv, "--lease").value_or(0));
+  if (cli.serve_port >= 0 && !cli.hosts.empty()) {
+    std::fprintf(
+        stderr,
+        "error: --serve (host agent) and --hosts (coordinator) are "
+        "mutually exclusive\n");
+    std::exit(2);
+  }
   return cli;
 }
 

@@ -173,6 +173,15 @@ struct CampaignReport {
   /// workers brought back after one.
   std::uint64_t hard_crashes = 0;
   std::uint64_t worker_respawns = 0;
+  /// Distributed dispatch only (dispatch.hpp): host sessions lost
+  /// (disconnect, heartbeat silence, corrupt stream) and leases handed
+  /// back to the pool because their host died under them.
+  std::uint64_t host_losses = 0;
+  std::uint64_t lease_reassignments = 0;
+  /// Journal append failures during this run (ENOSPC and friends): the
+  /// journal latched disabled and the campaign finished unjournaled
+  /// (see TrialJournal::append). Zero on a healthy run.
+  std::uint64_t journal_write_failures = 0;
   /// The journal ended in a torn record (expected after a SIGKILL
   /// mid-write); the torn trial was re-run.
   bool journal_torn = false;
@@ -190,11 +199,18 @@ struct CampaignReport {
 /// Aggregates completed trials only, with real failure accounting.
 [[nodiscard]] CampaignSummary summarize(const CampaignReport& report);
 
+/// One remote host agent address ("host:port" on the --hosts list).
+struct HostEndpoint {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
 /// Shared campaign CLI surface for bench mains: --threads N,
 /// --workers K, --journal FILE, --max-trial-ms N, --retries N,
 /// --trace FILE, --trace-level off|error|info|debug,
-/// --trace-nodes a,b,c, --json — plus the hidden --worker-* flags the
-/// multi-process coordinator (worker.hpp) appends when it self-execs.
+/// --trace-nodes a,b,c, --json, --hosts a:p,b:p, --serve PORT,
+/// --lease N — plus the hidden --worker-* flags the multi-process
+/// coordinator (worker.hpp) appends when it self-execs.
 struct CampaignCli {
   std::size_t threads = 0;
   /// Worker *processes* (run_multiprocess); 0 = flag absent, run
@@ -211,6 +227,17 @@ struct CampaignCli {
   sim::TraceLevel trace_level = sim::TraceLevel::kInfo;
   std::vector<std::uint16_t> trace_nodes;  // empty = all nodes
   bool json = false;  // also emit machine-readable summary JSON
+
+  /// --hosts a:port,b:port — run this campaign as a distributed
+  /// coordinator (dispatch.hpp), leasing trial spans to the listed host
+  /// agents. Empty = not distributed. Mutually exclusive with --serve.
+  std::vector<HostEndpoint> hosts;
+  /// --serve PORT — run this binary as a host agent: listen on PORT
+  /// (0 = ephemeral, the bound port is printed to stderr) and execute
+  /// leases for a coordinator. -1 = flag absent.
+  int serve_port = -1;
+  /// --lease N — trials per lease grant on the coordinator (0 = auto).
+  std::size_t lease_trials = 0;
 
   // Hidden worker-mode plumbing (never typed by a user): the
   // coordinator re-execs argv with these appended, and run_campaign

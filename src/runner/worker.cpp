@@ -26,12 +26,13 @@
 
 #include "common/byte_io.hpp"
 #include "common/crc16.hpp"
+#include "runner/dispatch.hpp"
 #include "runner/journal.hpp"
 
 namespace fourbit::runner {
 namespace {
 
-constexpr std::uint16_t kPipeMagic = 0x4657;      // "FW"
+constexpr std::uint16_t kPipeMagic = kWorkerPipeMagic;  // "FW"
 constexpr std::uint16_t kSnapshotMagic = 0x4653;  // "FS"
 constexpr std::uint8_t kPipeVersion = 1;
 constexpr std::size_t kFrameHeaderBytes = 6;  // magic u16 + length u32
@@ -120,6 +121,11 @@ void encode_event(ByteWriter& w, const sim::TelemetryEvent& e) {
 }
 
 }  // namespace
+
+std::optional<WorkerRecord> decode_worker_record_payload(
+    std::span<const std::uint8_t> payload) {
+  return decode_record_payload(payload);
+}
 
 std::vector<std::uint8_t> encode_worker_record(const WorkerRecord& record) {
   std::vector<std::uint8_t> payload;
@@ -478,6 +484,7 @@ CampaignReport run_multiprocess(const std::vector<ExperimentConfig>& trials,
   report.results.resize(trials.size());
   report.completed.assign(trials.size(), 0);
   if (trials.empty()) return report;
+  const std::uint64_t journal_failures_before = TrialJournal::write_failures();
   if (options.exec_argv.empty()) {
     throw std::runtime_error(
         "run_multiprocess: exec_argv is empty (pass CampaignCli::exec_argv)");
@@ -853,7 +860,15 @@ CampaignReport run_multiprocess(const std::vector<ExperimentConfig>& trials,
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
       continue;
     }
-    ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 50);
+    // EINTR here is routine (SIGCHLD from a dying worker lands exactly
+    // when poll sleeps); treat it as an early timeout, never an error.
+    int polled;
+    do {
+      polled = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 50);
+    } while (polled < 0 && errno == EINTR);
+    if (polled < 0) {
+      for (auto& pfd : pfds) pfd.revents = 0;
+    }
 
     for (std::size_t x = 0; x < pfds.size(); ++x) {
       WorkerSlot& slot = *owners[x];
@@ -959,6 +974,8 @@ CampaignReport run_multiprocess(const std::vector<ExperimentConfig>& trials,
     fs::remove_all(temp_dir, ec);
   }
 
+  report.journal_write_failures =
+      TrialJournal::write_failures() - journal_failures_before;
   // Completion order is scheduling; the report must not be.
   std::sort(report.failures.begin(), report.failures.end(),
             [](const TrialFailure& a, const TrialFailure& b) {
@@ -972,6 +989,22 @@ CampaignReport run_campaign(
     std::function<void(const TrialProgress&)> progress) {
   if (cli.worker_fd >= 0) {
     run_worker(trials, cli, cli.supervisor_options());  // never returns
+  }
+  if (cli.serve_port >= 0) {
+    run_host_agent(trials, cli, cli.supervisor_options());  // never returns
+  }
+  if (!cli.hosts.empty()) {
+    DispatchOptions options;
+    options.supervisor = cli.supervisor_options();
+    options.supervisor.on_trial_done = std::move(progress);
+    options.hosts = cli.hosts;
+    options.lease_trials = cli.lease_trials;
+    // Same backstop rationale as the worker pool below: the remote
+    // host's own SimBudget should win; this only catches hosts whose
+    // machine we cannot signal.
+    options.trial_timeout_ms =
+        cli.max_trial_ms != 0 ? cli.max_trial_ms * 2 + 5000 : 0;
+    return run_distributed(trials, options);
   }
   if (cli.workers == 0) {
     auto options = cli.supervisor_options();

@@ -31,6 +31,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -74,9 +75,18 @@ struct WorkerRecord {
   std::vector<sim::TelemetryEvent> flight;  // kTrialFailed only
 };
 
+/// Worker status frame magic ("FW"). The dispatch transport multiplexes
+/// status frames over the host/coordinator socket and dispatches on it.
+inline constexpr std::uint16_t kWorkerPipeMagic = 0x4657;
+
 /// Serializes one record as a complete frame (header + payload + CRC).
 [[nodiscard]] std::vector<std::uint8_t> encode_worker_record(
     const WorkerRecord& record);
+
+/// Decodes one status frame payload (the bytes between the length field
+/// and the CRC). Returns nullopt on version or layout mismatch.
+[[nodiscard]] std::optional<WorkerRecord> decode_worker_record_payload(
+    std::span<const std::uint8_t> payload);
 
 /// Incremental frame parser over an arbitrary byte stream. Feed bytes
 /// as they arrive; drain complete records with next(). Any framing or
