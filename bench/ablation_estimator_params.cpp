@@ -18,6 +18,7 @@
 //
 //   usage: ablation_estimator_params [minutes=25] [seeds=3] [--threads N]
 //          [--journal FILE] [--max-trial-ms N] [--retries N]
+//          [--status-json FILE] [--status-interval-ms N] [--profile-phases]
 #include <cstdio>
 #include <cstdlib>
 #include <functional>

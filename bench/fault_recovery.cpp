@@ -21,6 +21,7 @@
 //          [--journal FILE] [--max-trial-ms N] [--retries N]
 //          [--trace FILE] [--trace-level L] [--trace-nodes a,b,c]
 //          [--json]
+//          [--status-json FILE] [--status-interval-ms N] [--profile-phases]
 //
 // With --journal, completed trials are checkpointed durably; killing
 // the process mid-campaign and relaunching with the same arguments

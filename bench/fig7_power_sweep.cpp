@@ -10,6 +10,7 @@
 //
 //   usage: fig7_power_sweep [minutes=40] [seeds=5] [--threads N]
 //          [--journal FILE] [--max-trial-ms N] [--retries N]
+//          [--status-json FILE] [--status-interval-ms N] [--profile-phases]
 #include <cstdio>
 #include <cstdlib>
 #include <vector>

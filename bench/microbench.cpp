@@ -304,6 +304,48 @@ void BM_TelemetryCounterIncrement(benchmark::State& state) {
 }
 BENCHMARK(BM_TelemetryCounterIncrement);
 
+/// One histogram record: a bit_width bucket index, one bin increment,
+/// count and sum. The status-snapshot histograms (runner/status.hpp)
+/// and --profile-phases timers both pay exactly this per sample.
+void BM_HistogramRecord(benchmark::State& state) {
+  sim::Histogram hist;
+  std::uint64_t v = 1;
+  for (auto _ : state) {
+    hist.record(v);
+    v = (v * 2862933555777941757ull) + 3037000493ull;  // cheap LCG spread
+    benchmark::DoNotOptimize(hist.count);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+/// A PhaseTimer scope with profiling off: the cost every engine phase
+/// pays per pass when --profile-phases is absent. Budgeted like
+/// BM_TelemetryDisabled — one branch, no clock read, no registration —
+/// and gated alongside it in CI perf-smoke.
+void BM_PhaseTimerDisabled(benchmark::State& state) {
+  sim::TelemetryContext telemetry;
+  for (auto _ : state) {
+    sim::PhaseTimer timer{telemetry, sim::ProfilePhase::kEventDispatch};
+    benchmark::DoNotOptimize(telemetry.profiling());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PhaseTimerDisabled);
+
+/// The enabled counterpart: two steady_clock reads plus one histogram
+/// record per phase pass — what a --profile-phases run actually costs.
+void BM_PhaseTimerEnabled(benchmark::State& state) {
+  sim::TelemetryContext telemetry;
+  telemetry.set_profiling(true);
+  for (auto _ : state) {
+    sim::PhaseTimer timer{telemetry, sim::ProfilePhase::kEventDispatch};
+    benchmark::DoNotOptimize(telemetry.profiling());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PhaseTimerEnabled);
+
 /// The channel broadcast workload with telemetry dialed to kDebug and a
 /// ring write per frame (args: {telemetry level as int}). Together with
 /// the BM_ChannelBroadcast pair above this bounds the end-to-end cost of

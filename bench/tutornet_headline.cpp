@@ -11,6 +11,7 @@
 //
 //   usage: tutornet_headline [minutes=60] [seeds=5] [--threads N]
 //          [--journal FILE] [--max-trial-ms N] [--retries N]
+//          [--status-json FILE] [--status-interval-ms N] [--profile-phases]
 #include <cstdio>
 #include <cstdlib>
 #include <vector>

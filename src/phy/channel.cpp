@@ -138,6 +138,8 @@ void Channel::ensure_cache() {
 }
 
 void Channel::rebuild_cache() {
+  sim::PhaseTimer freeze_timer{sim_.telemetry(),
+                               sim::ProfilePhase::kChannelFreeze};
   ++*ctr_cache_rebuilds_;
   n_ = radios_.size();
   sparse_mode_ = phy_.use_spatial_index;
@@ -893,7 +895,12 @@ void Channel::finish_transmission(ActiveTx* tx) {
     }
 
     scratch_miss_prr_.resize(scratch_miss_.size());
-    modulation_.prr_batch(scratch_miss_sinr_, frame_bytes, scratch_miss_prr_);
+    {
+      sim::PhaseTimer kernel_timer{sim_.telemetry(),
+                                   sim::ProfilePhase::kBatchKernel};
+      modulation_.prr_batch(scratch_miss_sinr_, frame_bytes,
+                            scratch_miss_prr_);
+    }
     for (std::size_t j = 0; j < scratch_miss_.size(); ++j) {
       const double prr = scratch_miss_prr_[j];
       scratch_prr_[scratch_miss_[j]] = prr;

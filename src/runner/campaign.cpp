@@ -242,8 +242,32 @@ std::function<void(const TrialProgress&)> stderr_progress() {
                    p.failure->what.c_str());
     }
     if (state->tty) {
-      std::fprintf(stderr, "\r  %zu/%zu trials%s%s", p.completed, p.total,
-                   counts, p.completed == p.total ? "\n" : "");
+      // Live ticker: counts plus throughput, ETA, and (once nonzero)
+      // fleet health. Trailing spaces wipe leftovers from a previously
+      // longer line under \r.
+      const double elapsed_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        state->start)
+              .count();
+      const double rate =
+          elapsed_s > 0.0 ? static_cast<double>(p.completed) / elapsed_s
+                          : 0.0;
+      char pace[64] = "";
+      if (rate > 0.0 && p.completed < p.total) {
+        std::snprintf(pace, sizeof pace, " [%.1f/s, ETA %.0fs]", rate,
+                      static_cast<double>(p.total - p.completed) / rate);
+      } else if (rate > 0.0) {
+        std::snprintf(pace, sizeof pace, " [%.1f/s]", rate);
+      }
+      char fleet[64] = "";
+      if (p.host_losses > 0 || p.lease_reassignments > 0) {
+        std::snprintf(fleet, sizeof fleet,
+                      ", %zu host losses, %zu leases moved", p.host_losses,
+                      p.lease_reassignments);
+      }
+      std::fprintf(stderr, "\r  %zu/%zu trials%s%s%s   %s", p.completed,
+                   p.total, counts, fleet, pace,
+                   p.completed == p.total ? "\n" : "");
       std::fflush(stderr);
       return;
     }

@@ -48,6 +48,10 @@ struct TrialProgress {
   const ExperimentResult* result = nullptr;
   /// Set when this trial terminally failed (supervised campaigns only).
   const TrialFailure* failure = nullptr;
+  /// Fleet health so far (distributed dispatch only; zero elsewhere).
+  /// The TTY ticker surfaces these the moment they become nonzero.
+  std::size_t host_losses = 0;
+  std::size_t lease_reassignments = 0;
 };
 
 class Campaign {

@@ -176,6 +176,18 @@ std::string describe(const CampaignReport& report) {
                   static_cast<unsigned long long>(report.host_losses),
                   static_cast<unsigned long long>(
                       report.lease_reassignments));
+    // Per-host ledger, eventful hosts only: a host that just worked
+    // earns no line, so clean-run output is unchanged.
+    for (const auto& h : report.host_health) {
+      if (h.losses == 0 && h.fruitless == 0 && !h.retired) continue;
+      out += format("  host %s: %llu completed, %llu sessions lost, "
+                    "%llu fruitless%s\n",
+                    h.name.c_str(),
+                    static_cast<unsigned long long>(h.completed),
+                    static_cast<unsigned long long>(h.losses),
+                    static_cast<unsigned long long>(h.fruitless),
+                    h.retired ? ", retired" : "");
+    }
   }
   if (report.journal_write_failures > 0) {
     out += format("journal      : %llu write failures "

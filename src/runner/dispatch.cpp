@@ -50,6 +50,16 @@ struct HostSlot {
   std::size_t fruitless = 0;
   Clock::time_point reconnect_at{};
   bool retired = false;
+  /// Session deaths charged to this host (its share of host_losses).
+  std::size_t losses = 0;
+  /// Per-host health ledger across the whole campaign: results this
+  /// host delivered, and terminal soft failures it reported.
+  std::uint64_t done_here = 0;
+  std::uint64_t failed_here = 0;
+  /// Latest fourbit.status/1 snapshot forwarded over FT; folded into
+  /// the coordinator board when the session dies so merged counters
+  /// stay monotonic across reconnects.
+  std::optional<StatusSnapshot> status;
 
   [[nodiscard]] std::string name() const {
     return addr.host + ":" + std::to_string(addr.port);
@@ -138,6 +148,9 @@ CampaignReport run_distributed(const std::vector<ExperimentConfig>& trials,
       p.config = &trials[index];
       p.result = result;
       p.failure = failure;
+      p.host_losses = static_cast<std::size_t>(report.host_losses);
+      p.lease_reassignments =
+          static_cast<std::size_t>(report.lease_reassignments);
       options.supervisor.on_trial_done(p);
     }
   };
@@ -200,6 +213,11 @@ CampaignReport run_distributed(const std::vector<ExperimentConfig>& trials,
     return trials.front().seed + 0x9E3779B97F4A7C15ULL * (h.index + 1);
   };
 
+  // Merged-status accumulator: metrics absorbed from dead host
+  // sessions; live sessions contribute their latest forwarded snapshot
+  // at publish time, and the local fallback feeds it directly.
+  StatusBoard status_board;
+
   const auto session_death = [&](HostSlot& h, const std::string& why) {
     if (h.fd < 0) return;
     ::close(h.fd);
@@ -207,6 +225,14 @@ CampaignReport run_distributed(const std::vector<ExperimentConfig>& trials,
     h.hello = false;
     h.parser = TransportParser{};
     ++report.host_losses;
+    ++h.losses;
+    // The dead session's last forwarded metrics move into the
+    // coordinator's board so the merged counters never regress when the
+    // host reconnects with a fresh registry.
+    if (h.status) {
+      status_board.absorb_metrics(*h.status);
+      h.status.reset();
+    }
     // The trials in flight when the host died are hard-crash suspects,
     // exactly like trials in flight during a worker death: count the
     // crash against each, quarantine past max_trial_crashes.
@@ -300,6 +326,10 @@ CampaignReport run_distributed(const std::vector<ExperimentConfig>& trials,
           case WorkerRecordKind::kHeartbeat:
           case WorkerRecordKind::kBye:
             return true;
+          case WorkerRecordKind::kStatus:
+            // Hosts stream status as ControlKind::kStatus; an FW-framed
+            // status record counts as liveness only, never progress.
+            return true;
           case WorkerRecordKind::kTrialStart:
             // Liveness, not progress: only settling records clear the
             // fruitless counter, so a host that starts trials but never
@@ -330,6 +360,7 @@ CampaignReport run_distributed(const std::vector<ExperimentConfig>& trials,
         if (rec.kind == WorkerRecordKind::kTrialDone) return true;
         ++report.attempts;
         failed_bit[index] = 1;
+        ++h.failed_here;
         TrialFailure failure;
         failure.kind = rec.failure_kind;
         failure.what = std::move(rec.what);
@@ -358,12 +389,24 @@ CampaignReport run_distributed(const std::vector<ExperimentConfig>& trials,
         report.results[index] = std::move(entry.result);
         report.completed[index] = 1;
         ++report.attempts;
+        ++h.done_here;
         journal_result(index);
         emit_progress(index, &report.results[index], nullptr);
         return true;
       }
       case TransportFrame::Type::kControl: {
         const ControlMessage& m = frame.control;
+        if (m.kind == ControlKind::kStatus) {
+          // Off-band observability: refresh this host's contribution to
+          // the merged snapshot. Liveness only — never progress, never
+          // trial accounting. Undecodable payloads are dropped (the CRC
+          // passed; this is version skew, not line noise).
+          auto snap = decode_status_snapshot(std::span<const std::uint8_t>{
+              reinterpret_cast<const std::uint8_t*>(m.text.data()),
+              m.text.size()});
+          if (snap) h.status = std::move(*snap);
+          return true;
+        }
         if (m.kind != ControlKind::kLeaseComplete) {
           // Only hosts send kLeaseComplete; a grant or shutdown coming
           // BACK is a protocol violation — the stream is garbage.
@@ -396,9 +439,74 @@ CampaignReport run_distributed(const std::vector<ExperimentConfig>& trials,
     return true;
   };
 
+  // Merged fourbit.status/1 publication: coordinator lifecycle truth,
+  // per-host lease state/health, absorbed dead-session metrics, and
+  // every live host's latest forwarded snapshot. The fallback counters
+  // are atomics because during the degradation pass a StatusPublisher
+  // thread reads them while run_supervised's callback writes them.
+  const bool status_publishing =
+      !options.status_path.empty() || static_cast<bool>(options.on_status);
+  const auto campaign_start = Clock::now();
+  std::uint64_t status_seq = 0;
+  auto last_status_publish = campaign_start;
+  std::atomic<std::size_t> fallback_settled{0};
+  std::atomic<std::size_t> fallback_failed{0};
+  std::atomic<std::uint64_t> fallback_retried{0};
+  const auto publish_status = [&] {
+    StatusSnapshot snap;
+    status_board.fill_snapshot(snap);
+    const std::uint64_t local_in_flight = snap.in_flight;
+    const std::uint64_t all_settled_count =
+        progress_done + fallback_settled.load(std::memory_order_relaxed);
+    const std::uint64_t all_failed =
+        failed_count + fallback_failed.load(std::memory_order_relaxed);
+    snap.done = all_settled_count - all_failed;
+    snap.failed = all_failed;
+    snap.retried =
+        report.retries + fallback_retried.load(std::memory_order_relaxed);
+    snap.replayed = report.replayed;
+    snap.host_losses = report.host_losses;
+    snap.lease_reassignments = report.lease_reassignments;
+    std::uint64_t wire_in_flight = 0;
+    for (const auto& h : hosts) wire_in_flight += h.in_flight.size();
+    snap.in_flight = local_in_flight + wire_in_flight;
+    for (const auto& h : hosts) {
+      StatusSource src;
+      src.name = h.name();
+      src.kind = StatusSource::Kind::kHost;
+      src.alive = h.fd >= 0;
+      src.retired = h.retired;
+      src.done = h.done_here;
+      src.failed = h.failed_here;
+      src.in_flight = h.in_flight.size();
+      src.losses = h.losses;
+      src.fruitless = h.fruitless;
+      src.lease = format_index_spans(h.lease);
+      if (h.status) merge_status_metrics(snap, *h.status);
+      snap.sources.push_back(std::move(src));
+    }
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - campaign_start).count();
+    stamp_status(snap, ++status_seq, elapsed, trials.size());
+    if (!options.status_path.empty()) {
+      write_status_file(options.status_path, status_json(snap));
+    }
+    if (options.on_status) options.on_status(snap);
+  };
+
   // ---- the dispatch loop ----
   while (true) {
     const auto now = Clock::now();
+
+    // Publish at the top of the sweep so the file stays fresh even
+    // while every host is down and the loop is just waiting on backoff.
+    if (status_publishing &&
+        now - last_status_publish >=
+            std::chrono::milliseconds(std::max<std::uint64_t>(
+                10, options.status_interval_ms))) {
+      last_status_publish = now;
+      publish_status();
+    }
 
     bool all_settled = true;
     for (const std::size_t i : owed) {
@@ -568,6 +676,9 @@ CampaignReport run_distributed(const std::vector<ExperimentConfig>& trials,
     const std::uint64_t base_retries = report.retries;
     const auto inner = options.supervisor.on_trial_done;
     local.on_trial_done = [&, inner](const TrialProgress& p) {
+      fallback_settled.store(p.completed, std::memory_order_relaxed);
+      fallback_failed.store(p.failed, std::memory_order_relaxed);
+      fallback_retried.store(p.retried, std::memory_order_relaxed);
       if (!inner) return;
       TrialProgress q = p;  // re-base counters onto the whole campaign
       q.completed = base_done + p.completed;
@@ -575,7 +686,15 @@ CampaignReport run_distributed(const std::vector<ExperimentConfig>& trials,
       q.retried = static_cast<std::size_t>(base_retries) + p.retried;
       inner(q);
     };
+    // The fallback supervisor feeds the same board the wire fed, and a
+    // publisher thread keeps the file fresh while run_supervised blocks.
+    local.status = &status_board;
+    std::optional<StatusPublisher> fallback_publisher;
+    if (status_publishing) {
+      fallback_publisher.emplace(options.status_interval_ms, publish_status);
+    }
     CampaignReport fb = run_supervised(trials, local);
+    fallback_publisher.reset();  // final tick before the report merge
     for (const std::size_t i : remaining) {
       if (fb.completed[i]) {
         report.results[i] = std::move(fb.results[i]);
@@ -634,6 +753,20 @@ CampaignReport run_distributed(const std::vector<ExperimentConfig>& trials,
             [](const TrialFailure& a, const TrialFailure& b) {
               return a.trial_index < b.trial_index;
             });
+  // Per-host health ledger, in --hosts order (deterministic), for
+  // describe() and post-mortems.
+  for (const auto& h : hosts) {
+    HostHealth health;
+    health.name = h.name();
+    health.completed = h.done_here;
+    health.losses = h.losses;
+    health.fruitless = h.fruitless;
+    health.retired = h.retired;
+    report.host_health.push_back(std::move(health));
+  }
+  // The last published snapshot is the settled end state — a poller
+  // never ends the campaign staring at a mid-flight picture.
+  if (status_publishing) publish_status();
   return report;
 }
 
@@ -723,6 +856,20 @@ void run_lease(const std::vector<ExperimentConfig>& trials,
         streamed.insert(p.trial_index);
       }
     };
+    // Lease-local status flows back over FT as kStatus control frames;
+    // the coordinator merges it into the campaign-wide snapshot. The
+    // agent itself never writes a --status-json file.
+    const std::uint32_t lease_id = grant.lease;
+    const auto forward_status = [&writer,
+                                 lease_id](const StatusSnapshot& snap) {
+      ControlMessage m;
+      m.kind = ControlKind::kStatus;
+      m.lease = lease_id;
+      const auto bytes = encode_status_snapshot(snap);
+      m.text.assign(reinterpret_cast<const char*>(bytes.data()),
+                    bytes.size());
+      writer.send(encode_control_message(m));
+    };
     if (cli.workers > 0) {
       // The lease rides the PR 7 worker pool: trial SIGSEGVs take down
       // a worker process, not this agent.
@@ -733,8 +880,24 @@ void run_lease(const std::vector<ExperimentConfig>& trials,
       mp.heartbeat_interval_ms = cli.worker_heartbeat_ms;
       mp.trial_timeout_ms =
           cli.max_trial_ms != 0 ? cli.max_trial_ms * 2 + 5000 : 0;
+      mp.status_interval_ms = cli.status_interval_ms;
+      mp.status_total = trials.size();
+      mp.on_status = forward_status;
       rep = run_multiprocess(trials, mp);
     } else {
+      StatusBoard board;
+      sopts.status = &board;
+      const auto lease_start = Clock::now();
+      std::uint64_t seq = 0;
+      StatusPublisher publisher{cli.status_interval_ms, [&] {
+        StatusSnapshot snap;
+        board.fill_snapshot(snap);
+        const double elapsed =
+            std::chrono::duration<double>(Clock::now() - lease_start)
+                .count();
+        stamp_status(snap, ++seq, elapsed, trials.size());
+        forward_status(snap);
+      }};
       rep = run_supervised(trials, sopts);
     }
     session_retries += static_cast<std::uint32_t>(rep.retries);
@@ -814,6 +977,7 @@ void serve_session(int fd, const std::vector<ExperimentConfig>& trials,
           hangup = true;
           break;
         case ControlKind::kLeaseComplete:
+        case ControlKind::kStatus:
           hangup = true;  // nonsense from a coordinator
           break;
       }

@@ -39,8 +39,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <vector>
 
+#include "runner/status.hpp"
 #include "runner/supervisor.hpp"
 
 namespace fourbit::runner {
@@ -80,6 +83,15 @@ struct DispatchOptions {
   /// session of a host whose trial outlives it (non-cooperative hangs
   /// on a machine we cannot signal).
   std::uint64_t trial_timeout_ms = 0;
+
+  /// Live observability: publish a merged fourbit.status/1 snapshot —
+  /// per-host lease state and health plus every host's forwarded
+  /// metrics — to status_path every status_interval_ms
+  /// (write-temp-then-rename), and/or hand it to on_status. Strictly
+  /// off-band; empty/null disables.
+  std::string status_path;
+  std::uint64_t status_interval_ms = 1000;
+  std::function<void(const StatusSnapshot&)> on_status;
 };
 
 /// Runs the campaign across remote host agents. Blocks until every

@@ -1,10 +1,13 @@
 #include "runner/experiment.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <utility>
 
+#include "runner/status.hpp"
 #include "runner/worker.hpp"
 #include "sim/invariant.hpp"
 #include "sim/simulator.hpp"
@@ -109,6 +112,7 @@ ExperimentResult run_experiment(ExperimentConfig config) {
   sim::Simulator sim{config.sim};
   if (config.budget.limited()) sim.set_budget(config.budget);
   sim.telemetry().set_level(config.trace_level);
+  if (config.profile_phases) sim.telemetry().set_profiling(true);
   if (!config.trace_path.empty()) {
     exporter = std::make_unique<stats::JsonlExporter>(
         config.trace_path,
@@ -116,25 +120,55 @@ ExperimentResult run_experiment(ExperimentConfig config) {
     sim.telemetry().set_node_filter(config.trace_nodes);
     sim.telemetry().set_sink(exporter.get());
   }
-  if (!config.flight_flush_path.empty() &&
-      config.flight_flush_every_events != 0) {
-    // Periodic crash evidence: if this process dies mid-trial, the
-    // coordinator recovers the sim's last flushed moments from here.
-    const std::string flush_path = config.flight_flush_path;
-    const std::size_t flush_index =
-        config.trace_trial >= 0
-            ? static_cast<std::size_t>(config.trace_trial)
-            : 0;
-    const std::uint64_t flush_seed = config.seed;
+  const std::uint64_t status_trial =
+      config.trace_trial >= 0 ? static_cast<std::uint64_t>(config.trace_trial)
+                              : 0;
+  {
+    // Both periodic side effects — crash-evidence flight flushes and
+    // live-status registry pushes — share the simulator's single flush
+    // hook slot; compose whichever subset is armed into one closure.
+    std::function<void()> flush_flight;
+    std::function<void()> push_status;
     sim::Simulator* sim_ptr = &sim;
-    sim.set_flush_hook(
-        config.flight_flush_every_events,
-        [flush_path, flush_index, flush_seed, sim_ptr] {
-          write_flight_snapshot(flush_path, flush_index, flush_seed,
-                                sim_ptr->telemetry().flight());
-        });
+    if (!config.flight_flush_path.empty() &&
+        config.flight_flush_every_events != 0) {
+      // Periodic crash evidence: if this process dies mid-trial, the
+      // coordinator recovers the sim's last flushed moments from here.
+      const std::string flush_path = config.flight_flush_path;
+      const std::size_t flush_index = static_cast<std::size_t>(status_trial);
+      const std::uint64_t flush_seed = config.seed;
+      flush_flight = [flush_path, flush_index, flush_seed, sim_ptr] {
+        write_flight_snapshot(flush_path, flush_index, flush_seed,
+                              sim_ptr->telemetry().flight());
+      };
+    }
+    if (config.status != nullptr) {
+      StatusBoard* board = config.status;
+      push_status = [board, status_trial, sim_ptr] {
+        board->publish_registry(status_trial, sim_ptr->telemetry());
+      };
+    }
+    if (flush_flight || push_status) {
+      const std::uint64_t every = config.flight_flush_every_events != 0
+                                      ? config.flight_flush_every_events
+                                      : 65536;
+      sim.set_flush_hook(every, [flush_flight, push_status] {
+        if (flush_flight) flush_flight();
+        if (push_status) push_status();
+      });
+    }
   }
   stats::Metrics metrics;
+
+  using ProfileClock = std::chrono::steady_clock;
+  const auto phase_ns = [](ProfileClock::time_point since) {
+    const auto elapsed = ProfileClock::now() - since;
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count();
+    return ns > 0 ? static_cast<std::uint64_t>(ns) : std::uint64_t{0};
+  };
+  ProfileClock::time_point setup_begin{};
+  if (sim.telemetry().profiling()) setup_begin = ProfileClock::now();
 
   Network::Options options;
   options.profile = config.profile;
@@ -188,9 +222,18 @@ ExperimentResult run_experiment(ExperimentConfig config) {
     depth_sampler.start_periodic(config.depth_sample_interval);
   });
 
+  if (sim.telemetry().profiling()) {
+    sim.telemetry()
+        .phase_histogram(sim::ProfilePhase::kTrialSetup)
+        ->record(phase_ns(setup_begin));
+  }
+
   sim.run_for(config.duration);
   depth_sampler.stop();
   auditor.stop();
+
+  ProfileClock::time_point teardown_begin{};
+  if (sim.telemetry().profiling()) teardown_begin = ProfileClock::now();
 
   if (exporter != nullptr) {
     exporter->write_counters(sim.telemetry());
@@ -245,6 +288,17 @@ ExperimentResult run_experiment(ExperimentConfig config) {
 
   result.arena_bytes = sim.arena().bytes_reserved();
   result.eq_resizes = sim.queue_resizes();
+
+  if (sim.telemetry().profiling()) {
+    sim.telemetry()
+        .phase_histogram(sim::ProfilePhase::kTrialTeardown)
+        ->record(phase_ns(teardown_begin));
+  }
+  if (config.status != nullptr) {
+    // Final registry push: the settle-time truth, including gauges that
+    // only move at the end (the flush hook may not have fired recently).
+    config.status->publish_registry(status_trial, sim.telemetry());
+  }
   return result;
 }
 

@@ -79,6 +79,18 @@ struct ExperimentConfig {
   /// supervisor removes the file once the trial settles in-process.
   std::string flight_flush_path;
   std::uint64_t flight_flush_every_events = 65536;
+
+  /// Live-observability hooks (runtime-only; never serialized). A
+  /// non-null `status` board receives this trial's telemetry registry
+  /// periodically (the flush-hook cadence) and once at the end, keyed by
+  /// trace_trial — so live dashboards see mid-trial engine health
+  /// (sim/arena_bytes, sim/eq_resizes, phy counters) without waiting for
+  /// the trial-end JSONL footer. `profile_phases` arms the wall-clock
+  /// phase timers (sim::PhaseTimer); samples are nondeterministic by
+  /// nature, so identity-checked runs keep it off. Neither knob affects
+  /// trial results, stdout, reports, or journal bytes.
+  class StatusBoard* status = nullptr;
+  bool profile_phases = false;
 };
 
 struct ExperimentResult {

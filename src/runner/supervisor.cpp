@@ -12,6 +12,7 @@
 
 #include "common/assert.hpp"
 #include "runner/journal.hpp"
+#include "runner/status.hpp"
 #include "sim/invariant.hpp"
 
 namespace fourbit::runner {
@@ -140,6 +141,9 @@ CampaignReport run_supervised(const std::vector<ExperimentConfig>& trials,
     }
     journal = TrialJournal::open_append(options.journal_path);
   }
+  if (options.status != nullptr && report.replayed > 0) {
+    options.status->add_replayed(report.replayed);
+  }
 
   // The index order to execute: everything, or the assigned subset (a
   // multi-process worker runs only the coordinator's range).
@@ -209,6 +213,14 @@ CampaignReport run_supervised(const std::vector<ExperimentConfig>& trials,
         }
       }
 
+      // Live status is strictly observational: the board sees lifecycle
+      // edges and registry pushes, and nothing it does can reach the
+      // result, the report, or the journal.
+      config.status = options.status;
+      if (options.profile_phases) config.profile_phases = true;
+      if (options.status != nullptr) options.status->trial_started(i);
+      const auto trial_begin = std::chrono::steady_clock::now();
+
       if (options.on_trial_start) options.on_trial_start(i, config);
 
       std::optional<TrialFailure> failure;
@@ -229,6 +241,7 @@ CampaignReport run_supervised(const std::vector<ExperimentConfig>& trials,
         failure = std::move(outcome.failure);
         if (attempt < max_attempts && options.retry.should_retry(*failure)) {
           retried.fetch_add(1, std::memory_order_relaxed);
+          if (options.status != nullptr) options.status->attempt_reset(i);
           const std::uint64_t delay =
               options.retry.backoff.delay_ms(attempt, config.seed);
           if (delay > 0) {
@@ -237,6 +250,15 @@ CampaignReport run_supervised(const std::vector<ExperimentConfig>& trials,
           continue;
         }
         break;
+      }
+      if (options.status != nullptr) {
+        const auto wall =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - trial_begin)
+                .count();
+        options.status->trial_settled(
+            i, failure.has_value(),
+            wall > 0 ? static_cast<std::uint64_t>(wall) : 0);
       }
       if (!config.flight_flush_path.empty()) {
         // The trial settled in-process; its crash snapshot is stale.
@@ -421,6 +443,18 @@ CampaignCli consume_campaign_cli(int& argc, char** argv) {
   }
   cli.lease_trials = static_cast<std::size_t>(
       consume_uint_flag(argc, argv, "--lease").value_or(0));
+  cli.status_json = consume_flag(argc, argv, "--status-json").value_or("");
+  if (const auto interval =
+          consume_uint_flag(argc, argv, "--status-interval-ms")) {
+    if (*interval == 0) {
+      std::fprintf(stderr,
+                   "error: --status-interval-ms expects a positive "
+                   "millisecond interval (got \"0\")\n");
+      std::exit(2);
+    }
+    cli.status_interval_ms = *interval;
+  }
+  cli.profile_phases = consume_bool_flag(argc, argv, "--profile-phases");
   if (cli.serve_port >= 0 && !cli.hosts.empty()) {
     std::fprintf(
         stderr,

@@ -33,6 +33,8 @@
 
 namespace fourbit::runner {
 
+class StatusBoard;  // runner/status.hpp
+
 /// Why a trial died. Order matters: it indexes
 /// CampaignSummary::failures_by_kind.
 enum class FailureKind : std::uint8_t {
@@ -145,6 +147,15 @@ struct SupervisorOptions {
   std::string trace_path_base;
   sim::TraceLevel trace_level = sim::TraceLevel::kInfo;
   std::vector<std::uint16_t> trace_nodes;
+
+  /// Live observability (runner/status.hpp). A non-null board receives
+  /// trial lifecycle events, per-attempt wall times, and each trial's
+  /// telemetry registry (mid-trial and at settle). Strictly off-band:
+  /// results, stdout, reports, and journal bytes are unaffected.
+  StatusBoard* status = nullptr;
+  /// Arm wall-clock phase timers in every trial (nondeterministic
+  /// samples; see ExperimentConfig::profile_phases).
+  bool profile_phases = false;
 };
 
 /// Per-trial trace file name: "<stem>-t<index>-s<seed>.jsonl" where
@@ -157,6 +168,18 @@ struct SupervisorOptions {
 /// (see SupervisorOptions::flight_flush_base and worker.hpp).
 [[nodiscard]] std::string flight_snapshot_path(const std::string& base,
                                                std::size_t index);
+
+/// Per-host health accounting from a distributed campaign
+/// (dispatch.hpp): how each --hosts agent behaved. Deterministic per
+/// host list on clean runs (all-zero rows); populated so describe() and
+/// `fourbit.status/1` can attribute losses to the host that caused them.
+struct HostHealth {
+  std::string name;             // "host:port"
+  std::uint64_t completed = 0;  // trials this host settled
+  std::uint64_t losses = 0;     // sessions lost (disconnect/expiry/corrupt)
+  std::uint64_t fruitless = 0;  // consecutive fruitless sessions at the end
+  bool retired = false;         // crash-loop quarantined
+};
 
 /// What a supervised campaign produced. results[i] belongs to trials[i]
 /// and is meaningful iff completed[i].
@@ -178,6 +201,9 @@ struct CampaignReport {
   /// back to the pool because their host died under them.
   std::uint64_t host_losses = 0;
   std::uint64_t lease_reassignments = 0;
+  /// One row per --hosts agent (distributed dispatch only; empty on
+  /// local campaigns). Order matches the --hosts list.
+  std::vector<HostHealth> host_health;
   /// Journal append failures during this run (ENOSPC and friends): the
   /// journal latched disabled and the campaign finished unjournaled
   /// (see TrialJournal::append). Zero on a healthy run.
@@ -209,8 +235,9 @@ struct HostEndpoint {
 /// --workers K, --journal FILE, --max-trial-ms N, --retries N,
 /// --trace FILE, --trace-level off|error|info|debug,
 /// --trace-nodes a,b,c, --json, --hosts a:p,b:p, --serve PORT,
-/// --lease N — plus the hidden --worker-* flags the multi-process
-/// coordinator (worker.hpp) appends when it self-execs.
+/// --lease N, --status-json FILE, --status-interval-ms N,
+/// --profile-phases — plus the hidden --worker-* flags the
+/// multi-process coordinator (worker.hpp) appends when it self-execs.
 struct CampaignCli {
   std::size_t threads = 0;
   /// Worker *processes* (run_multiprocess); 0 = flag absent, run
@@ -239,6 +266,20 @@ struct CampaignCli {
   /// --lease N — trials per lease grant on the coordinator (0 = auto).
   std::size_t lease_trials = 0;
 
+  /// --status-json FILE — publish a merged `fourbit.status/1` snapshot
+  /// to FILE every status_interval_ms (write-temp-then-rename: the file
+  /// is always one complete JSON object). Empty = off. Strictly
+  /// off-band: stdout, reports, and --journal bytes are unchanged.
+  std::string status_json;
+  /// --status-interval-ms N — snapshot cadence (also the cadence at
+  /// which workers/hosts stream status upward). 0 is a usage error.
+  std::uint64_t status_interval_ms = 1000;
+  /// --profile-phases — arm wall-clock phase timers (event dispatch,
+  /// channel freeze, batch kernels, trial setup/teardown) feeding
+  /// "profile" histograms. Samples are machine-dependent, so traces and
+  /// status gain nondeterministic rows; keep off for identity checks.
+  bool profile_phases = false;
+
   // Hidden worker-mode plumbing (never typed by a user): the
   // coordinator re-execs argv with these appended, and run_campaign
   // (worker.hpp) branches into the worker protocol when worker_fd >= 0.
@@ -265,6 +306,7 @@ struct CampaignCli {
     options.trace_path_base = trace;
     options.trace_level = trace_level;
     options.trace_nodes = trace_nodes;
+    options.profile_phases = profile_phases;
     return options;
   }
 };

@@ -180,7 +180,7 @@ std::optional<ControlMessage> decode_control_message_payload(
   ByteReader r{payload};
   if (r.u8() != kControlVersion) return std::nullopt;
   const std::uint8_t kind = r.u8();
-  if (kind > static_cast<std::uint8_t>(ControlKind::kShutdown)) {
+  if (kind > static_cast<std::uint8_t>(ControlKind::kStatus)) {
     return std::nullopt;
   }
   ControlMessage message;

@@ -84,6 +84,10 @@ enum class ControlKind : std::uint8_t {
   kLeaseGrant = 0,     // coordinator -> host: text = trial index spans
   kLeaseComplete = 1,  // host -> coordinator: lease fully settled
   kShutdown = 2,       // coordinator -> host: campaign over, hang up
+  /// host -> coordinator: text = an encoded fourbit.status/1 payload
+  /// (runner/status.hpp codec) with the host's lease-local merged
+  /// metrics. Strictly off-band — never touches trial accounting.
+  kStatus = 3,
 };
 
 struct ControlMessage {

@@ -75,7 +75,7 @@ void encode_event(ByteWriter& w, const sim::TelemetryEvent& e) {
   ByteReader r{payload};
   if (r.u8() != kPipeVersion) return std::nullopt;
   const std::uint8_t kind = r.u8();
-  if (kind > static_cast<std::uint8_t>(WorkerRecordKind::kBye)) {
+  if (kind > static_cast<std::uint8_t>(WorkerRecordKind::kStatus)) {
     return std::nullopt;
   }
   WorkerRecord rec;
@@ -374,6 +374,12 @@ void run_worker(const std::vector<ExperimentConfig>& trials,
   options.journal_path = cli.worker_shard;
   options.flight_flush_base = cli.worker_shard;
 
+  // Live status rides the pipe, never a file: --status-json is the
+  // coordinator's to honor (a worker writing it too would race the
+  // merged snapshot), so worker mode deliberately ignores it.
+  auto board = std::make_shared<StatusBoard>();
+  options.status = board.get();
+
   WorkerRecord hello;
   hello.kind = WorkerRecordKind::kHello;
   writer->send(hello);
@@ -430,11 +436,41 @@ void run_worker(const std::vector<ExperimentConfig>& trials,
   const auto interval =
       std::chrono::milliseconds(std::max<std::uint64_t>(
           10, cli.worker_heartbeat_ms));
-  std::thread heartbeat{[writer, &finished, interval] {
+  // Status snapshots piggyback on the heartbeat thread at their own
+  // (slower) cadence: one extra frame kind on an existing liveness
+  // channel, zero new threads.
+  const auto status_every = std::chrono::milliseconds(
+      std::max<std::uint64_t>(10, cli.status_interval_ms));
+  const std::uint64_t my_total = spans->size();
+  const auto worker_start = std::chrono::steady_clock::now();
+  std::uint64_t status_seq = 0;
+  const auto send_status = [writer, board, my_total, worker_start,
+                            &status_seq] {
+    StatusSnapshot snap;
+    board->fill_snapshot(snap);
+    const double elapsed = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - worker_start)
+                               .count();
+    stamp_status(snap, ++status_seq, elapsed, my_total);
+    const auto bytes = encode_status_snapshot(snap);
+    WorkerRecord rec;
+    rec.kind = WorkerRecordKind::kStatus;
+    rec.what.assign(reinterpret_cast<const char*>(bytes.data()),
+                    bytes.size());
+    writer->send(std::move(rec));
+  };
+  std::thread heartbeat{[writer, &finished, interval, status_every,
+                         &send_status] {
+    auto last_status = std::chrono::steady_clock::now();
     while (!finished.load(std::memory_order_acquire)) {
       WorkerRecord rec;
       rec.kind = WorkerRecordKind::kHeartbeat;
       writer->send(rec);
+      const auto now = std::chrono::steady_clock::now();
+      if (now - last_status >= status_every) {
+        send_status();
+        last_status = now;
+      }
       std::this_thread::sleep_for(interval);
     }
   }};
@@ -443,6 +479,7 @@ void run_worker(const std::vector<ExperimentConfig>& trials,
 
   finished.store(true, std::memory_order_release);
   heartbeat.join();
+  send_status();  // the final, settled picture of this shard
   WorkerRecord bye;
   bye.kind = WorkerRecordKind::kBye;
   writer->send(bye);
@@ -473,6 +510,10 @@ struct WorkerSlot {
   Clock::time_point last_heard{};
   std::optional<Clock::time_point> respawn_at;  // dead, awaiting backoff
   bool retired = false;  // nothing left to do, no live process
+  /// Latest fourbit.status/1 snapshot this incarnation streamed; folded
+  /// into the coordinator's board when the worker dies so merged
+  /// counters stay monotonic across respawns.
+  std::optional<StatusSnapshot> status;
 };
 
 }  // namespace
@@ -591,6 +632,11 @@ CampaignReport run_multiprocess(const std::vector<ExperimentConfig>& trials,
     }
   };
 
+  // Merged-status accumulator: holds metrics absorbed from dead worker
+  // incarnations; live slots contribute their latest snapshot directly
+  // at publish time.
+  StatusBoard status_board;
+
   const auto fail_hard = [&](std::size_t index, const WorkerSlot& slot,
                              const std::string& what, int sig) {
     if (settled(index)) return;
@@ -637,6 +683,17 @@ CampaignReport run_multiprocess(const std::vector<ExperimentConfig>& trials,
       case WorkerRecordKind::kHeartbeat:
       case WorkerRecordKind::kBye:
         return;
+      case WorkerRecordKind::kStatus: {
+        // Strictly off-band: a snapshot is neither progress nor trial
+        // accounting, it only refreshes this slot's contribution to the
+        // next merged publication. An undecodable payload is dropped
+        // (the CRC already passed; this is a version skew, not noise).
+        auto snap = decode_status_snapshot(std::span<const std::uint8_t>{
+            reinterpret_cast<const std::uint8_t*>(rec.what.data()),
+            rec.what.size()});
+        if (snap) slot.status = std::move(*snap);
+        return;
+      }
       case WorkerRecordKind::kTrialStart:
         if (index < trials.size() && !settled(index)) {
           slot.in_flight.insert(index);
@@ -745,6 +802,13 @@ CampaignReport run_multiprocess(const std::vector<ExperimentConfig>& trials,
     ::close(slot.fd);
     slot.fd = -1;
     slot.pid = -1;
+    // The dead incarnation's last metrics move into the coordinator's
+    // board: merged counters stay monotonic across the respawn (the
+    // respawned worker's registry restarts from zero).
+    if (slot.status) {
+      status_board.absorb_metrics(*slot.status);
+      slot.status.reset();
+    }
 
     const bool corrupt = slot.parser.corrupt();
     const int sig = WIFSIGNALED(status) ? WTERMSIG(status) : 0;
@@ -817,6 +881,57 @@ CampaignReport run_multiprocess(const std::vector<ExperimentConfig>& trials,
 
   const auto drain = [&](WorkerSlot& slot) {
     while (auto rec = slot.parser.next()) handle_record(slot, *rec);
+  };
+
+  // Merged fourbit.status/1 publication: coordinator lifecycle truth +
+  // absorbed dead-incarnation metrics + every live slot's latest
+  // snapshot, stamped and pushed to --status-json and/or on_status.
+  const bool status_publishing =
+      !options.status_path.empty() || static_cast<bool>(options.on_status);
+  const auto campaign_start = Clock::now();
+  std::uint64_t status_seq = 0;
+  auto last_status_publish = campaign_start;
+  const auto publish_status = [&] {
+    StatusSnapshot snap;
+    status_board.fill_snapshot(snap);
+    // progress_done counts settles of both kinds; the snapshot splits
+    // them back out (done = clean completions only).
+    snap.done = progress_done - failed_count;
+    snap.failed = failed_count;
+    snap.retried = report.retries;
+    snap.replayed = report.replayed;
+    snap.hard_crashes = report.hard_crashes;
+    snap.worker_respawns = report.worker_respawns;
+    std::uint64_t in_flight = 0;
+    for (const auto& slot : slots) in_flight += slot.in_flight.size();
+    snap.in_flight = in_flight;
+    for (const auto& slot : slots) {
+      StatusSource src;
+      src.name = "w" + std::to_string(slot.id);
+      src.kind = StatusSource::Kind::kWorker;
+      src.alive = slot.pid > 0;
+      src.retired = slot.retired;
+      src.in_flight = slot.in_flight.size();
+      src.losses = slot.respawns;
+      src.fruitless = slot.fruitless_deaths;
+      src.lease = format_index_spans(remaining_of(slot));
+      if (slot.status) {
+        src.done = slot.status->done;
+        src.failed = slot.status->failed;
+        merge_status_metrics(snap, *slot.status);
+      }
+      snap.sources.push_back(std::move(src));
+    }
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - campaign_start).count();
+    stamp_status(snap, ++status_seq, elapsed,
+                 options.status_total != 0
+                     ? static_cast<std::uint64_t>(options.status_total)
+                     : trials.size());
+    if (!options.status_path.empty()) {
+      write_status_file(options.status_path, status_json(snap));
+    }
+    if (options.on_status) options.on_status(snap);
   };
 
   // ---- the supervision loop ----
@@ -933,6 +1048,16 @@ CampaignReport run_multiprocess(const std::vector<ExperimentConfig>& trials,
         }
       }
     }
+
+    if (status_publishing) {
+      const auto tick = Clock::now();
+      if (tick - last_status_publish >=
+          std::chrono::milliseconds(
+              std::max<std::uint64_t>(10, options.status_interval_ms))) {
+        last_status_publish = tick;
+        publish_status();
+      }
+    }
   }
 
   // ---- final merge: the shards hold every fresh result ----
@@ -981,6 +1106,9 @@ CampaignReport run_multiprocess(const std::vector<ExperimentConfig>& trials,
             [](const TrialFailure& a, const TrialFailure& b) {
               return a.trial_index < b.trial_index;
             });
+  // The last published snapshot is the settled end state (done == total
+  // on a clean run) — pollers never end on a mid-campaign picture.
+  if (status_publishing) publish_status();
   return report;
 }
 
@@ -1004,11 +1132,37 @@ CampaignReport run_campaign(
     // machine we cannot signal.
     options.trial_timeout_ms =
         cli.max_trial_ms != 0 ? cli.max_trial_ms * 2 + 5000 : 0;
+    options.status_path = cli.status_json;
+    options.status_interval_ms = cli.status_interval_ms;
     return run_distributed(trials, options);
   }
   if (cli.workers == 0) {
     auto options = cli.supervisor_options();
     options.on_trial_done = std::move(progress);
+    if (cli.status_json.empty()) return run_supervised(trials, options);
+    // In-process run with live status: a board fed by the supervisor
+    // and a publisher thread writing the file. The publisher's
+    // destructor runs after run_supervised returns, so the last write
+    // is the settled end state.
+    StatusBoard board;
+    options.status = &board;
+    const auto started = Clock::now();
+    std::uint64_t seq = 0;
+    StatusPublisher publisher{cli.status_interval_ms, [&] {
+      StatusSnapshot snap;
+      board.fill_snapshot(snap);
+      StatusSource src;
+      src.name = "local";
+      src.kind = StatusSource::Kind::kLocal;
+      src.done = snap.done;
+      src.failed = snap.failed;
+      src.in_flight = snap.in_flight;
+      snap.sources.push_back(std::move(src));
+      const double elapsed =
+          std::chrono::duration<double>(Clock::now() - started).count();
+      stamp_status(snap, ++seq, elapsed, trials.size());
+      write_status_file(cli.status_json, status_json(snap));
+    }};
     return run_supervised(trials, options);
   }
   MultiprocessOptions options;
@@ -1016,6 +1170,8 @@ CampaignReport run_campaign(
   options.supervisor.on_trial_done = std::move(progress);
   options.workers = cli.workers;
   options.exec_argv = cli.exec_argv;
+  options.status_path = cli.status_json;
+  options.status_interval_ms = cli.status_interval_ms;
   // The coordinator backstop must out-wait the in-worker SimBudget (the
   // cooperative watchdog should win the race and record a retryable
   // soft timeout); it only fires on non-cooperative hangs.

@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "runner/status.hpp"
 #include "runner/supervisor.hpp"
 #include "sim/telemetry.hpp"
 
@@ -61,6 +62,11 @@ enum class WorkerRecordKind : std::uint8_t {
   kTrialDone = 3,  // trial completed; its result is in the shard
   kTrialFailed = 4,// trial failed terminally in-process (soft failure)
   kBye = 5,        // clean shutdown follows
+  /// Periodic observability snapshot: `what` carries an encoded
+  /// fourbit.status/1 payload (runner/status.hpp codec). Strictly
+  /// off-band — the coordinator merges it for --status-json and the
+  /// ticker; it never influences trial accounting.
+  kStatus = 6,
 };
 
 struct WorkerRecord {
@@ -171,6 +177,18 @@ struct MultiprocessOptions {
   /// killer and marked failed-permanent (kHardCrash) instead of being
   /// retried into a crash loop.
   std::size_t max_trial_crashes = 2;
+
+  /// Live observability. status_path: publish a merged fourbit.status/1
+  /// snapshot there every status_interval_ms (write-temp-then-rename).
+  /// on_status: additionally hand each merged snapshot to this callback
+  /// (the host agent forwards them to its coordinator over FT). Both
+  /// are strictly off-band.
+  std::string status_path;
+  std::uint64_t status_interval_ms = 1000;
+  std::function<void(const StatusSnapshot&)> on_status;
+  /// Campaign-wide trial count for snapshot totals (0 = trials.size();
+  /// a host agent running a lease sets the full campaign size).
+  std::size_t status_total = 0;
 };
 
 /// Runs the campaign across worker processes. Blocks until every trial

@@ -68,7 +68,10 @@ void Simulator::execute_next() {
   auto popped = queue_.pop();
   FOURBIT_ASSERT(popped.time >= now_, "event queue went backwards in time");
   now_ = popped.time;
-  popped.callback();
+  {
+    PhaseTimer timer{telemetry_, ProfilePhase::kEventDispatch};
+    popped.callback();
+  }
   ++events_executed_;
   if (flush_every_ != 0 && events_executed_ % flush_every_ == 0) {
     flush_hook_();

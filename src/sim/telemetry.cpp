@@ -108,4 +108,64 @@ double* TelemetryContext::gauge(std::string_view component,
   return &gauges_.back().value;
 }
 
+Histogram* TelemetryContext::histogram(std::string_view component,
+                                       std::string_view name,
+                                       std::uint16_t node) {
+  const auto key = registry_key(component, name, node);
+  if (const auto it = histogram_index_.find(key);
+      it != histogram_index_.end()) {
+    return &histograms_[it->second].hist;
+  }
+  histogram_index_.emplace(key, histograms_.size());
+  histograms_.push_back(
+      HistogramRow{std::string{component}, std::string{name}, node, {}});
+  return &histograms_.back().hist;
+}
+
+double Histogram::quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target sample, 1-based; walk buckets until the running
+  // total covers it, then interpolate linearly inside that bucket.
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (std::size_t bin = 0; bin < kHistogramBins; ++bin) {
+    if (bins[bin] == 0) continue;
+    const auto next = seen + bins[bin];
+    if (static_cast<double>(next) >= rank) {
+      if (bin == 0) return 0.0;  // bucket 0 holds exactly the value 0
+      const double lo = static_cast<double>(histogram_bucket_floor(bin));
+      const double hi =
+          bin + 1 < kHistogramBins
+              ? static_cast<double>(histogram_bucket_floor(bin + 1))
+              : lo * 2.0;
+      const double within =
+          (rank - static_cast<double>(seen)) / static_cast<double>(bins[bin]);
+      return lo + (hi - lo) * (within < 0.0 ? 0.0 : within);
+    }
+    seen = next;
+  }
+  return static_cast<double>(histogram_bucket_floor(kHistogramBins - 1)) * 2.0;
+}
+
+std::string_view profile_phase_name(ProfilePhase phase) {
+  switch (phase) {
+    case ProfilePhase::kEventDispatch: return "event_dispatch_ns";
+    case ProfilePhase::kChannelFreeze: return "channel_freeze_ns";
+    case ProfilePhase::kBatchKernel: return "batch_kernel_ns";
+    case ProfilePhase::kTrialSetup: return "trial_setup_ns";
+    case ProfilePhase::kTrialTeardown: return "trial_teardown_ns";
+  }
+  return "?";
+}
+
+Histogram* TelemetryContext::phase_histogram(ProfilePhase phase) {
+  Histogram*& slot = phase_hists_[static_cast<std::size_t>(phase)];
+  if (slot == nullptr) {
+    slot = histogram("profile", profile_phase_name(phase));
+  }
+  return slot;
+}
+
 }  // namespace fourbit::sim

@@ -23,6 +23,8 @@
 #pragma once
 
 #include <array>
+#include <bit>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <string>
@@ -146,6 +148,68 @@ class TelemetrySink {
   virtual void on_event(const TelemetryEvent& event) = 0;
 };
 
+/// Fixed-layout log2-bucketed histogram. Bucket b holds values whose
+/// bit-width is b (bucket 0 = {0}, bucket b = [2^(b-1), 2^b - 1]),
+/// saturating at the last bucket — so any uint64 lands in one of 64 POD
+/// bins with no configuration, two histograms merge by elementwise add,
+/// and the bins ride the existing CRC-framed codecs unchanged.
+inline constexpr std::size_t kHistogramBins = 64;
+
+[[nodiscard]] constexpr std::size_t histogram_bucket(std::uint64_t value) {
+  const auto width = static_cast<std::size_t>(std::bit_width(value));
+  return width < kHistogramBins ? width : kHistogramBins - 1;
+}
+
+/// Lower edge of bucket `bin` (bucket 0 holds exactly {0}).
+[[nodiscard]] constexpr std::uint64_t histogram_bucket_floor(std::size_t bin) {
+  return bin == 0 ? 0 : std::uint64_t{1} << (bin - 1);
+}
+
+struct Histogram {
+  std::array<std::uint64_t, kHistogramBins> bins{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+
+  void record(std::uint64_t value) {
+    ++bins[histogram_bucket(value)];
+    ++count;
+    sum += value;
+  }
+  void merge(const Histogram& other) {
+    for (std::size_t i = 0; i < kHistogramBins; ++i) bins[i] += other.bins[i];
+    count += other.count;
+    sum += other.sum;
+  }
+  /// Quantile estimate (q in [0,1]) by linear interpolation inside the
+  /// winning bucket; exact for bucket 0, upper-bounded by bucket edges
+  /// elsewhere. Returns 0 on an empty histogram.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+struct HistogramRow {
+  std::string component;
+  std::string name;
+  std::uint16_t node = 0xFFFF;
+  Histogram hist;
+};
+
+/// Engine phases covered by the scoped profiling timers.
+enum class ProfilePhase : std::uint8_t {
+  kEventDispatch = 0,  // one event callback inside Simulator::execute_next
+  kChannelFreeze,      // link-cache rebuild (dense or sparse)
+  kBatchKernel,        // one batched SNR->PRR/interference kernel pass
+  kTrialSetup,         // network construction + boot, before run_for
+  kTrialTeardown,      // metric extraction after the sim clock stops
+};
+
+inline constexpr std::size_t kProfilePhaseCount = 5;
+
+[[nodiscard]] std::string_view profile_phase_name(ProfilePhase phase);
+
 class TelemetryContext {
  public:
   /// Flight-recorder depth (power of two; the ring index is masked).
@@ -212,7 +276,7 @@ class TelemetryContext {
   [[nodiscard]] static std::vector<TelemetryEvent> take_last_flight();
   static void clear_last_flight();
 
-  // ---- counter / gauge registry ---------------------------------------
+  // ---- counter / gauge / histogram registry ---------------------------
   //
   // Stable string keys: (component, name, node). node 0xFFFF = a
   // whole-sim counter. Registering the same key twice returns the same
@@ -237,6 +301,9 @@ class TelemetryContext {
   [[nodiscard]] double* gauge(std::string_view component,
                               std::string_view name,
                               std::uint16_t node = 0xFFFF);
+  [[nodiscard]] Histogram* histogram(std::string_view component,
+                                     std::string_view name,
+                                     std::uint16_t node = 0xFFFF);
 
   /// Registration order (deterministic per trial: components register in
   /// construction order, which is a pure function of the config).
@@ -244,6 +311,25 @@ class TelemetryContext {
     return counters_;
   }
   [[nodiscard]] const std::deque<GaugeRow>& gauges() const { return gauges_; }
+  [[nodiscard]] const std::deque<HistogramRow>& histograms() const {
+    return histograms_;
+  }
+
+  // ---- phase profiling -------------------------------------------------
+  //
+  // Scoped wall-clock timers over the engine's hot phases, feeding
+  // per-phase histograms ("profile", "<phase>_ns"). Off by default: a
+  // disabled PhaseTimer costs one branch (mirroring the emit() gate), no
+  // clock read, and registers nothing — so clean-run registries (and
+  // therefore JSONL exports) are byte-identical with profiling absent.
+  // Wall-clock samples are inherently nondeterministic; enabling
+  // profiling is an explicit observability opt-in (`--profile-phases`).
+
+  void set_profiling(bool on) { profiling_ = on; }
+  [[nodiscard]] bool profiling() const { return profiling_; }
+
+  /// Lazily registers (and caches) the histogram backing `phase`.
+  [[nodiscard]] Histogram* phase_histogram(ProfilePhase phase);
 
  private:
   [[nodiscard]] bool node_passes(std::uint16_t node,
@@ -265,8 +351,41 @@ class TelemetryContext {
 
   std::deque<CounterRow> counters_;
   std::deque<GaugeRow> gauges_;
+  std::deque<HistogramRow> histograms_;
   std::unordered_map<std::string, std::size_t> counter_index_;
   std::unordered_map<std::string, std::size_t> gauge_index_;
+  std::unordered_map<std::string, std::size_t> histogram_index_;
+
+  bool profiling_ = false;
+  std::array<Histogram*, kProfilePhaseCount> phase_hists_{};
+};
+
+/// Scoped phase timer. Construction with profiling off is the entire
+/// disabled path: one branch, no clock read, no registration (gated in
+/// CI by BM_PhaseTimerDisabled next to BM_TelemetryDisabled). Enabled,
+/// it records elapsed steady-clock nanoseconds into the per-phase
+/// histogram on scope exit.
+class PhaseTimer {
+ public:
+  PhaseTimer(TelemetryContext& context, ProfilePhase phase) {
+    if (!context.profiling()) return;
+    hist_ = context.phase_histogram(phase);
+    start_ = std::chrono::steady_clock::now();
+  }
+  ~PhaseTimer() {
+    if (hist_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count();
+    hist_->record(ns > 0 ? static_cast<std::uint64_t>(ns) : 0);
+  }
+
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  Histogram* hist_ = nullptr;
+  std::chrono::steady_clock::time_point start_{};
 };
 
 }  // namespace fourbit::sim

@@ -84,6 +84,27 @@ void JsonlExporter::write_counters(const sim::TelemetryContext& telemetry) {
                  json_escape(row.component).c_str(),
                  json_escape(row.name).c_str(), row.node, row.value);
   }
+  // Histogram rows exist only when something recorded one (phase
+  // profiling is opt-in), so clean-run trace files are byte-identical
+  // to pre-histogram builds.
+  for (const auto& row : telemetry.histograms()) {
+    std::fprintf(file_,
+                 "{\"type\":\"histogram\",\"component\":\"%s\",\"name\":"
+                 "\"%s\",\"node\":%u,\"count\":%" PRIu64 ",\"sum\":%" PRIu64
+                 ",\"p50\":%.6g,\"p90\":%.6g,\"p99\":%.6g,\"bins\":[",
+                 json_escape(row.component).c_str(),
+                 json_escape(row.name).c_str(), row.node, row.hist.count,
+                 row.hist.sum, row.hist.quantile(0.50),
+                 row.hist.quantile(0.90), row.hist.quantile(0.99));
+    bool first = true;
+    for (std::size_t bin = 0; bin < sim::kHistogramBins; ++bin) {
+      if (row.hist.bins[bin] == 0) continue;
+      std::fprintf(file_, "%s[%zu,%" PRIu64 "]", first ? "" : ",", bin,
+                   row.hist.bins[bin]);
+      first = false;
+    }
+    std::fprintf(file_, "]}\n");
+  }
 }
 
 void JsonlExporter::finish() {

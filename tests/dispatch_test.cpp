@@ -24,6 +24,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -273,12 +274,22 @@ std::uint16_t dead_port() {
 // ---- control-frame codec and the demultiplexing parser ----------------
 
 TEST(ControlCodecTest, RoundTripsEveryKind) {
+  // kStatus carries an encoded binary snapshot payload, so its text
+  // must survive embedded NULs and high bytes.
+  std::string binary_status;
+  binary_status.push_back('\0');
+  binary_status.push_back('\xff');
+  binary_status += "status-bytes";
   for (const auto kind : {ControlKind::kLeaseGrant, ControlKind::kLeaseComplete,
-                          ControlKind::kShutdown}) {
+                          ControlKind::kShutdown, ControlKind::kStatus}) {
     ControlMessage m;
     m.kind = kind;
     m.lease = 0xABCD1234u;
-    m.text = kind == ControlKind::kLeaseGrant ? "0-4,9,12-13" : "";
+    if (kind == ControlKind::kLeaseGrant) {
+      m.text = "0-4,9,12-13";
+    } else if (kind == ControlKind::kStatus) {
+      m.text = binary_status;
+    }
     const auto frame = encode_control_message(m);
     TransportParser parser;
     parser.feed(frame.data(), frame.size());
@@ -700,6 +711,73 @@ TEST(DispatchTest, HostSigkilledMidTrialLeaseReassigned) {
   }
   EXPECT_GE(report.host_losses, 1u);
   EXPECT_GE(report.lease_reassignments, 1u);
+}
+
+TEST(DispatchTest, StatusStaysWellFormedThroughHostLoss) {
+  // The ISSUE acceptance scenario: a fleet campaign losing a host to
+  // SIGKILL mid-lease must stream continuously valid fourbit.status/1
+  // snapshots — strictly increasing seq, stable total, host sources with
+  // the loss attributed — and land a settled final --status-json file,
+  // while the campaign itself still completes every trial.
+  const std::uint64_t base = 900;
+  const std::size_t n = 16;
+  SpawnedAgent a{"slow@25", n, base};
+  SpawnedAgent b{"slow@25", n, base};
+  ASSERT_NE(a.port(), 0);
+  ASSERT_NE(b.port(), 0);
+
+  const std::string status_path = temp_stem("host_loss_status");
+  DispatchOptions options = dt_options({a.port(), b.port()});
+  options.lease_trials = 8;
+  options.status_path = status_path;
+  options.status_interval_ms = 30;
+  std::mutex snaps_mutex;  // the all-hosts-dead fallback publisher is a
+                           // second caller thread; never engaged here,
+                           // but the callback contract allows it
+  std::vector<StatusSnapshot> snaps;
+  options.on_status = [&](const StatusSnapshot& snap) {
+    const std::lock_guard<std::mutex> lock{snaps_mutex};
+    snaps.push_back(snap);
+  };
+  std::thread killer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    b.kill_now();
+  });
+  const auto report = run_distributed(scenario_trials(n, base), options);
+  killer.join();
+
+  ASSERT_TRUE(report.all_completed());
+  EXPECT_GE(report.host_losses, 1u);
+  ASSERT_EQ(report.host_health.size(), 2u);
+
+  ASSERT_FALSE(snaps.empty());
+  for (std::size_t i = 0; i < snaps.size(); ++i) {
+    EXPECT_EQ(snaps[i].total, n);
+    if (i > 0) {
+      EXPECT_GT(snaps[i].seq, snaps[i - 1].seq);
+    }
+  }
+  const auto& last = snaps.back();
+  EXPECT_EQ(last.done, n);
+  EXPECT_EQ(last.failed, 0u);
+  EXPECT_EQ(last.in_flight, 0u);
+  EXPECT_GE(last.host_losses, 1u);
+  std::size_t host_rows = 0;
+  std::uint64_t losses = 0;
+  for (const auto& src : last.sources) {
+    if (src.kind != StatusSource::Kind::kHost) continue;
+    ++host_rows;
+    losses += src.losses;
+  }
+  EXPECT_EQ(host_rows, 2u);
+  EXPECT_GE(losses, 1u);
+
+  const std::string text = slurp(status_path);
+  EXPECT_NE(text.find("\"schema\":\"fourbit.status/1\""), std::string::npos);
+  EXPECT_NE(text.find("\"done\":16"), std::string::npos);
+  EXPECT_TRUE(text.ends_with("}\n"));
+  EXPECT_FALSE(std::filesystem::exists(status_path + ".tmp"));
+  std::filesystem::remove(status_path);
 }
 
 TEST(DispatchTest, AllHostsDeadFallsBackToLocalRun) {
